@@ -1,0 +1,112 @@
+//! Criterion benches for the clustering layer — the computational side of
+//! the paper's Table II: online summarization must be O(1)-ish per access,
+//! macro-clustering must operate on k·m pseudo-points rather than n raw
+//! coordinates, and the summary codec must be cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use georep_cluster::kmeans::{kmeans, KMeansConfig};
+use georep_cluster::kmedians::weighted_kmedians;
+use georep_cluster::online::OnlineClusterer;
+use georep_cluster::summary::AccessSummary;
+use georep_cluster::weighted::weighted_kmeans;
+use georep_cluster::WeightedPoint;
+use georep_coord::Coord;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+const D: usize = 3;
+
+fn synth_points(n: usize, seed: u64) -> Vec<Coord<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers = [[0.0, 0.0, 0.0], [140.0, 40.0, 0.0], [80.0, -110.0, 20.0]];
+    (0..n)
+        .map(|_| {
+            let c = centers[rng.random_range(0..centers.len())];
+            let mut pos = [0.0; D];
+            for (p, base) in pos.iter_mut().zip(&c) {
+                *p = base + rng.random_range(-25.0..25.0);
+            }
+            Coord::new(pos)
+        })
+        .collect()
+}
+
+/// Per-access cost of the online summarizer at various m — the "low
+/// computational overhead ... for each data access" claim.
+fn bench_online_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_observe");
+    let points = synth_points(10_000, 1);
+    for m in [4usize, 16, 64, 100] {
+        group.throughput(Throughput::Elements(points.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let mut oc: OnlineClusterer<D> = OnlineClusterer::new(m);
+                for &p in &points {
+                    oc.observe(black_box(p), 1.0);
+                }
+                black_box(oc.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Offline k-means over n raw coordinates — the O(n·k·log n) side of
+/// Table II.
+fn bench_offline_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_kmeans");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let points = synth_points(n, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| kmeans(black_box(pts), KMeansConfig::new(3)).expect("clusters"));
+        });
+    }
+    group.finish();
+}
+
+/// Weighted k-means over k·m pseudo-points — the O((km)·k·log(km)) side.
+fn bench_macro_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("macro_clustering");
+    for km in [12usize, 48, 300] {
+        let pseudo: Vec<WeightedPoint<D>> = synth_points(km, 3)
+            .into_iter()
+            .map(|c| WeightedPoint::new(c, 10.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("kmeans", km), &pseudo, |b, pts| {
+            b.iter(|| weighted_kmeans(black_box(pts), KMeansConfig::new(3)).expect("clusters"));
+        });
+        group.bench_with_input(BenchmarkId::new("kmedians", km), &pseudo, |b, pts| {
+            b.iter(|| weighted_kmedians(black_box(pts), KMeansConfig::new(3)).expect("clusters"));
+        });
+    }
+    group.finish();
+}
+
+/// Summary encode/decode throughput.
+fn bench_summary_codec(c: &mut Criterion) {
+    let mut oc: OnlineClusterer<D> = OnlineClusterer::new(100);
+    for p in synth_points(5_000, 4) {
+        oc.observe(p, 2.0);
+    }
+    let summary = AccessSummary::from_clusterer(0, &oc);
+    let wire = summary.encode();
+
+    c.bench_function("summary_encode", |b| {
+        b.iter(|| black_box(summary.encode()));
+    });
+    c.bench_function("summary_decode", |b| {
+        b.iter(|| AccessSummary::decode(black_box(&wire)).expect("valid wire"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_online_observe,
+    bench_offline_kmeans,
+    bench_macro_clustering,
+    bench_summary_codec
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches for the network-coordinate substrate: per-sample cost
+//! of Vivaldi and RNP (amortized over refits), and whole-population
+//! embedding runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use georep_coord::rnp::{Rnp, RnpConfig};
+use georep_coord::vivaldi::{Vivaldi, VivaldiConfig};
+use georep_coord::{Coord, EmbeddingRunner, LatencyEstimator};
+use georep_net::topology::{Topology, TopologyConfig};
+use std::hint::black_box;
+
+const D: usize = 7;
+
+fn sample_stream(n: usize) -> Vec<(Coord<D>, f64, f64)> {
+    // Deterministic pseudo-peers around three anchors.
+    (0..n)
+        .map(|i| {
+            let mut pos = [0.0; D];
+            pos[0] = ((i * 37) % 200) as f64 - 100.0;
+            pos[1] = ((i * 73) % 200) as f64 - 100.0;
+            let peer = Coord::new(pos);
+            let rtt = 20.0 + ((i * 13) % 180) as f64;
+            (peer, 0.2, rtt)
+        })
+        .collect()
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let stream = sample_stream(1_000);
+    let mut group = c.benchmark_group("observe_1k_samples");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+
+    group.bench_function("vivaldi", |b| {
+        b.iter(|| {
+            let mut v = Vivaldi::<D>::seeded(VivaldiConfig::default(), 1);
+            for &(peer, err, rtt) in &stream {
+                v.observe(black_box(peer), err, rtt);
+            }
+            black_box(v.coordinate())
+        });
+    });
+
+    group.bench_function("rnp", |b| {
+        b.iter(|| {
+            let mut r = Rnp::<D>::new();
+            for &(peer, err, rtt) in &stream {
+                r.observe(black_box(peer), err, rtt);
+            }
+            black_box(r.coordinate())
+        });
+    });
+
+    // RNP with a cheaper refit cadence, to show the knob.
+    group.bench_function("rnp_refit32", |b| {
+        b.iter(|| {
+            let mut r = Rnp::<D>::with_config(RnpConfig {
+                refit_interval: 32,
+                ..Default::default()
+            });
+            for &(peer, err, rtt) in &stream {
+                r.observe(black_box(peer), err, rtt);
+            }
+            black_box(r.coordinate())
+        });
+    });
+    group.finish();
+}
+
+fn bench_full_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embed_population");
+    group.sample_size(10);
+    for nodes in [64usize, 226] {
+        let matrix = Topology::generate(TopologyConfig {
+            nodes,
+            seed: 5,
+            ..Default::default()
+        })
+        .expect("valid topology")
+        .into_matrix();
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &matrix, |b, m| {
+            b.iter(|| {
+                let runner = EmbeddingRunner {
+                    rounds: 20,
+                    samples_per_round: 4,
+                    seed: 3,
+                };
+                let (coords, _) = runner.run(m.len(), |i, j| m.get(i, j), |_| Rnp::<D>::new());
+                black_box(coords)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_full_embedding);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Criterion benches for the placement strategies: the cost of a placement
+//! decision per strategy, and how the exhaustive-optimal search explodes
+//! with k while the others stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use georep_cluster::online::OnlineClusterer;
+use georep_cluster::summary::AccessSummary;
+use georep_coord::rnp::Rnp;
+use georep_coord::{Coord, EmbeddingRunner};
+use georep_core::experiment::DIMS;
+use georep_core::problem::PlacementProblem;
+use georep_core::strategy::greedy::Greedy;
+use georep_core::strategy::hotzone::HotZone;
+use georep_core::strategy::offline::OfflineKMeans;
+use georep_core::strategy::online::OnlineClustering;
+use georep_core::strategy::optimal::Optimal;
+use georep_core::strategy::random::Random;
+use georep_core::strategy::{PlacementContext, Placer};
+use georep_net::topology::{Topology, TopologyConfig};
+use georep_net::RttMatrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+struct Fixture {
+    matrix: RttMatrix,
+    coords: Vec<Coord<DIMS>>,
+    candidates: Vec<usize>,
+    clients: Vec<usize>,
+    accesses: Vec<(usize, f64)>,
+    summaries: Vec<AccessSummary>,
+}
+
+fn fixture() -> Fixture {
+    let matrix = Topology::generate(TopologyConfig {
+        nodes: 226,
+        seed: georep_net::planetlab::PLANETLAB_SEED,
+        ..Default::default()
+    })
+    .expect("valid topology")
+    .into_matrix();
+    let n = matrix.len();
+    let runner = EmbeddingRunner {
+        rounds: 30,
+        samples_per_round: 4,
+        seed: 1,
+    };
+    let (coords, _) = runner.run(n, |i, j| matrix.get(i, j), |_| Rnp::<DIMS>::new());
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut nodes: Vec<usize> = (0..n).collect();
+    for i in 0..20 {
+        let j = rng.random_range(i..n);
+        nodes.swap(i, j);
+    }
+    let candidates: Vec<usize> = nodes[..20].to_vec();
+    let clients: Vec<usize> = nodes[20..].to_vec();
+    let accesses: Vec<(usize, f64)> = clients
+        .iter()
+        .flat_map(|&c| std::iter::repeat_n((c, 1.0), 10))
+        .collect();
+
+    // Summaries from three "replicas" that each saw a third of the demand.
+    let mut clusterers: Vec<OnlineClusterer<DIMS>> =
+        (0..3).map(|_| OnlineClusterer::new(8)).collect();
+    for (i, &(client, w)) in accesses.iter().enumerate() {
+        clusterers[i % 3].observe(coords[client], w);
+    }
+    let summaries = clusterers
+        .iter()
+        .enumerate()
+        .map(|(r, c)| AccessSummary::from_clusterer(r as u32, c))
+        .collect();
+
+    Fixture {
+        matrix,
+        coords,
+        candidates,
+        clients,
+        accesses,
+        summaries,
+    }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let fx = fixture();
+    let problem = PlacementProblem::new(&fx.matrix, fx.candidates.clone(), fx.clients.clone())
+        .expect("valid problem");
+    let ctx = PlacementContext::<DIMS> {
+        problem: &problem,
+        coords: &fx.coords,
+        accesses: &fx.accesses,
+        summaries: &fx.summaries,
+        k: 3,
+        seed: 7,
+    };
+
+    let mut group = c.benchmark_group("place_k3_20dc");
+    group.bench_function("random", |b| {
+        b.iter(|| Random.place(black_box(&ctx)).expect("places"))
+    });
+    group.bench_function("online_clustering", |b| {
+        b.iter(|| {
+            OnlineClustering::default()
+                .place(black_box(&ctx))
+                .expect("places")
+        })
+    });
+    group.bench_function("offline_kmeans", |b| {
+        b.iter(|| {
+            OfflineKMeans::default()
+                .place(black_box(&ctx))
+                .expect("places")
+        })
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| Greedy.place(black_box(&ctx)).expect("places"))
+    });
+    group.bench_function("hotzone", |b| {
+        b.iter(|| HotZone::default().place(black_box(&ctx)).expect("places"))
+    });
+    group.bench_function("optimal", |b| {
+        b.iter(|| Optimal::default().place(black_box(&ctx)).expect("places"))
+    });
+    group.finish();
+}
+
+fn bench_optimal_blowup(c: &mut Criterion) {
+    let fx = fixture();
+    let problem = PlacementProblem::new(&fx.matrix, fx.candidates.clone(), fx.clients.clone())
+        .expect("valid problem");
+
+    let mut group = c.benchmark_group("optimal_vs_k");
+    group.sample_size(10);
+    for k in [1usize, 3, 5] {
+        let ctx = PlacementContext::<DIMS> {
+            problem: &problem,
+            coords: &fx.coords,
+            accesses: &fx.accesses,
+            summaries: &fx.summaries,
+            k,
+            seed: 7,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &ctx, |b, ctx| {
+            b.iter(|| Optimal::default().place(black_box(ctx)).expect("places"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let fx = fixture();
+    let problem = PlacementProblem::new(&fx.matrix, fx.candidates.clone(), fx.clients.clone())
+        .expect("valid problem");
+    let placement = &fx.candidates[..3];
+    c.bench_function("objective_total_delay", |b| {
+        b.iter(|| problem.total_delay(black_box(placement)).expect("valid"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_optimal_blowup,
+    bench_objective
+);
+criterion_main!(benches);

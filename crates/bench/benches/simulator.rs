@@ -1,0 +1,84 @@
+//! Criterion benches for the discrete-event engine: raw event throughput,
+//! timer cascades, and latency sampling from the matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use georep_net::sim::{Network, SimDuration, Simulation};
+use georep_net::topology::{Topology, TopologyConfig};
+use std::hint::black_box;
+
+/// Schedule-then-drain throughput for a flat batch of events.
+fn bench_event_throughput(c: &mut Criterion) {
+    const EVENTS: u64 = 100_000;
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(EVENTS));
+    group.sample_size(20);
+    group.bench_function("schedule_and_drain_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0u64);
+            for i in 0..EVENTS {
+                // Interleaved timestamps exercise heap reordering.
+                let at = SimDuration::from_micros((i * 7919) % 1_000_000);
+                sim.schedule_in(at, |w: &mut u64, _| *w += 1);
+            }
+            sim.run_to_completion(None);
+            black_box(*sim.world())
+        });
+    });
+    group.finish();
+}
+
+/// A self-rescheduling timer chain — the replica manager's periodic
+/// re-clustering pattern.
+fn bench_timer_chain(c: &mut Criterion) {
+    const TICKS: u64 = 10_000;
+    let mut group = c.benchmark_group("timer_chain");
+    group.throughput(Throughput::Elements(TICKS));
+    group.bench_function("10k_sequential_ticks", |b| {
+        b.iter(|| {
+            fn tick(w: &mut u64, ctx: &mut georep_net::sim::Context<u64>) {
+                *w += 1;
+                if *w < TICKS {
+                    ctx.schedule_in(SimDuration::from_ms(1.0), tick);
+                }
+            }
+            let mut sim = Simulation::new(0u64);
+            sim.schedule_in(SimDuration::from_ms(1.0), tick);
+            sim.run_to_completion(None);
+            black_box(*sim.world())
+        });
+    });
+    group.finish();
+}
+
+/// Latency sampling with jitter from a 226-node matrix.
+fn bench_latency_sampling(c: &mut Criterion) {
+    let matrix = Topology::generate(TopologyConfig {
+        nodes: 226,
+        seed: 9,
+        ..Default::default()
+    })
+    .expect("valid topology")
+    .into_matrix();
+    let mut net = Network::with_jitter(matrix, 0.1, 3);
+    let mut group = c.benchmark_group("latency_sampling");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("10k_jittered_delays", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..10_000usize {
+                let (a, z) = (i % 226, (i * 31 + 7) % 226);
+                acc += net.sample_delay(a, z).as_ms();
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_throughput,
+    bench_timer_chain,
+    bench_latency_sampling
+);
+criterion_main!(benches);

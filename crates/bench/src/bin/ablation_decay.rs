@@ -1,0 +1,187 @@
+//! Ablation — what should happen to the summaries between periods?
+//!
+//! The paper summarizes "recent data accesses" without defining recent.
+//! The manager supports a spectrum via `ManagerConfig::period_decay`:
+//! `0` discards the summaries each period (the paper's implicit hard
+//! window), values in `(0, 1]` age them geometrically instead. This
+//! ablation measures both regimes where they should differ:
+//!
+//! * **drifting demand** — stale history misleads: hard resets (or strong
+//!   decay) should track the drift best;
+//! * **sparse stable demand** — each period alone sees too few accesses to
+//!   summarize well: retained (decayed) history should stabilize placement
+//!   and reduce migration churn.
+//!
+//! Run with `cargo run -p georep-bench --release --bin ablation_decay`.
+
+use georep_bench::{report_checks, HarnessOptions, ResultTable, ShapeCheck};
+use georep_core::experiment::DIMS;
+use georep_core::manager::{ManagerConfig, ReplicaManager};
+use georep_coord::rnp::Rnp;
+use georep_coord::{Coord, EmbeddingRunner};
+use georep_net::topology::{Topology, TopologyConfig};
+use georep_net::RttMatrix;
+use georep_workload::population::Population;
+use georep_workload::stream::{generate, AccessEvent, PhasedWorkload, StreamConfig};
+
+const PERIOD_MS: f64 = 4_000.0;
+
+struct Scenario<'a> {
+    matrix: &'a RttMatrix,
+    coords: &'a [Coord<DIMS>],
+    candidates: &'a [usize],
+    clients: &'a [usize],
+    events: Vec<AccessEvent>,
+}
+
+/// Runs the manager over a scenario with the given decay; returns
+/// (mean delay, replicas moved).
+fn run(scenario: &Scenario<'_>, decay: f64) -> (f64, u64) {
+    let mut cfg = ManagerConfig::new(3, 8);
+    cfg.period_decay = decay;
+    let mut mgr = ReplicaManager::<DIMS>::new(
+        scenario.coords.to_vec(),
+        scenario.candidates.to_vec(),
+        scenario.candidates[..3].to_vec(),
+        cfg,
+    )
+    .expect("valid manager");
+
+    let mut total_delay = 0.0;
+    let mut count = 0u64;
+    let mut next_rebalance = PERIOD_MS;
+    for e in &scenario.events {
+        while e.at_ms >= next_rebalance {
+            mgr.rebalance().expect("rebalance succeeds");
+            next_rebalance += PERIOD_MS;
+        }
+        let client = scenario.clients[e.client];
+        mgr.record_access(scenario.coords[client], e.bytes_kib);
+        total_delay += mgr
+            .placement()
+            .iter()
+            .map(|&r| scenario.matrix.get(client, r))
+            .fold(f64::INFINITY, f64::min);
+        count += 1;
+    }
+    (total_delay / count.max(1) as f64, mgr.stats().replicas_moved)
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let topo = Topology::generate(TopologyConfig {
+        nodes: opts.nodes.min(128),
+        seed: georep_net::planetlab::PLANETLAB_SEED,
+        ..Default::default()
+    })
+    .expect("valid topology config");
+    let matrix = topo.matrix().clone();
+    let n = matrix.len();
+    let runner = EmbeddingRunner { rounds: 60, samples_per_round: 4, seed: 0xDECA };
+    let (coords, _) = runner.run(n, |i, j| matrix.get(i, j), |_| Rnp::<DIMS>::new());
+    let candidates: Vec<usize> = (0..n).step_by(5).collect();
+    let clients: Vec<usize> = (0..n).filter(|i| i % 5 != 0).collect();
+
+    println!(
+        "summary-decay ablation ({} nodes): drifting vs sparse-stable demand\n",
+        n
+    );
+
+    // Scenario A: drifting demand (west → east over 8 periods).
+    let by_lon = |lo: f64, hi: f64| {
+        Population::from_weights(
+            clients
+                .iter()
+                .map(|&c| {
+                    let lon = topo.nodes()[c].location.lon_deg();
+                    if lon >= lo && lon < hi {
+                        1.0
+                    } else {
+                        0.02
+                    }
+                })
+                .collect(),
+        )
+        .expect("active clients")
+    };
+    let drift_events = PhasedWorkload::drift(
+        &by_lon(-130.0, -30.0),
+        &by_lon(60.0, 180.0),
+        8,
+        PERIOD_MS,
+    )
+    .generate(&StreamConfig { rate_per_ms: 0.05, seed: 0xD1, ..Default::default() });
+    let drifting = Scenario {
+        matrix: &matrix,
+        coords: &coords,
+        candidates: &candidates,
+        clients: &clients,
+        events: drift_events,
+    };
+
+    // Scenario B: stable demand, but so sparse that a single period sees
+    // only a handful of accesses.
+    let stable_events = generate(
+        &Population::uniform(clients.len()),
+        &StreamConfig { rate_per_ms: 0.004, seed: 0x57AB, ..Default::default() },
+        8.0 * PERIOD_MS,
+    );
+    let sparse = Scenario {
+        matrix: &matrix,
+        coords: &coords,
+        candidates: &candidates,
+        clients: &clients,
+        events: stable_events,
+    };
+
+    let mut table = ResultTable::new([
+        "period decay",
+        "drift: delay (ms)",
+        "drift: moves",
+        "sparse: delay (ms)",
+        "sparse: moves",
+    ]);
+    let decays = [0.0, 0.3, 0.7, 1.0];
+    let mut rows = Vec::new();
+    for &decay in &decays {
+        let (d_delay, d_moves) = run(&drifting, decay);
+        let (s_delay, s_moves) = run(&sparse, decay);
+        table.push_row([
+            format!("{decay}"),
+            format!("{d_delay:.1}"),
+            d_moves.to_string(),
+            format!("{s_delay:.1}"),
+            s_moves.to_string(),
+        ]);
+        rows.push((decay, d_delay, d_moves, s_delay, s_moves));
+    }
+
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv(&opts.out_dir, "ablation_decay") {
+        println!("csv written to {}", path.display());
+    }
+
+    let reset = rows[0];
+    let keep = rows[rows.len() - 1];
+    let best_drift = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let best_sparse = rows.iter().map(|r| r.3).fold(f64::INFINITY, f64::min);
+    let checks = vec![
+        ShapeCheck::new(
+            "under drift, fresh summaries (low decay) are at or near the best",
+            reset.1 <= best_drift * 1.10,
+            format!("hard reset {:.1} ms vs best {best_drift:.1} ms", reset.1),
+        ),
+        ShapeCheck::new(
+            "under sparse stable demand, retained history is at or near the best",
+            keep.3 <= best_sparse * 1.10,
+            format!("full retention {:.1} ms vs best {best_sparse:.1} ms", keep.3),
+        ),
+        ShapeCheck::new(
+            "no decay setting catastrophically degrades either scenario",
+            rows.iter().all(|r| r.1 < best_drift * 2.0 && r.3 < best_sparse * 2.0),
+            "all settings stay within 2x of the best per scenario".to_string(),
+        ),
+    ];
+    let failed = report_checks(&checks);
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

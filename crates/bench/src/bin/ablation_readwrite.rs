@@ -1,0 +1,119 @@
+//! Extension — the read/write crossover.
+//!
+//! The paper assumes read-mostly objects and ignores update propagation.
+//! This ablation maps what that assumption hides: under a master-replica
+//! write model, the best degree of replication falls from "spread out
+//! everywhere" at 100% reads to a single replica once writes dominate.
+//!
+//! Run with `cargo run -p georep-bench --release --bin ablation_readwrite`.
+
+use georep_bench::{report_checks, HarnessOptions, ResultTable, ShapeCheck};
+use georep_core::problem::PlacementProblem;
+use georep_core::readwrite::{rw_greedy, RwDemand};
+use georep_net::topology::{Topology, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let matrix = Topology::generate(TopologyConfig {
+        nodes: opts.nodes,
+        seed: georep_net::planetlab::PLANETLAB_SEED,
+        ..Default::default()
+    })
+    .expect("valid topology config")
+    .into_matrix();
+    let n = matrix.len();
+    let (dcs, max_k) = (20usize, 7usize);
+    let seeds: Vec<u64> = (0..opts.seeds.min(10)).collect();
+
+    println!(
+        "read/write crossover ({n} nodes, {dcs} data centers, k ≤ {max_k}, {} seeds)\n",
+        seeds.len()
+    );
+
+    let mut table = ResultTable::new([
+        "read share",
+        "chosen k",
+        "combined delay (ms)",
+        "read-only-placement delay (ms)",
+    ]);
+
+    let read_shares = [1.0, 0.99, 0.95, 0.9, 0.8, 0.6, 0.4, 0.2];
+    let mut rows: Vec<(f64, f64, f64, f64)> = Vec::new();
+
+    for &share in &read_shares {
+        let mut k_sum = 0.0;
+        let mut delay_sum = 0.0;
+        let mut naive_sum = 0.0;
+        for &seed in &seeds {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x55);
+            let mut nodes: Vec<usize> = (0..n).collect();
+            for i in 0..dcs {
+                let j = rng.random_range(i..n);
+                nodes.swap(i, j);
+            }
+            let candidates: Vec<usize> = nodes[..dcs].to_vec();
+            let clients: Vec<usize> = nodes[dcs..].to_vec();
+            let problem =
+                PlacementProblem::new(&matrix, candidates, clients.clone()).expect("valid problem");
+            let demand = RwDemand::uniform(clients.len(), share);
+
+            let (placement, _, delay) = rw_greedy(&problem, max_k, &demand).expect("greedy runs");
+            k_sum += placement.len() as f64;
+            delay_sum += delay / clients.len() as f64;
+
+            // What a read-only-optimized placement (always max_k replicas)
+            // would cost under this mixed demand.
+            let read_demand = RwDemand::uniform(clients.len(), 1.0);
+            let (naive_placement, ..) =
+                rw_greedy(&problem, max_k, &read_demand).expect("greedy runs");
+            let (_, naive_delay) =
+                georep_core::readwrite::best_master(&problem, &naive_placement, &demand)
+                    .expect("valid placement");
+            naive_sum += naive_delay / clients.len() as f64;
+        }
+        let k_avg = k_sum / seeds.len() as f64;
+        let delay_avg = delay_sum / seeds.len() as f64;
+        let naive_avg = naive_sum / seeds.len() as f64;
+        table.push_row([
+            format!("{:.0}%", share * 100.0),
+            format!("{k_avg:.1}"),
+            format!("{delay_avg:.1}"),
+            format!("{naive_avg:.1}"),
+        ]);
+        rows.push((share, k_avg, delay_avg, naive_avg));
+    }
+
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv(&opts.out_dir, "ablation_readwrite") {
+        println!("csv written to {}", path.display());
+    }
+
+    let k_read_only = rows[0].1;
+    let k_write_heavy = rows.last().expect("rows non-empty").1;
+    let monotone = rows.windows(2).all(|w| w[1].1 <= w[0].1 + 0.5);
+    let aware_wins = rows
+        .iter()
+        .filter(|r| r.0 <= 0.8)
+        .all(|r| r.2 <= r.3 + 1e-9);
+    let checks = vec![
+        ShapeCheck::new(
+            "read-only workloads spread replicas wide",
+            k_read_only >= 4.0,
+            format!("chosen k at 100% reads: {k_read_only:.1}"),
+        ),
+        ShapeCheck::new(
+            "the best replication degree shrinks as writes grow",
+            monotone && k_write_heavy <= 2.0,
+            format!("chosen k falls to {k_write_heavy:.1} at 20% reads"),
+        ),
+        ShapeCheck::new(
+            "write-aware placement beats a read-only-optimized placement under mixed demand",
+            aware_wins,
+            "combined delay column ≤ read-only-placement column for read shares ≤ 80%".to_string(),
+        ),
+    ];
+    let failed = report_checks(&checks);
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

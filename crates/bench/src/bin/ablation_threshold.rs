@@ -1,0 +1,172 @@
+//! Ablation — the migration gain-vs-cost threshold.
+//!
+//! Section III-C: "our approach carries out data migration only when the
+//! gain in the quality of service compared to the migration cost is higher
+//! than a certain threshold". The paper never evaluates the threshold; this
+//! ablation does. A drifting client population (the "demand follows the
+//! sun" scenario) runs through the replica manager under different
+//! `gain_per_dollar` settings, measuring both the delay achieved and the
+//! migration spend.
+//!
+//! Run with `cargo run -p georep-bench --release --bin ablation_threshold`.
+
+use georep_bench::{report_checks, HarnessOptions, ResultTable, ShapeCheck};
+use georep_coord::rnp::Rnp;
+use georep_coord::EmbeddingRunner;
+use georep_core::experiment::DIMS;
+use georep_core::manager::{ManagerConfig, ReplicaManager};
+use georep_net::topology::{Topology, TopologyConfig};
+use georep_workload::population::Population;
+use georep_workload::stream::{PhasedWorkload, StreamConfig};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let topo = Topology::generate(TopologyConfig {
+        nodes: opts.nodes.min(128),
+        seed: georep_net::planetlab::PLANETLAB_SEED,
+        ..Default::default()
+    })
+    .expect("valid topology config");
+    let matrix = topo.matrix().clone();
+    let n = matrix.len();
+
+    println!(
+        "threshold ablation ({} nodes): drifting demand under different migration thresholds\n",
+        n
+    );
+
+    // Embed once.
+    let runner = EmbeddingRunner {
+        rounds: 60,
+        samples_per_round: 4,
+        seed: 0xAB1A,
+    };
+    let (coords, _) = runner.run(n, |i, j| matrix.get(i, j), |_| Rnp::<DIMS>::new());
+
+    // Candidates: every 5th node; the rest are clients.
+    let candidates: Vec<usize> = (0..n).step_by(5).collect();
+    let clients: Vec<usize> = (0..n).filter(|i| !candidates.contains(i)).collect();
+
+    // Demand drifts from the Americas (lon < -30) to Asia/Oceania
+    // (lon > 60) over 8 phases.
+    let west = Population::from_weights(
+        clients
+            .iter()
+            .map(|&c| {
+                if topo.nodes()[c].location.lon_deg() < -30.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            })
+            .collect(),
+    )
+    .expect("west population");
+    let east = Population::from_weights(
+        clients
+            .iter()
+            .map(|&c| {
+                if topo.nodes()[c].location.lon_deg() > 60.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            })
+            .collect(),
+    )
+    .expect("east population");
+    let workload = PhasedWorkload::drift(&west, &east, 8, 4_000.0);
+    let events = workload.generate(&StreamConfig {
+        rate_per_ms: 0.05,
+        seed: 0xD81F7,
+        ..Default::default()
+    });
+
+    let mut table = ResultTable::new([
+        "gain/dollar threshold",
+        "mean delay (ms)",
+        "migrations",
+        "migration cost ($)",
+        "summary KB",
+    ]);
+
+    let thresholds = [0.0, 0.02, 0.05, 0.2, 1.0, 10.0];
+    let mut outcomes = Vec::new();
+    for &threshold in &thresholds {
+        let mut cfg = ManagerConfig::new(3, 8);
+        cfg.gain_per_dollar = threshold;
+        let mut mgr = ReplicaManager::<DIMS>::new(
+            coords.clone(),
+            candidates.clone(),
+            candidates[..3].to_vec(),
+            cfg,
+        )
+        .expect("valid manager");
+
+        let mut weighted_delay = 0.0;
+        let mut total_weight = 0.0;
+        let mut next_rebalance = 4_000.0;
+        let mut cost = 0.0;
+        let mut migrations = 0u64;
+        for e in &events {
+            while e.at_ms >= next_rebalance {
+                let d = mgr.rebalance().expect("rebalance succeeds");
+                if d.applied {
+                    migrations += 1;
+                    cost += d.cost_usd;
+                }
+                next_rebalance += 4_000.0;
+            }
+            let client = clients[e.client];
+            mgr.record_access(coords[client], e.bytes_kib);
+            // True delay experienced: closest replica by actual RTT.
+            let d = mgr
+                .placement()
+                .iter()
+                .map(|&r| matrix.get(client, r))
+                .fold(f64::INFINITY, f64::min);
+            weighted_delay += d;
+            total_weight += 1.0;
+        }
+
+        let mean = weighted_delay / total_weight;
+        table.push_row([
+            format!("{threshold}"),
+            format!("{mean:.1}"),
+            migrations.to_string(),
+            format!("{cost:.2}"),
+            format!("{:.1}", mgr.stats().summary_bytes as f64 / 1024.0),
+        ]);
+        outcomes.push((threshold, mean, migrations, cost));
+    }
+
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv(&opts.out_dir, "ablation_threshold") {
+        println!("csv written to {}", path.display());
+    }
+
+    let eager = &outcomes[0];
+    let strict = outcomes.last().expect("non-empty thresholds");
+    let checks = vec![
+        ShapeCheck::new(
+            "eager migration (threshold 0) tracks the drifting demand best",
+            eager.1 <= outcomes.iter().map(|o| o.1).fold(f64::INFINITY, f64::min) + 5.0,
+            format!("delay at threshold 0: {:.1} ms", eager.1),
+        ),
+        ShapeCheck::new(
+            "a strict threshold suppresses migrations (and their cost)",
+            strict.2 < eager.2 && strict.3 < eager.3,
+            format!(
+                "threshold {}: {} migrations (${:.2}) vs threshold 0: {} (${:.2})",
+                strict.0, strict.2, strict.3, eager.2, eager.3
+            ),
+        ),
+        ShapeCheck::new(
+            "suppressing migration costs delay under drift",
+            strict.1 > eager.1,
+            format!("strict {:.1} ms vs eager {:.1} ms", strict.1, eager.1),
+        ),
+    ];
+    let failed = report_checks(&checks);
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,132 @@
+//! Figure 1 — impact of the number of available data centers.
+//!
+//! Paper setup: 226 PlanetLab nodes, degree of replication fixed at 3, the
+//! number of candidate data centers varied; four strategies (random,
+//! offline k-means clustering, online clustering, optimal); results
+//! averaged over 30 runs with different candidate locations.
+//!
+//! Run with `cargo run -p georep-bench --release --bin figure1`
+//! (`--quick` for a 5-seed smoke run).
+
+use georep_bench::{report_checks, HarnessOptions, ResultTable, ShapeCheck};
+use georep_core::experiment::{Experiment, StrategyKind};
+use georep_net::topology::{Topology, TopologyConfig};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let dc_counts = [4usize, 8, 12, 16, 20, 24, 28];
+    let k = 3;
+
+    println!(
+        "figure 1: average access delay vs number of data centers ({} replicas, {} nodes, {} seeds)",
+        k, opts.nodes, opts.seeds
+    );
+
+    let matrix = Topology::generate(TopologyConfig {
+        nodes: opts.nodes,
+        seed: georep_net::planetlab::PLANETLAB_SEED,
+        ..Default::default()
+    })
+    .expect("valid topology config")
+    .into_matrix();
+
+    // One embedding for the whole sweep: coordinates depend on the matrix,
+    // not on which nodes later become data centers.
+    let base = Experiment::builder(matrix.clone())
+        .data_centers(dc_counts[0])
+        .replicas(k)
+        .seeds(opts.seed_range())
+        .build()
+        .expect("base experiment");
+    let coords = base.coords().to_vec();
+    let report = base.embedding_report().clone();
+    println!(
+        "embedding: median error {:.1} ms, {:.0}% of pairs within 10 ms",
+        report.median_abs_err,
+        report.frac_within_10ms * 100.0
+    );
+
+    let mut table = ResultTable::new([
+        "data centers",
+        "random",
+        "offline k-means",
+        "online clustering",
+        "optimal",
+    ]);
+    // series[strategy][dc index] = mean delay.
+    let mut series = vec![Vec::new(); StrategyKind::PAPER.len()];
+
+    for &dcs in &dc_counts {
+        let exp = Experiment::builder(matrix.clone())
+            .data_centers(dcs)
+            .replicas(k)
+            .seeds(opts.seed_range())
+            .with_embedding(coords.clone(), report.clone())
+            .build()
+            .expect("sweep experiment");
+        let mut row = vec![dcs.to_string()];
+        for (si, &kind) in StrategyKind::PAPER.iter().enumerate() {
+            let run = exp.run(kind).expect("strategy runs");
+            row.push(format!("{:.1}", run.mean_delay_ms));
+            series[si].push(run.mean_delay_ms);
+        }
+        table.push_row(row);
+    }
+
+    println!("\naverage access delay (ms):\n{}", table.render());
+    if let Some(path) = table.write_csv(&opts.out_dir, "figure1") {
+        println!("csv written to {}", path.display());
+    }
+
+    let (random, offline, online, optimal) = (&series[0], &series[1], &series[2], &series[3]);
+    let last = dc_counts.len() - 1;
+    let drop_pct = |v: &[f64]| (v[0] - v[last]) / v[0] * 100.0;
+    let max_gap = online
+        .iter()
+        .zip(optimal)
+        .map(|(on, op)| on / op)
+        .fold(0.0f64, f64::max);
+    let checks = vec![
+        ShapeCheck::new(
+            "non-random strategies improve as more data centers become available",
+            drop_pct(online) > 10.0 && drop_pct(offline) > 10.0 && drop_pct(optimal) > 10.0,
+            format!(
+                "delay drop from {} to {} DCs: online {:.0}%, offline {:.0}%, optimal {:.0}%",
+                dc_counts[0],
+                dc_counts[last],
+                drop_pct(online),
+                drop_pct(offline),
+                drop_pct(optimal)
+            ),
+        ),
+        ShapeCheck::new(
+            "random placement barely benefits from more data centers",
+            drop_pct(random).abs() < 15.0,
+            format!("random changes by {:.0}%", drop_pct(random)),
+        ),
+        ShapeCheck::new(
+            "online clustering achieves near-optimal performance",
+            max_gap < 1.25,
+            format!("worst online/optimal ratio {:.2}", max_gap),
+        ),
+        ShapeCheck::new(
+            "online matches offline k-means despite shipping only summaries",
+            online.iter().zip(offline).all(|(on, off)| *on < off * 1.15),
+            format!(
+                "online vs offline per point: {:?}",
+                online
+                    .iter()
+                    .zip(offline)
+                    .map(|(a, b)| format!("{:.2}", a / b))
+                    .collect::<Vec<_>>()
+            ),
+        ),
+        ShapeCheck::new(
+            "clustering beats random everywhere",
+            online.iter().zip(random).all(|(on, r)| on < r),
+            "online < random at every data-center count".to_string(),
+        ),
+    ];
+    let failed = report_checks(&checks);
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,141 @@
+//! Extension — quorum reads (the paper's consistency future work).
+//!
+//! The paper assumes one-replica reads and defers "quorum-based approaches
+//! in which users need to access multiple data replicas to ensure stronger
+//! consistency". This bench quantifies the deferment: for placements chosen
+//! by the online technique (optimizing the r = 1 objective), how does the
+//! delay grow with the read quorum r — and how much better could a
+//! quorum-aware optimal placement do?
+//!
+//! Run with `cargo run -p georep-bench --release --bin quorum_bench`.
+
+use georep_bench::{report_checks, HarnessOptions, ResultTable, ShapeCheck};
+use georep_core::combin::Combinations;
+use georep_core::experiment::{Experiment, StrategyKind};
+use georep_core::problem::PlacementProblem;
+use georep_core::quorum::quorum_mean_delay;
+use georep_net::topology::{Topology, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let k = 5;
+    let dcs = 20;
+    let matrix = Topology::generate(TopologyConfig {
+        nodes: opts.nodes,
+        seed: georep_net::planetlab::PLANETLAB_SEED,
+        ..Default::default()
+    })
+    .expect("valid topology config")
+    .into_matrix();
+
+    println!(
+        "quorum extension ({} nodes, {dcs} data centers, k = {k}, {} seeds)\n",
+        opts.nodes, opts.seeds
+    );
+
+    let exp = Experiment::builder(matrix.clone())
+        .data_centers(dcs)
+        .replicas(k)
+        .seeds(opts.seed_range())
+        .build()
+        .expect("experiment builds");
+    let online = exp
+        .run(StrategyKind::OnlineClustering)
+        .expect("online runs");
+
+    let mut table = ResultTable::new([
+        "read quorum r",
+        "online placement (ms)",
+        "quorum-aware optimal (ms)",
+        "penalty vs r=1",
+    ]);
+
+    // Average the quorum delay of each seed's placement; compare with the
+    // exhaustive optimum under the quorum objective.
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    for r in 1..=k {
+        let mut online_mean = 0.0;
+        let mut optimal_mean = 0.0;
+        for outcome in &online.per_seed {
+            // Rebuild the per-seed problem the same way the experiment did.
+            let (problem, _) = rebuild_problem(&matrix, dcs, outcome.seed);
+            online_mean +=
+                quorum_mean_delay(&problem, &outcome.placement, r).expect("valid quorum");
+
+            let mut best = f64::INFINITY;
+            for combo in Combinations::new(problem.candidates().len(), k) {
+                let placement: Vec<usize> =
+                    combo.iter().map(|&i| problem.candidates()[i]).collect();
+                let d = quorum_mean_delay(&problem, &placement, r).expect("valid quorum");
+                best = best.min(d);
+            }
+            optimal_mean += best;
+        }
+        online_mean /= online.per_seed.len() as f64;
+        optimal_mean /= online.per_seed.len() as f64;
+        rows.push((r, online_mean, optimal_mean));
+    }
+
+    let base = rows[0].1;
+    for &(r, on, op) in &rows {
+        table.push_row([
+            r.to_string(),
+            format!("{on:.1}"),
+            format!("{op:.1}"),
+            format!("{:.2}x", on / base),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv(&opts.out_dir, "quorum") {
+        println!("csv written to {}", path.display());
+    }
+
+    let monotone = rows.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9);
+    let last = rows.last().expect("rows non-empty");
+    let mid = &rows[rows.len() / 2];
+    let checks = vec![
+        ShapeCheck::new(
+            "quorum delay grows monotonically with r",
+            monotone,
+            "r-th-fastest replica is monotone in r by construction".to_string(),
+        ),
+        ShapeCheck::new(
+            "majority quorums are substantially slower than single reads",
+            mid.1 > base * 1.5,
+            format!("r = {}: {:.1} ms vs r = 1: {base:.1} ms", mid.0, mid.1),
+        ),
+        ShapeCheck::new(
+            "r=1-optimized placement leaves room for quorum-aware placement",
+            last.1 > last.2 * 1.02,
+            format!(
+                "at r = {}: online {:.1} ms vs quorum-aware optimal {:.1} ms",
+                last.0, last.1, last.2
+            ),
+        ),
+    ];
+    let failed = report_checks(&checks);
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}
+
+/// Mirrors `Experiment::run_seed`'s candidate/client split and weights so
+/// the quorum analysis evaluates the same per-seed problems.
+fn rebuild_problem(
+    matrix: &georep_net::RttMatrix,
+    dcs: usize,
+    seed: u64,
+) -> (PlacementProblem<'_>, Vec<usize>) {
+    let n = matrix.len();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDC_5EED);
+    let mut nodes: Vec<usize> = (0..n).collect();
+    for i in 0..dcs {
+        let j = rng.random_range(i..n);
+        nodes.swap(i, j);
+    }
+    let candidates: Vec<usize> = nodes[..dcs].to_vec();
+    let clients: Vec<usize> = nodes[dcs..].to_vec();
+    let problem =
+        PlacementProblem::new(matrix, candidates.clone(), clients).expect("valid problem");
+    (problem, candidates)
+}

@@ -1,0 +1,154 @@
+//! Extension — replicas required per latency budget.
+//!
+//! The paper's introduction motivates placement with response-time budgets
+//! ("users need to obtain data within a time limit (e.g., 300 ms)") but its
+//! objective minimizes the *average*. This sweep answers the operator's
+//! question directly: for a target budget and coverage, how many replicas
+//! are needed — and how does that interact with the coverage target?
+//!
+//! Run with `cargo run -p georep-bench --release --bin slo_sweep`.
+
+use georep_bench::{report_checks, HarnessOptions, ResultTable, ShapeCheck};
+use georep_core::problem::PlacementProblem;
+use georep_core::strategy::slo::{place_for_slo, SloError};
+use georep_net::topology::{Topology, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let matrix = Topology::generate(TopologyConfig {
+        nodes: opts.nodes,
+        seed: georep_net::planetlab::PLANETLAB_SEED,
+        ..Default::default()
+    })
+    .expect("valid topology config")
+    .into_matrix();
+    let n = matrix.len();
+    let dcs = 30;
+    let seeds: Vec<u64> = (0..opts.seeds.min(15)).collect();
+
+    println!(
+        "SLO sweep ({n} nodes, {dcs} data centers, {} seeds): replicas needed per latency budget\n",
+        seeds.len()
+    );
+
+    let limits = [60.0, 100.0, 150.0, 200.0, 300.0, 450.0];
+    let coverages = [0.90, 0.99];
+
+    let mut table = ResultTable::new([
+        "budget (ms)",
+        "replicas @90%",
+        "replicas @99%",
+        "covered mean @99% (ms)",
+        "infeasible seeds",
+    ]);
+
+    // needed[ci][li] = mean replicas across feasible seeds.
+    let mut needed = vec![vec![f64::NAN; limits.len()]; coverages.len()];
+
+    for (li, &limit) in limits.iter().enumerate() {
+        let mut means = vec![0.0f64; coverages.len()];
+        let mut feasible = vec![0usize; coverages.len()];
+        let mut covered_mean = 0.0;
+        let mut infeasible = 0usize;
+        for &seed in &seeds {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x510);
+            let mut nodes: Vec<usize> = (0..n).collect();
+            for i in 0..dcs {
+                let j = rng.random_range(i..n);
+                nodes.swap(i, j);
+            }
+            let candidates: Vec<usize> = nodes[..dcs].to_vec();
+            let clients: Vec<usize> = nodes[dcs..].to_vec();
+            let problem =
+                PlacementProblem::new(&matrix, candidates, clients).expect("valid problem");
+            for (ci, &coverage) in coverages.iter().enumerate() {
+                match place_for_slo(&problem, limit, coverage) {
+                    Ok(slo) => {
+                        means[ci] += slo.placement.len() as f64;
+                        feasible[ci] += 1;
+                        if ci == 1 {
+                            covered_mean += slo.covered_mean_ms;
+                        }
+                    }
+                    Err(SloError::Unsatisfiable { .. }) => {
+                        if ci == 1 {
+                            infeasible += 1;
+                        }
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+        }
+        for (ci, (&f, m)) in feasible.iter().zip(&means).enumerate() {
+            if f > 0 {
+                needed[ci][li] = m / f as f64;
+            }
+        }
+        table.push_row([
+            format!("{limit:.0}"),
+            if needed[0][li].is_nan() {
+                "—".to_string()
+            } else {
+                format!("{:.1}", needed[0][li])
+            },
+            if needed[1][li].is_nan() {
+                "—".to_string()
+            } else {
+                format!("{:.1}", needed[1][li])
+            },
+            if feasible[1] > 0 {
+                format!("{:.1}", covered_mean / feasible[1] as f64)
+            } else {
+                "—".to_string()
+            },
+            infeasible.to_string(),
+        ]);
+    }
+
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv(&opts.out_dir, "slo_sweep") {
+        println!("csv written to {}", path.display());
+    }
+
+    let monotone = |row: &[f64]| {
+        row.windows(2)
+            .filter(|w| w[0].is_finite() && w[1].is_finite())
+            .all(|w| w[1] <= w[0] + 0.5)
+    };
+    let tight99 = needed[1]
+        .iter()
+        .copied()
+        .find(|x| x.is_finite())
+        .unwrap_or(f64::NAN);
+    let loose99 = needed[1]
+        .iter()
+        .rev()
+        .copied()
+        .find(|x| x.is_finite())
+        .unwrap_or(f64::NAN);
+    let checks = vec![
+        ShapeCheck::new(
+            "looser budgets need fewer replicas (both coverage targets)",
+            monotone(&needed[0]) && monotone(&needed[1]),
+            "replica counts are monotone decreasing in the budget".to_string(),
+        ),
+        ShapeCheck::new(
+            "tight budgets cost several times the replicas of loose ones",
+            tight99 >= loose99 * 2.0,
+            format!("{tight99:.1} replicas at the tightest feasible budget vs {loose99:.1} at the loosest"),
+        ),
+        ShapeCheck::new(
+            "99% coverage costs more replicas than 90%",
+            needed[0]
+                .iter()
+                .zip(&needed[1])
+                .filter(|(a, b)| a.is_finite() && b.is_finite())
+                .all(|(a, b)| b >= a),
+            "the 99% column dominates the 90% column".to_string(),
+        ),
+    ];
+    let failed = report_checks(&checks);
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

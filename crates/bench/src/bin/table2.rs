@@ -1,0 +1,169 @@
+//! Table II — bandwidth and computation: online vs offline clustering.
+//!
+//! The paper's Table II compares the two approaches analytically:
+//!
+//! | | online | offline |
+//! |---|---|---|
+//! | bandwidth | O(km) | O(n) |
+//! | computation | O((km)·k·log(km)) | O(n·k·log n) |
+//!
+//! and Section III-D works the numbers: each micro-cluster is under 1 KB, a
+//! placement round with 3 replicas × 100 micro-clusters ships < 300 KB,
+//! whereas offline clustering of 1 million accesses would ship tens of
+//! megabytes. This binary *measures* both sides: actual wire bytes of the
+//! summaries versus a raw coordinate log, and actual clustering wall-time.
+//!
+//! Run with `cargo run -p georep-bench --release --bin table2`.
+
+use std::time::Instant;
+
+use georep_bench::{report_checks, HarnessOptions, ResultTable, ShapeCheck};
+use georep_cluster::kmeans::KMeansConfig;
+use georep_cluster::online::OnlineClusterer;
+use georep_cluster::summary::AccessSummary;
+use georep_cluster::weighted::weighted_kmeans;
+use georep_cluster::WeightedPoint;
+use georep_coord::Coord;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const D: usize = 3;
+const K: usize = 3; // replicas
+const M: usize = 100; // micro-clusters per replica, as in the paper's example
+
+/// Bytes to record one raw access for offline clustering: D coordinate
+/// components plus a weight, as f64.
+const OFFLINE_RECORD_BYTES: usize = (D + 1) * 8;
+
+fn synth_coord(rng: &mut StdRng) -> Coord<D> {
+    // Three client populations, mimicking continents in coordinate space.
+    let centers = [[0.0, 0.0, 0.0], [140.0, 40.0, 0.0], [80.0, -110.0, 20.0]];
+    let c = centers[rng.random_range(0..centers.len())];
+    let mut pos = [0.0; D];
+    for (p, base) in pos.iter_mut().zip(&c) {
+        *p = base + rng.random_range(-25.0..25.0);
+    }
+    Coord::new(pos)
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let ns: &[usize] = if opts.seeds <= 5 {
+        &[1_000, 10_000, 100_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+
+    println!("table 2: online (k = {K}, m = {M}) vs offline clustering, measured\n");
+
+    let mut table = ResultTable::new([
+        "accesses n",
+        "online KB",
+        "offline KB",
+        "bw ratio",
+        "online ms",
+        "offline ms",
+        "cpu ratio",
+    ]);
+
+    let mut online_kb_series = Vec::new();
+    let mut offline_kb_series = Vec::new();
+    let mut online_ms_series = Vec::new();
+    let mut offline_ms_series = Vec::new();
+    let mut per_cluster_bytes = 0usize;
+
+    for &n in ns {
+        let mut rng = StdRng::seed_from_u64(0x7AB1E2);
+
+        // --- Online side: K replicas summarize n accesses. -------------
+        let mut clusterers: Vec<OnlineClusterer<D>> =
+            (0..K).map(|_| OnlineClusterer::new(M)).collect();
+        let mut raw_points: Vec<Coord<D>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = synth_coord(&mut rng);
+            clusterers[i % K].observe(c, 1.0);
+            raw_points.push(c);
+        }
+        let summaries: Vec<AccessSummary> = clusterers
+            .iter()
+            .enumerate()
+            .map(|(r, c)| AccessSummary::from_clusterer(r as u32, c))
+            .collect();
+        let online_bytes: usize = summaries.iter().map(|s| s.encoded_len()).sum();
+        let clusters: usize = summaries.iter().map(|s| s.clusters.len()).sum();
+        per_cluster_bytes = online_bytes / clusters.max(1);
+
+        // Macro-clustering time over the k·m pseudo-points.
+        let pseudo: Vec<WeightedPoint<D>> =
+            clusterers.iter().flat_map(|c| c.pseudo_points()).collect();
+        let t = Instant::now();
+        let _ = weighted_kmeans(&pseudo, KMeansConfig::new(K)).expect("pseudo-points cluster");
+        let online_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+        // --- Offline side: raw log shipped and clustered. ---------------
+        let offline_bytes = n * OFFLINE_RECORD_BYTES;
+        let t = Instant::now();
+        let _ = georep_cluster::kmeans::kmeans(&raw_points, KMeansConfig::new(K))
+            .expect("raw points cluster");
+        let offline_ms = t.elapsed().as_secs_f64() * 1_000.0;
+
+        online_kb_series.push(online_bytes as f64 / 1024.0);
+        offline_kb_series.push(offline_bytes as f64 / 1024.0);
+        online_ms_series.push(online_ms);
+        offline_ms_series.push(offline_ms);
+
+        table.push_row([
+            n.to_string(),
+            format!("{:.1}", online_bytes as f64 / 1024.0),
+            format!("{:.1}", offline_bytes as f64 / 1024.0),
+            format!("{:.0}x", offline_bytes as f64 / online_bytes as f64),
+            format!("{online_ms:.2}"),
+            format!("{offline_ms:.2}"),
+            format!("{:.0}x", offline_ms / online_ms.max(1e-6)),
+        ]);
+    }
+
+    println!("{}", table.render());
+    if let Some(path) = table.write_csv(&opts.out_dir, "table2") {
+        println!("csv written to {}", path.display());
+    }
+
+    let last = ns.len() - 1;
+    let online_growth = online_kb_series[last] / online_kb_series[0];
+    let offline_growth = offline_kb_series[last] / offline_kb_series[0];
+    let checks = vec![
+        ShapeCheck::new(
+            "each shipped micro-cluster is under 1 KB",
+            per_cluster_bytes < 1024,
+            format!("measured {per_cluster_bytes} bytes per micro-cluster"),
+        ),
+        ShapeCheck::new(
+            "a k=3, m=100 placement round ships well under 300 KB",
+            online_kb_series.iter().all(|&kb| kb < 300.0),
+            format!("largest round: {:.1} KB", online_kb_series[last]),
+        ),
+        ShapeCheck::new(
+            "online bandwidth is O(km): essentially flat in n",
+            online_growth < 2.0,
+            format!("online bytes grew {online_growth:.2}x across the n sweep"),
+        ),
+        ShapeCheck::new(
+            "offline bandwidth is O(n): linear in n",
+            (offline_growth / (ns[last] as f64 / ns[0] as f64) - 1.0).abs() < 0.01,
+            format!(
+                "offline bytes grew {offline_growth:.0}x for a {}x n increase",
+                ns[last] / ns[0]
+            ),
+        ),
+        ShapeCheck::new(
+            "offline clustering needs (far) more computation at large n",
+            offline_ms_series[last] > online_ms_series[last] * 10.0,
+            format!(
+                "at n = {}: offline {:.1} ms vs online {:.2} ms",
+                ns[last], offline_ms_series[last], online_ms_series[last]
+            ),
+        ),
+    ];
+    let failed = report_checks(&checks);
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

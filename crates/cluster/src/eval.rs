@@ -1,0 +1,210 @@
+//! Clustering quality metrics.
+//!
+//! Used to validate that the micro→macro pipeline actually groups what it
+//! should: the silhouette coefficient scores how well each point sits in
+//! its cluster versus the nearest other cluster, and the Davies–Bouldin
+//! index scores cluster compactness against separation. Neither is needed
+//! by the placement algorithm itself — they are analysis tools for tests,
+//! benches and notebooks.
+
+use georep_coord::Coord;
+
+use crate::kmeans::Clustering;
+use crate::point::WeightedPoint;
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]`; higher is
+/// better, values near zero mean overlapping clusters.
+///
+/// Points in singleton clusters score 0, following the usual convention.
+/// Returns `None` when there are fewer than 2 clusters or fewer than 2
+/// points (the coefficient is undefined there).
+pub fn silhouette<const D: usize>(
+    points: &[WeightedPoint<D>],
+    clustering: &Clustering<D>,
+) -> Option<f64> {
+    let k = clustering.centroids.len();
+    if k < 2 || points.len() < 2 || clustering.assignments.len() != points.len() {
+        return None;
+    }
+    let mut sizes = vec![0usize; k];
+    for &a in &clustering.assignments {
+        sizes[a] += 1;
+    }
+
+    let mut total = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let own = clustering.assignments[i];
+        if sizes[own] <= 1 {
+            continue; // silhouette of a singleton is 0
+        }
+        // a(i): mean distance to the other members of its own cluster.
+        // b(i): minimum over other clusters of the mean distance to them.
+        let mut intra = 0.0;
+        let mut inter = vec![(0.0f64, 0usize); k];
+        for (j, q) in points.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let d = p.coord.distance(&q.coord);
+            let cj = clustering.assignments[j];
+            if cj == own {
+                intra += d;
+            } else {
+                inter[cj].0 += d;
+                inter[cj].1 += 1;
+            }
+        }
+        let a = intra / (sizes[own] - 1) as f64;
+        let b = inter
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(s, n)| s / *n as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    Some(total / points.len() as f64)
+}
+
+/// Davies–Bouldin index: mean over clusters of the worst
+/// `(σ_i + σ_j) / d(c_i, c_j)` ratio. Lower is better; well-separated
+/// compact clusterings score well under 1.
+///
+/// Returns `None` for fewer than 2 clusters or mismatched inputs.
+pub fn davies_bouldin<const D: usize>(
+    points: &[WeightedPoint<D>],
+    clustering: &Clustering<D>,
+) -> Option<f64> {
+    let k = clustering.centroids.len();
+    if k < 2 || clustering.assignments.len() != points.len() {
+        return None;
+    }
+    // Per-cluster mean distance to centroid (σ).
+    let mut sigma = vec![0.0f64; k];
+    let mut counts = vec![0usize; k];
+    for (p, &a) in points.iter().zip(&clustering.assignments) {
+        sigma[a] += p.coord.distance(&clustering.centroids[a]);
+        counts[a] += 1;
+    }
+    for (s, &c) in sigma.iter_mut().zip(&counts) {
+        if c > 0 {
+            *s /= c as f64;
+        }
+    }
+
+    let mut total = 0.0;
+    let mut used = 0usize;
+    for i in 0..k {
+        if counts[i] == 0 {
+            continue;
+        }
+        let mut worst: f64 = 0.0;
+        for j in 0..k {
+            if i == j || counts[j] == 0 {
+                continue;
+            }
+            let sep = clustering.centroids[i].distance(&clustering.centroids[j]);
+            if sep > 0.0 {
+                worst = worst.max((sigma[i] + sigma[j]) / sep);
+            }
+        }
+        total += worst;
+        used += 1;
+    }
+    if used == 0 {
+        None
+    } else {
+        Some(total / used as f64)
+    }
+}
+
+/// Weighted SSE of an arbitrary point/centroid assignment — the quantity
+/// Lloyd's algorithm monotonically reduces.
+pub fn weighted_sse<const D: usize>(
+    points: &[WeightedPoint<D>],
+    centroids: &[Coord<D>],
+    assignments: &[usize],
+) -> f64 {
+    points
+        .iter()
+        .zip(assignments)
+        .map(|(p, &a)| {
+            let d = p.coord.distance(&centroids[a]);
+            p.weight * d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::KMeansConfig;
+    use crate::weighted::weighted_kmeans;
+
+    fn blobs(sep: f64) -> Vec<WeightedPoint<2>> {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            let (dx, dy) = ((i % 5) as f64, (i / 5) as f64);
+            pts.push(WeightedPoint::unit(Coord::new([dx, dy])));
+            pts.push(WeightedPoint::unit(Coord::new([sep + dx, dy])));
+        }
+        pts
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let pts = blobs(500.0);
+        let c = weighted_kmeans(&pts, KMeansConfig::new(2)).unwrap();
+        let s = silhouette(&pts, &c).unwrap();
+        assert!(s > 0.9, "silhouette {s}");
+        let db = davies_bouldin(&pts, &c).unwrap();
+        assert!(db < 0.1, "davies-bouldin {db}");
+    }
+
+    #[test]
+    fn overlapping_clusters_score_low() {
+        let pts = blobs(2.0);
+        let c = weighted_kmeans(&pts, KMeansConfig::new(2)).unwrap();
+        let s = silhouette(&pts, &c).unwrap();
+        assert!(s < 0.6, "silhouette {s} should reflect the overlap");
+        let db = davies_bouldin(&pts, &c).unwrap();
+        assert!(db > 0.3, "davies-bouldin {db} should reflect the overlap");
+    }
+
+    #[test]
+    fn undefined_cases_return_none() {
+        let pts = blobs(100.0);
+        let c1 = weighted_kmeans(&pts, KMeansConfig::new(1)).unwrap();
+        assert!(silhouette(&pts, &c1).is_none());
+        assert!(davies_bouldin(&pts, &c1).is_none());
+
+        let single = vec![WeightedPoint::unit(Coord::new([0.0, 0.0]))];
+        let c = weighted_kmeans(&single, KMeansConfig::new(1)).unwrap();
+        assert!(silhouette(&single, &c).is_none());
+    }
+
+    #[test]
+    fn sse_matches_kmeans_output() {
+        let pts = blobs(300.0);
+        let c = weighted_kmeans(&pts, KMeansConfig::new(2)).unwrap();
+        let manual = weighted_sse(&pts, &c.centroids, &c.assignments);
+        assert!((manual - c.sse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_improves_with_the_right_k() {
+        // Three true blobs: k = 3 must dominate k = 2 on both metrics.
+        let mut pts = blobs(400.0);
+        for i in 0..20 {
+            pts.push(WeightedPoint::unit(Coord::new([
+                200.0 + (i % 5) as f64,
+                400.0 + (i / 5) as f64,
+            ])));
+        }
+        let c2 = weighted_kmeans(&pts, KMeansConfig::new(2)).unwrap();
+        let c3 = weighted_kmeans(&pts, KMeansConfig::new(3)).unwrap();
+        assert!(silhouette(&pts, &c3).unwrap() > silhouette(&pts, &c2).unwrap());
+        assert!(davies_bouldin(&pts, &c3).unwrap() < davies_bouldin(&pts, &c2).unwrap());
+    }
+}

@@ -1,0 +1,467 @@
+//! Lloyd's K-means with k-means++ seeding.
+//!
+//! Used in two roles in the reproduction: directly over raw client
+//! coordinates for the paper's *offline k-means clustering* baseline, and —
+//! through [`crate::weighted`] — over micro-cluster pseudo-points for the
+//! paper's own online technique.
+
+use std::error::Error;
+use std::fmt;
+
+use georep_coord::Coord;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::point::WeightedPoint;
+
+/// Error produced by the clustering entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// No input points were supplied.
+    NoPoints,
+    /// `k` was zero.
+    ZeroK,
+    /// `k` exceeded the number of input points.
+    KTooLarge {
+        /// Requested number of clusters.
+        k: usize,
+        /// Number of points available.
+        points: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoPoints => write!(f, "cannot cluster an empty point set"),
+            ClusterError::ZeroK => write!(f, "k must be at least 1"),
+            ClusterError::KTooLarge { k, points } => {
+                write!(f, "k = {k} exceeds the number of points ({points})")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+/// Parameters of a K-means run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (in coordinate
+    /// units, i.e. milliseconds).
+    pub tolerance: f64,
+    /// Seed for the k-means++ initialization.
+    pub seed: u64,
+    /// Number of independent restarts; the run with the lowest SSE wins.
+    /// Lloyd's algorithm is a local search, and a handful of restarts is
+    /// the standard defence against bad initializations.
+    pub restarts: usize,
+}
+
+impl KMeansConfig {
+    /// Default-tuned configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig {
+            k,
+            max_iters: 100,
+            tolerance: 1e-3,
+            seed: 0x5EED,
+            restarts: 4,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different restart count (minimum 1).
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
+}
+
+/// Result of a K-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering<const D: usize> {
+    /// The `k` cluster centroids.
+    pub centroids: Vec<Coord<D>>,
+    /// For each input point, the index of its centroid.
+    pub assignments: Vec<usize>,
+    /// Weighted sum of squared distances from points to their centroids.
+    pub sse: f64,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+    /// Whether the run converged before `max_iters`.
+    pub converged: bool,
+}
+
+impl<const D: usize> Clustering<D> {
+    /// Total weight assigned to each centroid.
+    pub fn cluster_weights(&self, points: &[WeightedPoint<D>]) -> Vec<f64> {
+        let mut w = vec![0.0; self.centroids.len()];
+        for (p, &a) in points.iter().zip(&self.assignments) {
+            w[a] += p.weight;
+        }
+        w
+    }
+}
+
+/// Clusters unweighted coordinates into `cfg.k` groups.
+///
+/// This is the paper's offline baseline: it requires *every* client
+/// coordinate to be present in memory, which is exactly the scalability
+/// problem the online technique avoids.
+///
+/// # Errors
+///
+/// See [`ClusterError`].
+///
+/// # Example
+///
+/// ```
+/// use georep_cluster::kmeans::{kmeans, KMeansConfig};
+/// use georep_coord::Coord;
+///
+/// let pts: Vec<Coord<2>> = (0..20)
+///     .map(|i| {
+///         let off = if i < 10 { 0.0 } else { 100.0 };
+///         Coord::new([off + (i % 10) as f64, off])
+///     })
+///     .collect();
+/// let c = kmeans(&pts, KMeansConfig::new(2))?;
+/// assert_eq!(c.centroids.len(), 2);
+/// assert!(c.converged);
+/// # Ok::<(), georep_cluster::kmeans::ClusterError>(())
+/// ```
+pub fn kmeans<const D: usize>(
+    points: &[Coord<D>],
+    cfg: KMeansConfig,
+) -> Result<Clustering<D>, ClusterError> {
+    let weighted: Vec<WeightedPoint<D>> = points.iter().map(|&c| WeightedPoint::unit(c)).collect();
+    crate::weighted::weighted_kmeans(&weighted, cfg)
+}
+
+/// Shared Lloyd implementation over weighted points (used by both entry
+/// points; see [`crate::weighted::weighted_kmeans`] for the public API).
+pub(crate) fn lloyd<const D: usize>(
+    points: &[WeightedPoint<D>],
+    cfg: KMeansConfig,
+) -> Result<Clustering<D>, ClusterError> {
+    let mut best: Option<Clustering<D>> = None;
+    for r in 0..cfg.restarts.max(1) {
+        let run = lloyd_once(
+            points,
+            KMeansConfig {
+                seed: cfg.seed.wrapping_add(r as u64),
+                restarts: 1,
+                ..cfg
+            },
+        )?;
+        if best.as_ref().is_none_or(|b| run.sse < b.sse) {
+            best = Some(run);
+        }
+    }
+    Ok(best.expect("restarts ≥ 1"))
+}
+
+fn lloyd_once<const D: usize>(
+    points: &[WeightedPoint<D>],
+    cfg: KMeansConfig,
+) -> Result<Clustering<D>, ClusterError> {
+    if points.is_empty() {
+        return Err(ClusterError::NoPoints);
+    }
+    if cfg.k == 0 {
+        return Err(ClusterError::ZeroK);
+    }
+    if cfg.k > points.len() {
+        return Err(ClusterError::KTooLarge {
+            k: cfg.k,
+            points: points.len(),
+        });
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut centroids = seed_plus_plus(points, cfg.k, &mut rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < cfg.max_iters {
+        iterations += 1;
+
+        // Assignment step.
+        for (p, slot) in points.iter().zip(assignments.iter_mut()) {
+            *slot = nearest(&centroids, &p.coord).0;
+        }
+
+        // Update step: weighted mean per cluster.
+        let mut sums = vec![Coord::<D>::origin(); cfg.k];
+        let mut weights = vec![0.0; cfg.k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            sums[a] = sums[a].add(&p.coord.scale(p.weight));
+            weights[a] += p.weight;
+        }
+
+        let mut movement = 0.0;
+        for c in 0..cfg.k {
+            let next = if weights[c] > 0.0 {
+                sums[c].scale(1.0 / weights[c])
+            } else {
+                // Empty cluster: restart it at the point currently farthest
+                // from its centroid (a standard repair that keeps k exact).
+                farthest_point(points, &centroids, &assignments)
+            };
+            movement += centroids[c].euclidean(&next);
+            centroids[c] = next;
+        }
+
+        if movement <= cfg.tolerance {
+            converged = true;
+            break;
+        }
+    }
+
+    // Final assignment and SSE against the final centroids.
+    let mut sse = 0.0;
+    for (p, slot) in points.iter().zip(assignments.iter_mut()) {
+        let (idx, dist) = nearest(&centroids, &p.coord);
+        *slot = idx;
+        sse += p.weight * dist * dist;
+    }
+
+    Ok(Clustering {
+        centroids,
+        assignments,
+        sse,
+        iterations,
+        converged,
+    })
+}
+
+/// Index and distance of the centroid nearest to `point`.
+fn nearest<const D: usize>(centroids: &[Coord<D>], point: &Coord<D>) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = c.distance(point);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: the first centroid is weight-proportional random, each
+/// further centroid is chosen with probability proportional to
+/// `weight × D(x)²` where `D(x)` is the distance to the closest centroid
+/// chosen so far.
+pub(crate) fn seed_plus_plus<const D: usize>(
+    points: &[WeightedPoint<D>],
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<Coord<D>> {
+    let mut centroids = Vec::with_capacity(k);
+    let total_w: f64 = points.iter().map(|p| p.weight).sum();
+    let mut pick = rng.random::<f64>() * total_w;
+    let mut first = 0;
+    for (i, p) in points.iter().enumerate() {
+        pick -= p.weight;
+        if pick <= 0.0 {
+            first = i;
+            break;
+        }
+    }
+    centroids.push(points[first].coord);
+
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| {
+            let d = p.coord.distance(&centroids[0]);
+            d * d
+        })
+        .collect();
+
+    while centroids.len() < k {
+        let total: f64 = points.iter().zip(&d2).map(|(p, &d)| p.weight * d).sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with existing centroids; pick
+            // the first point not yet used as a centroid.
+            points
+                .iter()
+                .position(|p| !centroids.contains(&p.coord))
+                .unwrap_or(0)
+        } else {
+            let mut pick = rng.random::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, (p, &d)) in points.iter().zip(&d2).enumerate() {
+                pick -= p.weight * d;
+                if pick <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        let c = points[next].coord;
+        centroids.push(c);
+        for (p, slot) in points.iter().zip(d2.iter_mut()) {
+            let d = p.coord.distance(&c);
+            *slot = slot.min(d * d);
+        }
+    }
+    centroids
+}
+
+/// The point with the largest weighted distance to its assigned centroid.
+fn farthest_point<const D: usize>(
+    points: &[WeightedPoint<D>],
+    centroids: &[Coord<D>],
+    assignments: &[usize],
+) -> Coord<D> {
+    let mut best = (points[0].coord, -1.0);
+    for (p, &a) in points.iter().zip(assignments) {
+        let d = p.weight * p.coord.distance(&centroids[a]);
+        if d > best.1 {
+            best = (p.coord, d);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn two_blobs() -> Vec<Coord<2>> {
+        let mut pts = Vec::new();
+        for i in 0..25 {
+            let (dx, dy) = ((i % 5) as f64, (i / 5) as f64);
+            pts.push(Coord::new([dx, dy]));
+            pts.push(Coord::new([200.0 + dx, 200.0 + dy]));
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let c = kmeans(&two_blobs(), KMeansConfig::new(2)).unwrap();
+        assert!(c.converged);
+        let d = c.centroids[0].distance(&c.centroids[1]);
+        assert!(d > 200.0, "centroid separation {d}");
+        // Every point assigned to the near centroid.
+        for (p, &a) in two_blobs().iter().zip(&c.assignments) {
+            let other = 1 - a;
+            assert!(p.distance(&c.centroids[a]) <= p.distance(&c.centroids[other]));
+        }
+    }
+
+    #[test]
+    fn k_equals_one_gives_mean() {
+        let pts = vec![Coord::new([0.0, 0.0]), Coord::new([10.0, 0.0])];
+        let c = kmeans(&pts, KMeansConfig::new(1)).unwrap();
+        assert!((c.centroids[0].component(0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_sse() {
+        let pts: Vec<Coord<2>> = (0..5).map(|i| Coord::new([i as f64 * 50.0, 0.0])).collect();
+        let c = kmeans(&pts, KMeansConfig::new(5)).unwrap();
+        assert!(c.sse < 1e-9, "sse {}", c.sse);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let pts: Vec<Coord<2>> = vec![Coord::origin(); 3];
+        assert_eq!(
+            kmeans::<2>(&[], KMeansConfig::new(2)),
+            Err(ClusterError::NoPoints)
+        );
+        assert_eq!(kmeans(&pts, KMeansConfig::new(0)), Err(ClusterError::ZeroK));
+        assert_eq!(
+            kmeans(&pts, KMeansConfig::new(4)),
+            Err(ClusterError::KTooLarge { k: 4, points: 3 })
+        );
+        assert!(ClusterError::NoPoints.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let a = kmeans(&pts, KMeansConfig::new(3).with_seed(9)).unwrap();
+        let b = kmeans(&pts, KMeansConfig::new(3).with_seed(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_seeding() {
+        let pts = vec![Coord::new([1.0, 1.0]); 6];
+        let c = kmeans(&pts, KMeansConfig::new(3)).unwrap();
+        assert_eq!(c.centroids.len(), 3);
+        assert!(c.sse < 1e-9);
+    }
+
+    #[test]
+    fn cluster_weights_sum_to_total() {
+        let pts = two_blobs();
+        let weighted: Vec<WeightedPoint<2>> =
+            pts.iter().map(|&c| WeightedPoint::new(c, 2.0)).collect();
+        let c = lloyd(&weighted, KMeansConfig::new(2)).unwrap();
+        let w = c.cluster_weights(&weighted);
+        assert!((w.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_assignments_are_nearest(
+            seed in 0u64..50,
+            k in 1usize..5,
+        ) {
+            let pts = two_blobs();
+            let c = kmeans(&pts, KMeansConfig::new(k).with_seed(seed)).unwrap();
+            for (p, &a) in pts.iter().zip(&c.assignments) {
+                let best = c.centroids.iter()
+                    .map(|ct| ct.distance(p))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!((p.distance(&c.centroids[a]) - best).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_more_clusters_never_increase_sse(seed in 0u64..20) {
+            let pts = two_blobs();
+            let mut prev = f64::INFINITY;
+            for k in 1..=4 {
+                let mut best = f64::INFINITY;
+                // Best of a few seeds: k-means is a local search, a single
+                // run can get unlucky.
+                for s in 0..5 {
+                    let c = kmeans(&pts, KMeansConfig::new(k).with_seed(seed * 31 + s)).unwrap();
+                    best = best.min(c.sse);
+                }
+                prop_assert!(best <= prev + 1e-6, "k={k}: sse {best} > previous {prev}");
+                prev = best;
+            }
+        }
+
+        #[test]
+        fn prop_sse_matches_assignments(seed in 0u64..20) {
+            let pts = two_blobs();
+            let c = kmeans(&pts, KMeansConfig::new(2).with_seed(seed)).unwrap();
+            let manual: f64 = pts.iter().zip(&c.assignments)
+                .map(|(p, &a)| {
+                    let d = p.distance(&c.centroids[a]);
+                    d * d
+                })
+                .sum();
+            prop_assert!((manual - c.sse).abs() < 1e-6);
+        }
+    }
+}

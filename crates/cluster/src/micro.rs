@@ -1,0 +1,386 @@
+//! The four-variable micro-cluster of the paper's Section III-B.
+//!
+//! For each micro-cluster only four quantities are maintained:
+//!
+//! 1. `count` — the number of data accesses by clients whose coordinates
+//!    belong to the cluster;
+//! 2. `weight` — the overall amount of data exchanged with those clients;
+//! 3. `sum` — the per-dimension sum of coordinate values;
+//! 4. `sum2` — the per-dimension sum of *squares* of coordinate values.
+//!
+//! The centroid is `sum / count` and the standard deviation follows from
+//! `E[X²] − E[X]²`, so clusters can *absorb* new accesses and *merge* with
+//! each other by pure addition — which is what makes the summary mergeable
+//! across replicas and cheap to ship (see [`crate::summary`]).
+
+use georep_coord::Coord;
+
+/// A summarized group of client accesses.
+///
+/// # Example
+///
+/// ```
+/// use georep_cluster::MicroCluster;
+/// use georep_coord::Coord;
+///
+/// let mut mc = MicroCluster::from_access(Coord::new([10.0, 0.0]), 1.0);
+/// mc.absorb(Coord::new([14.0, 0.0]), 3.0);
+/// assert_eq!(mc.count(), 2);
+/// assert_eq!(mc.weight(), 4.0);
+/// assert_eq!(mc.centroid().component(0), 12.0);
+/// assert_eq!(mc.radius(), 2.0); // std dev of {10, 14}
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroCluster<const D: usize> {
+    count: u64,
+    weight: f64,
+    sum: Coord<D>,
+    sum2: [f64; D],
+}
+
+impl<const D: usize> MicroCluster<D> {
+    /// Creates a cluster from its first access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is not finite or the weight is not a
+    /// positive finite number.
+    pub fn from_access(coord: Coord<D>, weight: f64) -> Self {
+        assert!(coord.is_finite(), "coordinate must be finite");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive and finite, got {weight}"
+        );
+        let mut sum2 = [0.0; D];
+        for (s, &x) in sum2.iter_mut().zip(coord.pos()) {
+            *s = x * x;
+        }
+        MicroCluster {
+            count: 1,
+            weight,
+            sum: coord,
+            sum2,
+        }
+    }
+
+    /// Reconstructs a cluster from raw accumulators (used when decoding a
+    /// shipped summary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero or any accumulator is non-finite.
+    pub fn from_raw(count: u64, weight: f64, sum: Coord<D>, sum2: [f64; D]) -> Self {
+        assert!(count > 0, "count must be positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive and finite"
+        );
+        assert!(sum.is_finite(), "sum must be finite");
+        assert!(sum2.iter().all(|x| x.is_finite()), "sum2 must be finite");
+        MicroCluster {
+            count,
+            weight,
+            sum,
+            sum2,
+        }
+    }
+
+    /// Number of accesses summarized.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total data weight of the summarized accesses.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Raw coordinate-sum accumulator.
+    pub fn sum(&self) -> &Coord<D> {
+        &self.sum
+    }
+
+    /// Raw squared-coordinate-sum accumulator.
+    pub fn sum2(&self) -> &[f64; D] {
+        &self.sum2
+    }
+
+    /// The cluster centroid, `sum / count`.
+    pub fn centroid(&self) -> Coord<D> {
+        self.sum.scale(1.0 / self.count as f64)
+    }
+
+    /// RMS deviation of the summarized coordinates around the centroid:
+    /// `√(Σ_d (E[x_d²] − E[x_d]²))`.
+    ///
+    /// This is the "standard deviation" the paper's absorb test uses. A
+    /// fresh single-access cluster has radius zero. Floating-point
+    /// cancellation can drive individual per-dimension variances slightly
+    /// negative; they are clamped at zero.
+    pub fn radius(&self) -> f64 {
+        let n = self.count as f64;
+        let mut var = 0.0;
+        for d in 0..D {
+            let mean = self.sum.component(d) / n;
+            var += (self.sum2[d] / n - mean * mean).max(0.0);
+        }
+        var.sqrt()
+    }
+
+    /// Distance from the centroid to a coordinate.
+    pub fn distance_to(&self, coord: &Coord<D>) -> f64 {
+        self.centroid().distance(coord)
+    }
+
+    /// Adds one access to the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`MicroCluster::from_access`].
+    pub fn absorb(&mut self, coord: Coord<D>, weight: f64) {
+        assert!(coord.is_finite(), "coordinate must be finite");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive and finite, got {weight}"
+        );
+        self.count += 1;
+        self.weight += weight;
+        self.sum = self.sum.add(&coord);
+        for (s, &x) in self.sum2.iter_mut().zip(coord.pos()) {
+            *s += x * x;
+        }
+    }
+
+    /// Merges another cluster into this one. All four accumulators are
+    /// additive, so merging loses no information relative to having absorbed
+    /// every access directly.
+    pub fn merge(&mut self, other: &MicroCluster<D>) {
+        self.count += other.count;
+        self.weight += other.weight;
+        self.sum = self.sum.add(&other.sum);
+        for (s, o) in self.sum2.iter_mut().zip(&other.sum2) {
+            *s += o;
+        }
+    }
+
+    /// Ages the cluster by scaling all four accumulators by `factor`, so
+    /// that older accesses contribute geometrically less — the mechanism
+    /// behind summarizing *recent* accesses without hard period resets.
+    /// The centroid and radius are invariant under decay (numerator and
+    /// denominator scale together); only the cluster's influence shrinks.
+    ///
+    /// Returns `false` when the cluster has faded below one access worth of
+    /// evidence and should be dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor ≤ 1`.
+    #[must_use]
+    pub fn decay(&mut self, factor: f64) -> bool {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "decay factor must be in (0, 1], got {factor}"
+        );
+        let decayed = (self.count as f64 * factor).round();
+        if decayed < 1.0 {
+            return false;
+        }
+        // `count` stays integral (it is a number of accesses on the wire),
+        // so the moment accumulators scale by the factor *actually applied*
+        // to the count — keeping centroid and radius exactly invariant.
+        let applied = decayed / self.count as f64;
+        self.count = decayed as u64;
+        self.weight *= factor;
+        self.sum = self.sum.scale(applied);
+        for s in &mut self.sum2 {
+            *s *= applied;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_access_cluster() {
+        let mc = MicroCluster::from_access(Coord::new([3.0, 4.0]), 2.0);
+        assert_eq!(mc.count(), 1);
+        assert_eq!(mc.weight(), 2.0);
+        assert_eq!(mc.centroid(), Coord::new([3.0, 4.0]));
+        assert_eq!(mc.radius(), 0.0);
+    }
+
+    #[test]
+    fn centroid_and_radius_match_statistics() {
+        let xs = [1.0f64, 5.0, 9.0, 13.0];
+        let mut mc = MicroCluster::from_access(Coord::new([xs[0]]), 1.0);
+        for &x in &xs[1..] {
+            mc.absorb(Coord::new([x]), 1.0);
+        }
+        let mean = xs.iter().sum::<f64>() / 4.0;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 4.0;
+        assert!((mc.centroid().component(0) - mean).abs() < 1e-12);
+        assert!((mc.radius() - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_absorbing_everything() {
+        let mut a = MicroCluster::from_access(Coord::new([0.0, 0.0]), 1.0);
+        a.absorb(Coord::new([2.0, 2.0]), 1.5);
+        let mut b = MicroCluster::from_access(Coord::new([10.0, 0.0]), 2.0);
+        b.absorb(Coord::new([12.0, 4.0]), 0.5);
+
+        let mut merged = a;
+        merged.merge(&b);
+
+        let mut direct = MicroCluster::from_access(Coord::new([0.0, 0.0]), 1.0);
+        direct.absorb(Coord::new([2.0, 2.0]), 1.5);
+        direct.absorb(Coord::new([10.0, 0.0]), 2.0);
+        direct.absorb(Coord::new([12.0, 4.0]), 0.5);
+
+        assert_eq!(merged.count(), direct.count());
+        assert!((merged.weight() - direct.weight()).abs() < 1e-12);
+        assert!(merged.centroid().euclidean(&direct.centroid()) < 1e-12);
+        assert!((merged.radius() - direct.radius()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn radius_never_negative_under_cancellation() {
+        // Identical far-from-origin points: E[X²] − E[X]² cancels
+        // catastrophically; the clamp must hold.
+        let p = Coord::new([1e8, -1e8]);
+        let mut mc = MicroCluster::from_access(p, 1.0);
+        for _ in 0..100 {
+            mc.absorb(p, 1.0);
+        }
+        assert!(mc.radius() >= 0.0);
+        assert!(mc.radius() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn absorb_rejects_bad_weight() {
+        let mut mc = MicroCluster::from_access(Coord::new([0.0]), 1.0);
+        mc.absorb(Coord::new([1.0]), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "count must be positive")]
+    fn from_raw_rejects_zero_count() {
+        let _ = MicroCluster::from_raw(0, 1.0, Coord::new([0.0]), [0.0]);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let mut mc = MicroCluster::from_access(Coord::new([1.0, 2.0]), 3.0);
+        mc.absorb(Coord::new([5.0, 6.0]), 1.0);
+        let back = MicroCluster::from_raw(mc.count(), mc.weight(), *mc.sum(), *mc.sum2());
+        assert_eq!(back, mc);
+    }
+
+    #[test]
+    fn decay_preserves_centroid_and_radius() {
+        let mut mc = MicroCluster::from_access(Coord::new([10.0, 0.0]), 2.0);
+        mc.absorb(Coord::new([20.0, 4.0]), 1.0);
+        mc.absorb(Coord::new([30.0, -4.0]), 1.5);
+        let centroid = mc.centroid();
+        let radius = mc.radius();
+        let weight = mc.weight();
+        assert!(mc.decay(0.7));
+        assert!(mc.centroid().euclidean(&centroid) < 1e-9);
+        assert!((mc.radius() - radius).abs() < 1e-9);
+        assert!((mc.weight() - weight * 0.7).abs() < 1e-12);
+        assert_eq!(mc.count(), 2); // 3 × 0.7 = 2.1 → 2
+    }
+
+    #[test]
+    fn decay_fades_out_small_clusters() {
+        let mut mc = MicroCluster::from_access(Coord::new([1.0]), 1.0);
+        assert!(!mc.decay(0.4)); // 1 × 0.4 rounds below one access
+        let mut mc = MicroCluster::from_access(Coord::new([1.0]), 1.0);
+        assert!(mc.decay(0.6)); // 0.6 rounds to 1: survives
+        assert_eq!(mc.count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn decay_rejects_bad_factor() {
+        let mut mc = MicroCluster::from_access(Coord::new([1.0]), 1.0);
+        let _ = mc.decay(1.5);
+    }
+
+    fn arb_points() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+        prop::collection::vec((-500.0..500.0f64, -500.0..500.0f64, 0.1..10.0f64), 1..40)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_is_order_insensitive(pts in arb_points()) {
+            // Build one cluster left-to-right and one right-to-left; the
+            // accumulators must agree (addition is commutative; fp error is
+            // tolerated).
+            let build = |iter: &mut dyn Iterator<Item = &(f64, f64, f64)>| {
+                let first = iter.next().unwrap();
+                let mut mc = MicroCluster::from_access(
+                    Coord::new([first.0, first.1]), first.2);
+                for p in iter {
+                    mc.absorb(Coord::new([p.0, p.1]), p.2);
+                }
+                mc
+            };
+            let fwd = build(&mut pts.iter());
+            let rev = build(&mut pts.iter().rev());
+            prop_assert_eq!(fwd.count(), rev.count());
+            prop_assert!((fwd.weight() - rev.weight()).abs() < 1e-6);
+            prop_assert!(fwd.centroid().euclidean(&rev.centroid()) < 1e-6);
+            prop_assert!((fwd.radius() - rev.radius()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_split_merge_preserves_moments(pts in arb_points(), split in 0usize..40) {
+            prop_assume!(pts.len() >= 2);
+            let split = (split % (pts.len() - 1)) + 1;
+            let all = {
+                let mut mc = MicroCluster::from_access(
+                    Coord::new([pts[0].0, pts[0].1]), pts[0].2);
+                for p in &pts[1..] {
+                    mc.absorb(Coord::new([p.0, p.1]), p.2);
+                }
+                mc
+            };
+            let mut left = MicroCluster::from_access(
+                Coord::new([pts[0].0, pts[0].1]), pts[0].2);
+            for p in &pts[1..split] {
+                left.absorb(Coord::new([p.0, p.1]), p.2);
+            }
+            let mut right = MicroCluster::from_access(
+                Coord::new([pts[split].0, pts[split].1]), pts[split].2);
+            for p in &pts[split + 1..] {
+                right.absorb(Coord::new([p.0, p.1]), p.2);
+            }
+            left.merge(&right);
+            prop_assert_eq!(left.count(), all.count());
+            prop_assert!((left.weight() - all.weight()).abs() < 1e-6);
+            prop_assert!(left.centroid().euclidean(&all.centroid()) < 1e-6);
+            prop_assert!((left.radius() - all.radius()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_radius_bounded_by_spread(pts in arb_points()) {
+            let mut mc = MicroCluster::from_access(
+                Coord::new([pts[0].0, pts[0].1]), pts[0].2);
+            for p in &pts[1..] {
+                mc.absorb(Coord::new([p.0, p.1]), p.2);
+            }
+            // RMS radius is at most the maximum distance from the centroid.
+            let c = mc.centroid();
+            let max_d = pts.iter()
+                .map(|p| Coord::new([p.0, p.1]).distance(&c))
+                .fold(0.0f64, f64::max);
+            prop_assert!(mc.radius() <= max_d + 1e-9);
+        }
+    }
+}

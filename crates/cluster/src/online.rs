@@ -1,0 +1,442 @@
+//! The per-replica online clustering of access coordinates.
+//!
+//! This is the paper's Section III-B, verbatim: whenever a client accesses
+//! the replica, the micro-cluster whose centroid is closest to the client's
+//! coordinates is located. If the client is within the cluster's standard
+//! deviation, the cluster absorbs the access; otherwise a new cluster is
+//! created from the access and the two closest clusters are merged so that
+//! at most `m` micro-clusters exist at any time.
+//!
+//! The paper leaves one case unspecified: a fresh cluster summarizes a
+//! single access and therefore has standard deviation zero, which would
+//! prevent it from ever absorbing anything. Following the CluStream
+//! tradition the absorb threshold is therefore
+//! `max(radius_factor × σ, min_radius)`, with a small `min_radius` floor
+//! (5 ms by default — populations closer than that are indistinguishable
+//! for placement purposes anyway).
+
+use georep_coord::Coord;
+
+use crate::micro::MicroCluster;
+use crate::point::WeightedPoint;
+
+/// Tuning constants for [`OnlineClusterer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Maximum number of micro-clusters (`m` in the paper).
+    pub max_clusters: usize,
+    /// Multiplier on the cluster's RMS deviation in the absorb test.
+    pub radius_factor: f64,
+    /// Lower bound on the absorb threshold, in coordinate units (ms).
+    pub min_radius: f64,
+}
+
+impl OnlineConfig {
+    /// Default tuning for `m` micro-clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "at least one micro-cluster is required");
+        OnlineConfig {
+            max_clusters: m,
+            radius_factor: 1.0,
+            min_radius: 5.0,
+        }
+    }
+}
+
+/// Streaming summarizer keeping at most `m` micro-clusters.
+///
+/// # Example
+///
+/// ```
+/// use georep_cluster::OnlineClusterer;
+/// use georep_coord::Coord;
+///
+/// let mut oc: OnlineClusterer<2> = OnlineClusterer::new(3);
+/// for i in 0..50 {
+///     oc.observe(Coord::new([(i % 5) as f64, 0.0]), 1.0);       // population A
+///     oc.observe(Coord::new([200.0 + (i % 5) as f64, 0.0]), 1.0); // population B
+/// }
+/// assert!(oc.len() <= 3);
+/// assert_eq!(oc.total_count(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineClusterer<const D: usize> {
+    config: OnlineConfig,
+    clusters: Vec<MicroCluster<D>>,
+    observed: u64,
+}
+
+impl<const D: usize> OnlineClusterer<D> {
+    /// A summarizer with default tuning and at most `m` micro-clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn new(m: usize) -> Self {
+        Self::with_config(OnlineConfig::new(m))
+    }
+
+    /// A summarizer with explicit tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_clusters` is zero, `radius_factor` is not positive, or
+    /// `min_radius` is negative.
+    pub fn with_config(config: OnlineConfig) -> Self {
+        assert!(
+            config.max_clusters > 0,
+            "at least one micro-cluster is required"
+        );
+        assert!(
+            config.radius_factor.is_finite() && config.radius_factor > 0.0,
+            "radius_factor must be positive"
+        );
+        assert!(
+            config.min_radius.is_finite() && config.min_radius >= 0.0,
+            "min_radius must be non-negative"
+        );
+        OnlineClusterer {
+            clusters: Vec::with_capacity(config.max_clusters),
+            config,
+            observed: 0,
+        }
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Current number of micro-clusters (`≤ m`).
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` when no access has been observed since creation / the last
+    /// [`OnlineClusterer::clear`].
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Accesses observed since creation (monotonic; not reset by `clear`).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Sum of the counts of all current micro-clusters.
+    pub fn total_count(&self) -> u64 {
+        self.clusters.iter().map(|c| c.count()).sum()
+    }
+
+    /// Sum of the weights of all current micro-clusters.
+    pub fn total_weight(&self) -> f64 {
+        self.clusters.iter().map(|c| c.weight()).sum()
+    }
+
+    /// The current micro-clusters.
+    pub fn clusters(&self) -> &[MicroCluster<D>] {
+        &self.clusters
+    }
+
+    /// The micro-clusters as weighted pseudo-points (centroid + weight),
+    /// ready for the central weighted K-means.
+    pub fn pseudo_points(&self) -> Vec<WeightedPoint<D>> {
+        self.clusters
+            .iter()
+            .map(|c| WeightedPoint::new(c.centroid(), c.weight()))
+            .collect()
+    }
+
+    /// Drops all micro-clusters, starting a fresh summarization period.
+    pub fn clear(&mut self) {
+        self.clusters.clear();
+    }
+
+    /// Ages every micro-cluster by `factor` (see
+    /// [`MicroCluster::decay`]), dropping clusters that fade out entirely.
+    /// Calling this once per period with, say, `0.5` makes the summary an
+    /// exponentially-weighted window over past periods — a smoother notion
+    /// of "recent accesses" than the hard [`OnlineClusterer::clear`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < factor ≤ 1`.
+    pub fn decay(&mut self, factor: f64) {
+        self.clusters.retain_mut(|c| c.decay(factor));
+    }
+
+    /// Inserts a whole micro-cluster (e.g. history handed over from another
+    /// replica after a migration), merging the two closest clusters if the
+    /// bound would be exceeded.
+    pub fn absorb_cluster(&mut self, cluster: MicroCluster<D>) {
+        self.clusters.push(cluster);
+        if self.clusters.len() > self.config.max_clusters {
+            self.merge_closest_pair();
+        }
+    }
+
+    /// Incorporates one access: the client's coordinate and the amount of
+    /// data exchanged.
+    ///
+    /// Non-finite coordinates or non-positive weights are ignored (a live
+    /// system cannot afford to crash on one bad sample).
+    pub fn observe(&mut self, coord: Coord<D>, weight: f64) {
+        if !(coord.is_finite() && weight.is_finite() && weight > 0.0) {
+            return;
+        }
+        self.observed += 1;
+
+        if self.clusters.is_empty() {
+            self.clusters.push(MicroCluster::from_access(coord, weight));
+            return;
+        }
+
+        // i* = argmin_i ‖sum_i/count_i − u‖.
+        let (nearest_idx, nearest_dist) = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.distance_to(&coord)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("clusters is non-empty");
+
+        let threshold = (self.config.radius_factor * self.clusters[nearest_idx].radius())
+            .max(self.config.min_radius);
+
+        if nearest_dist <= threshold {
+            self.clusters[nearest_idx].absorb(coord, weight);
+        } else {
+            self.clusters.push(MicroCluster::from_access(coord, weight));
+            if self.clusters.len() > self.config.max_clusters {
+                self.merge_closest_pair();
+            }
+        }
+    }
+
+    /// Merges the two clusters whose centroids are closest, reducing the
+    /// cluster count by one.
+    fn merge_closest_pair(&mut self) {
+        debug_assert!(self.clusters.len() >= 2);
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..self.clusters.len() {
+            let ci = self.clusters[i].centroid();
+            for j in (i + 1)..self.clusters.len() {
+                let d = ci.distance(&self.clusters[j].centroid());
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, _) = best;
+        let absorbed = self.clusters.swap_remove(j);
+        self.clusters[i].merge(&absorbed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn never_exceeds_max_clusters() {
+        let mut oc: OnlineClusterer<2> = OnlineClusterer::new(4);
+        for i in 0..200 {
+            // Scatter far apart so absorption is rare.
+            oc.observe(
+                Coord::new([(i * 97 % 1000) as f64, (i * 31 % 1000) as f64]),
+                1.0,
+            );
+            assert!(oc.len() <= 4, "len {} after {} accesses", oc.len(), i + 1);
+        }
+        assert_eq!(oc.total_count(), 200);
+    }
+
+    #[test]
+    fn nearby_accesses_are_absorbed() {
+        let mut oc: OnlineClusterer<2> = OnlineClusterer::new(8);
+        for i in 0..100 {
+            oc.observe(Coord::new([(i % 3) as f64, 0.0]), 1.0); // spread 2 < min_radius 5
+        }
+        assert_eq!(oc.len(), 1);
+        assert_eq!(oc.clusters()[0].count(), 100);
+    }
+
+    #[test]
+    fn two_populations_stay_separate() {
+        let mut oc: OnlineClusterer<2> = OnlineClusterer::new(4);
+        for i in 0..100 {
+            oc.observe(Coord::new([(i % 4) as f64, 0.0]), 1.0);
+            oc.observe(Coord::new([500.0 + (i % 4) as f64, 0.0]), 2.0);
+        }
+        // All clusters sit near one of the two populations — none bridges
+        // the gap.
+        for c in oc.clusters() {
+            let x = c.centroid().component(0);
+            assert!(!(50.0..=450.0).contains(&x), "bridging centroid at x = {x}");
+        }
+        assert_eq!(oc.total_count(), 200);
+        assert!((oc.total_weight() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pseudo_points_carry_weights() {
+        let mut oc: OnlineClusterer<2> = OnlineClusterer::new(4);
+        oc.observe(Coord::new([0.0, 0.0]), 5.0);
+        oc.observe(Coord::new([1.0, 0.0]), 3.0);
+        let pts = oc.pseudo_points();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].weight, 8.0);
+        assert_eq!(pts[0].coord.component(0), 0.5);
+    }
+
+    #[test]
+    fn ignores_bad_samples() {
+        let mut oc: OnlineClusterer<2> = OnlineClusterer::new(2);
+        oc.observe(Coord::new([f64::NAN, 0.0]), 1.0);
+        oc.observe(Coord::new([0.0, 0.0]), 0.0);
+        oc.observe(Coord::new([0.0, 0.0]), -1.0);
+        assert!(oc.is_empty());
+        assert_eq!(oc.observed(), 0);
+    }
+
+    #[test]
+    fn clear_starts_fresh_but_keeps_observed() {
+        let mut oc: OnlineClusterer<1> = OnlineClusterer::new(2);
+        oc.observe(Coord::new([1.0]), 1.0);
+        oc.observe(Coord::new([100.0]), 1.0);
+        assert_eq!(oc.len(), 2);
+        oc.clear();
+        assert!(oc.is_empty());
+        assert_eq!(oc.observed(), 2);
+        oc.observe(Coord::new([5.0]), 1.0);
+        assert_eq!(oc.len(), 1);
+    }
+
+    #[test]
+    fn m_equals_one_merges_everything() {
+        let mut oc: OnlineClusterer<1> = OnlineClusterer::new(1);
+        for x in [0.0, 1000.0, -500.0, 42.0] {
+            oc.observe(Coord::new([x]), 1.0);
+        }
+        assert_eq!(oc.len(), 1);
+        assert_eq!(oc.total_count(), 4);
+    }
+
+    #[test]
+    fn radius_grows_then_absorbs_wider() {
+        let mut oc: OnlineClusterer<1> = OnlineClusterer::with_config(OnlineConfig {
+            max_clusters: 4,
+            radius_factor: 1.0,
+            min_radius: 9.0,
+        });
+        // Feed a population spread over ±8, widening outward from 0 (every
+        // point stays within the 9 ms floor of the single cluster's
+        // centroid): one cluster absorbs everything and its radius converges
+        // to the true spread (σ of Uniform{-8..8} ≈ 4.9).
+        for round in 0..12 {
+            for i in 0..17 {
+                let x = if i % 2 == 0 {
+                    (i / 2) as f64
+                } else {
+                    -((i / 2 + 1) as f64)
+                };
+                let _ = round;
+                oc.observe(Coord::new([x]), 1.0);
+            }
+        }
+        assert_eq!(oc.len(), 1);
+        assert_eq!(oc.total_count(), 12 * 17);
+        let r = oc.clusters()[0].radius();
+        assert!((r - 4.9).abs() < 1.0, "radius {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one micro-cluster")]
+    fn zero_m_rejected() {
+        let _ = OnlineClusterer::<2>::new(0);
+    }
+
+    #[test]
+    fn decay_fades_old_populations() {
+        let mut oc: OnlineClusterer<1> = OnlineClusterer::new(4);
+        // An old population at x = 0 with 100 accesses...
+        for _ in 0..100 {
+            oc.observe(Coord::new([0.0]), 1.0);
+        }
+        // ...aged across four periods...
+        for _ in 0..4 {
+            oc.decay(0.3);
+        }
+        // ...is outweighed by a fresh population at x = 500.
+        for _ in 0..20 {
+            oc.observe(Coord::new([500.0]), 1.0);
+        }
+        let pts = oc.pseudo_points();
+        let fresh_weight: f64 = pts
+            .iter()
+            .filter(|p| p.coord.component(0) > 400.0)
+            .map(|p| p.weight)
+            .sum();
+        let stale_weight: f64 = pts
+            .iter()
+            .filter(|p| p.coord.component(0) < 100.0)
+            .map(|p| p.weight)
+            .sum();
+        assert!(
+            fresh_weight > stale_weight * 10.0,
+            "fresh {fresh_weight} vs stale {stale_weight}"
+        );
+    }
+
+    #[test]
+    fn decay_drops_faded_clusters_entirely() {
+        let mut oc: OnlineClusterer<1> = OnlineClusterer::new(4);
+        oc.observe(Coord::new([0.0]), 1.0);
+        oc.observe(Coord::new([500.0]), 1.0);
+        assert_eq!(oc.len(), 2);
+        oc.decay(0.3);
+        assert_eq!(
+            oc.len(),
+            0,
+            "single-access clusters fade after one strong decay"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_counts_are_conserved(
+            xs in prop::collection::vec((-1e4..1e4f64, -1e4..1e4f64), 1..300),
+            m in 1usize..12,
+        ) {
+            let mut oc: OnlineClusterer<2> = OnlineClusterer::new(m);
+            for &(x, y) in &xs {
+                oc.observe(Coord::new([x, y]), 1.0);
+            }
+            prop_assert_eq!(oc.total_count(), xs.len() as u64);
+            prop_assert!((oc.total_weight() - xs.len() as f64).abs() < 1e-6);
+            prop_assert!(oc.len() <= m);
+            prop_assert!(!oc.is_empty());
+        }
+
+        #[test]
+        fn prop_centroid_inside_bounding_box(
+            xs in prop::collection::vec(-1e3..1e3f64, 1..100),
+        ) {
+            let mut oc: OnlineClusterer<1> = OnlineClusterer::new(3);
+            for &x in &xs {
+                oc.observe(Coord::new([x]), 1.0);
+            }
+            let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for c in oc.clusters() {
+                let x = c.centroid().component(0);
+                prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Batch embedding of a whole node population against a latency oracle.
+//!
+//! The experiments in the paper first assign synthetic coordinates to all
+//! 226 nodes by simulating communications and feeding the observed RTTs to
+//! RNP. [`EmbeddingRunner`] packages that process: it repeatedly lets every
+//! node gossip with random peers, feeding each measured RTT into the node's
+//! [`LatencyEstimator`], and finally reports how well the resulting
+//! coordinates predict the true latencies.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::space::Coord;
+use crate::LatencyEstimator;
+
+/// Accuracy summary of a finished embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbeddingReport {
+    /// Median absolute prediction error over sampled pairs, in ms.
+    pub median_abs_err: f64,
+    /// 90th-percentile absolute prediction error, in ms.
+    pub p90_abs_err: f64,
+    /// Median relative prediction error.
+    pub median_rel_err: f64,
+    /// Mean relative prediction error.
+    pub mean_rel_err: f64,
+    /// Fraction of sampled pairs predicted within 10 ms — the figure of
+    /// merit the RNP paper quotes ("typically lower than 10 ms for a
+    /// majority of node pairs").
+    pub frac_within_10ms: f64,
+    /// Number of node pairs the report was computed over.
+    pub pairs: usize,
+}
+
+/// Drives a gossip-style embedding of `n` nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmbeddingRunner {
+    /// Gossip rounds; each round lets every node sample some peers.
+    pub rounds: usize,
+    /// Number of random peers each node contacts per round.
+    pub samples_per_round: usize,
+    /// RNG seed (runs are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for EmbeddingRunner {
+    fn default() -> Self {
+        EmbeddingRunner {
+            rounds: 40,
+            samples_per_round: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl EmbeddingRunner {
+    /// Embeds `n` nodes whose pairwise RTTs are given by `oracle(i, j)`
+    /// (milliseconds; only called with `i != j`). A fresh estimator is
+    /// created per node via `make_node(node_index)`; pass the index on to a
+    /// seeded constructor (e.g. [`crate::Vivaldi::seeded`]) when the run
+    /// must be reproducible.
+    ///
+    /// Returns the final coordinates together with an accuracy report over
+    /// all pairs (when `n ≤ 512`) or a random sample of pairs otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn run<const D: usize, E, F, O>(
+        &self,
+        n: usize,
+        oracle: O,
+        make_node: F,
+    ) -> (Vec<Coord<D>>, EmbeddingReport)
+    where
+        E: LatencyEstimator<D>,
+        F: Fn(usize) -> E,
+        O: Fn(usize, usize) -> f64,
+    {
+        assert!(n >= 2, "embedding needs at least two nodes, got {n}");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut nodes: Vec<E> = (0..n).map(make_node).collect();
+
+        for _ in 0..self.rounds {
+            for i in 0..n {
+                for _ in 0..self.samples_per_round {
+                    let mut j = rng.random_range(0..n - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    let rtt = oracle(i, j);
+                    let peer = nodes[j].coordinate();
+                    let err = nodes[j].error();
+                    nodes[i].observe(peer, err, rtt);
+                }
+            }
+        }
+
+        let coords: Vec<Coord<D>> = nodes.iter().map(|e| e.coordinate()).collect();
+        let report = evaluate(&coords, &oracle, self.seed ^ 0x5EED_0EED);
+        (coords, report)
+    }
+}
+
+/// Scores how well a set of coordinates predicts the oracle's latencies:
+/// all pairs when the population is small (≤ 512 nodes), a deterministic
+/// random sample of 100 000 pairs otherwise. `oracle(i, j)` returns the
+/// true RTT in ms; non-positive or non-finite oracle values are skipped.
+pub fn evaluate<const D: usize, O>(coords: &[Coord<D>], oracle: &O, seed: u64) -> EmbeddingReport
+where
+    O: Fn(usize, usize) -> f64,
+{
+    let n = coords.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    {
+        let mut abs_errs = Vec::new();
+        let mut rel_errs = Vec::new();
+        let mut within = 0usize;
+
+        let mut push_pair = |i: usize, j: usize| {
+            let truth = oracle(i, j);
+            if !(truth.is_finite() && truth > 0.0) {
+                return;
+            }
+            let pred = coords[i].distance(&coords[j]);
+            let abs = (pred - truth).abs();
+            abs_errs.push(abs);
+            rel_errs.push(abs / truth);
+            if abs <= 10.0 {
+                within += 1;
+            }
+        };
+
+        if n <= 512 {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    push_pair(i, j);
+                }
+            }
+        } else {
+            for _ in 0..100_000 {
+                let i = rng.random_range(0..n);
+                let mut j = rng.random_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                push_pair(i, j);
+            }
+        }
+
+        abs_errs.sort_by(f64::total_cmp);
+        rel_errs.sort_by(f64::total_cmp);
+        let pairs = abs_errs.len();
+        let pct = |v: &[f64], q: f64| -> f64 {
+            if v.is_empty() {
+                return f64::NAN;
+            }
+            v[((v.len() - 1) as f64 * q).round() as usize]
+        };
+        EmbeddingReport {
+            median_abs_err: pct(&abs_errs, 0.5),
+            p90_abs_err: pct(&abs_errs, 0.9),
+            median_rel_err: pct(&rel_errs, 0.5),
+            mean_rel_err: rel_errs.iter().sum::<f64>() / pairs.max(1) as f64,
+            frac_within_10ms: within as f64 / pairs.max(1) as f64,
+            pairs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rnp::Rnp;
+    use crate::vivaldi::Vivaldi;
+
+    /// A perfectly embeddable oracle: nodes on a 2-D grid, RTT = Euclidean
+    /// distance (plus a floor to avoid zero RTTs).
+    fn grid_oracle(cols: usize) -> impl Fn(usize, usize) -> f64 {
+        move |i: usize, j: usize| {
+            let (xi, yi) = ((i % cols) as f64 * 25.0, (i / cols) as f64 * 25.0);
+            let (xj, yj) = ((j % cols) as f64 * 25.0, (j / cols) as f64 * 25.0);
+            ((xi - xj).powi(2) + (yi - yj).powi(2)).sqrt().max(2.0)
+        }
+    }
+
+    #[test]
+    fn vivaldi_embeds_a_grid() {
+        let runner = EmbeddingRunner {
+            rounds: 120,
+            samples_per_round: 4,
+            seed: 7,
+        };
+        let (_, report) = runner.run(16, grid_oracle(4), |i| {
+            Vivaldi::<3>::seeded(Default::default(), i as u64)
+        });
+        assert!(
+            report.median_rel_err < 0.15,
+            "median relative error {}",
+            report.median_rel_err
+        );
+    }
+
+    #[test]
+    fn rnp_embeds_a_grid_accurately() {
+        let runner = EmbeddingRunner {
+            rounds: 60,
+            samples_per_round: 4,
+            seed: 7,
+        };
+        let (_, report) = runner.run(16, grid_oracle(4), |_| Rnp::<3>::new());
+        assert!(
+            report.median_rel_err < 0.10,
+            "median relative error {}",
+            report.median_rel_err
+        );
+        assert!(
+            report.frac_within_10ms > 0.6,
+            "within 10ms: {}",
+            report.frac_within_10ms
+        );
+    }
+
+    #[test]
+    fn report_covers_all_pairs_for_small_n() {
+        let runner = EmbeddingRunner {
+            rounds: 5,
+            samples_per_round: 2,
+            seed: 1,
+        };
+        let (coords, report) = runner.run(10, grid_oracle(5), |i| {
+            Vivaldi::<2>::seeded(Default::default(), i as u64)
+        });
+        assert_eq!(coords.len(), 10);
+        assert_eq!(report.pairs, 10 * 9 / 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let runner = EmbeddingRunner {
+            rounds: 10,
+            samples_per_round: 2,
+            seed: 99,
+        };
+        let (c1, r1) = runner.run(8, grid_oracle(4), |i| {
+            Vivaldi::<2>::seeded(Default::default(), i as u64)
+        });
+        let (c2, r2) = runner.run(8, grid_oracle(4), |i| {
+            Vivaldi::<2>::seeded(Default::default(), i as u64)
+        });
+        assert_eq!(c1, c2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_single_node() {
+        let runner = EmbeddingRunner::default();
+        let _ = runner.run(1, |_, _| 1.0, |_| Vivaldi::<2>::new());
+    }
+}

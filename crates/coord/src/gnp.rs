@@ -1,0 +1,330 @@
+//! Global Network Positioning (GNP).
+//!
+//! GNP (Ng and Zhang — INFOCOM 2002) is the landmark-based embedding scheme
+//! from the paper's related work: a small set of *landmark* nodes first
+//! embed themselves jointly from their pairwise RTTs, then every ordinary
+//! node solves for its own coordinates from its RTTs to the landmarks. In
+//! contrast to Vivaldi and RNP it requires pre-configured infrastructure,
+//! which is exactly the drawback the paper cites.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::simplex::{minimize, SimplexOptions};
+use crate::space::Coord;
+
+/// Error produced by GNP embedding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GnpError {
+    /// Fewer landmarks than `D + 1` were supplied; the embedding would be
+    /// under-constrained.
+    TooFewLandmarks {
+        /// Minimum number required for the requested dimensionality.
+        needed: usize,
+        /// Number supplied.
+        got: usize,
+    },
+    /// The RTT table was not square / did not match the landmark count.
+    MalformedRttTable,
+    /// An RTT was non-finite or negative.
+    InvalidRtt,
+}
+
+impl fmt::Display for GnpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnpError::TooFewLandmarks { needed, got } => {
+                write!(f, "embedding needs at least {needed} landmarks, got {got}")
+            }
+            GnpError::MalformedRttTable => write!(f, "rtt table shape does not match landmarks"),
+            GnpError::InvalidRtt => write!(f, "rtt values must be finite and non-negative"),
+        }
+    }
+}
+
+impl Error for GnpError {}
+
+/// A trained GNP frame: landmark coordinates that ordinary nodes position
+/// themselves against.
+///
+/// # Example
+///
+/// ```
+/// use georep_coord::gnp::Gnp;
+///
+/// // Three landmarks forming a 30/40/50 right triangle.
+/// let rtts = vec![
+///     vec![0.0, 30.0, 40.0],
+///     vec![30.0, 0.0, 50.0],
+///     vec![40.0, 50.0, 0.0],
+/// ];
+/// let gnp: Gnp<2> = Gnp::embed_landmarks(&rtts)?;
+/// // A node 5 ms from landmark 0 and ~30 ms from the others sits near
+/// // landmark 0.
+/// let me = gnp.position(&[5.0, 32.0, 42.0])?;
+/// let back = gnp.landmarks()[0].distance(&me);
+/// assert!((back - 5.0).abs() < 4.0);
+/// # Ok::<(), georep_coord::gnp::GnpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gnp<const D: usize> {
+    landmarks: Vec<Coord<D>>,
+    fit_error: f64,
+}
+
+impl<const D: usize> Gnp<D> {
+    /// Jointly embeds the landmarks from their pairwise RTT table (in
+    /// milliseconds) and returns the trained frame.
+    ///
+    /// The joint problem is solved by cyclic coordinate descent: each pass
+    /// re-solves one landmark's position against the currently-fixed others
+    /// with Nelder–Mead, repeating until the total squared relative error
+    /// stops improving.
+    ///
+    /// # Errors
+    ///
+    /// * [`GnpError::TooFewLandmarks`] if fewer than `D + 1` landmarks.
+    /// * [`GnpError::MalformedRttTable`] if the table is not `n × n`.
+    /// * [`GnpError::InvalidRtt`] if any off-diagonal RTT is not a positive
+    ///   finite number.
+    pub fn embed_landmarks(rtts: &[Vec<f64>]) -> Result<Self, GnpError> {
+        let n = rtts.len();
+        if n < D + 1 {
+            return Err(GnpError::TooFewLandmarks {
+                needed: D + 1,
+                got: n,
+            });
+        }
+        if rtts.iter().any(|row| row.len() != n) {
+            return Err(GnpError::MalformedRttTable);
+        }
+        for (i, row) in rtts.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if i != j && !(v.is_finite() && v > 0.0) {
+                    return Err(GnpError::InvalidRtt);
+                }
+            }
+        }
+
+        // Deterministic spread-out initialization: place landmark i at
+        // distance rtts[0][i] from the origin along a rotating direction.
+        let mut coords: Vec<Coord<D>> = (0..n)
+            .map(|i| {
+                let mut pos = [0.0; D];
+                if i > 0 {
+                    let angle = i as f64 * 2.399963229728653; // golden angle
+                    pos[0] = rtts[0][i] * angle.cos();
+                    if D > 1 {
+                        pos[1] = rtts[0][i] * angle.sin();
+                    }
+                }
+                Coord::new(pos)
+            })
+            .collect();
+
+        let total_err = |coords: &[Coord<D>]| -> f64 {
+            let mut acc = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let rel = (coords[i].distance(&coords[j]) - rtts[i][j]) / rtts[i][j];
+                    acc += rel * rel;
+                }
+            }
+            acc
+        };
+
+        let mut best = total_err(&coords);
+        for _pass in 0..24 {
+            for i in 0..n {
+                let others: Vec<(Coord<D>, f64)> = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| (coords[j], rtts[i][j]))
+                    .collect();
+                let result = minimize(
+                    coords[i].pos(),
+                    SimplexOptions {
+                        max_evals: 400,
+                        initial_step: 20.0,
+                        ..Default::default()
+                    },
+                    |p| {
+                        let mut pos = [0.0; D];
+                        pos.copy_from_slice(p);
+                        let c = Coord::new(pos);
+                        others
+                            .iter()
+                            .map(|(o, rtt)| {
+                                let rel = (c.distance(o) - rtt) / rtt;
+                                rel * rel
+                            })
+                            .sum()
+                    },
+                );
+                let mut pos = [0.0; D];
+                pos.copy_from_slice(&result.point);
+                coords[i] = Coord::new(pos);
+            }
+            let now = total_err(&coords);
+            if best - now < 1e-10 {
+                best = now;
+                break;
+            }
+            best = now;
+        }
+
+        let pairs = (n * (n - 1) / 2) as f64;
+        Ok(Gnp {
+            landmarks: coords,
+            fit_error: (best / pairs).sqrt(),
+        })
+    }
+
+    /// The embedded landmark coordinates.
+    pub fn landmarks(&self) -> &[Coord<D>] {
+        &self.landmarks
+    }
+
+    /// RMS relative error of the landmark embedding itself.
+    pub fn fit_error(&self) -> f64 {
+        self.fit_error
+    }
+
+    /// Positions an ordinary node given its RTTs to each landmark (in the
+    /// same order as [`Gnp::landmarks`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`GnpError::MalformedRttTable`] if `rtts.len()` does not match the
+    ///   landmark count.
+    /// * [`GnpError::InvalidRtt`] if any RTT is not a positive finite
+    ///   number.
+    pub fn position(&self, rtts: &[f64]) -> Result<Coord<D>, GnpError> {
+        if rtts.len() != self.landmarks.len() {
+            return Err(GnpError::MalformedRttTable);
+        }
+        if rtts.iter().any(|v| !(v.is_finite() && *v > 0.0)) {
+            return Err(GnpError::InvalidRtt);
+        }
+        // Start from the landmark we are closest to.
+        let (nearest, _) = rtts
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("landmark set is non-empty");
+        let result = minimize(
+            self.landmarks[nearest].pos(),
+            SimplexOptions {
+                max_evals: 800,
+                initial_step: 20.0,
+                ..Default::default()
+            },
+            |p| {
+                let mut pos = [0.0; D];
+                pos.copy_from_slice(p);
+                let c = Coord::new(pos);
+                self.landmarks
+                    .iter()
+                    .zip(rtts)
+                    .map(|(l, rtt)| {
+                        let rel = (c.distance(l) - rtt) / rtt;
+                        rel * rel
+                    })
+                    .sum()
+            },
+        );
+        let mut pos = [0.0; D];
+        pos.copy_from_slice(&result.point);
+        Ok(Coord::new(pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn right_triangle() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 30.0, 40.0],
+            vec![30.0, 0.0, 50.0],
+            vec![40.0, 50.0, 0.0],
+        ]
+    }
+
+    #[test]
+    fn landmarks_embed_with_low_error() {
+        let gnp: Gnp<2> = Gnp::embed_landmarks(&right_triangle()).unwrap();
+        assert!(gnp.fit_error() < 0.05, "fit error {}", gnp.fit_error());
+        let l = gnp.landmarks();
+        assert!((l[0].distance(&l[1]) - 30.0).abs() < 2.0);
+        assert!((l[0].distance(&l[2]) - 40.0).abs() < 2.0);
+        assert!((l[1].distance(&l[2]) - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn too_few_landmarks_rejected() {
+        let rtts = vec![vec![0.0, 10.0], vec![10.0, 0.0]];
+        let err = Gnp::<3>::embed_landmarks(&rtts).unwrap_err();
+        assert_eq!(err, GnpError::TooFewLandmarks { needed: 4, got: 2 });
+        assert!(err.to_string().contains("at least 4"));
+    }
+
+    #[test]
+    fn malformed_table_rejected() {
+        let rtts = vec![vec![0.0, 10.0], vec![10.0, 0.0], vec![5.0]];
+        assert_eq!(
+            Gnp::<2>::embed_landmarks(&rtts).unwrap_err(),
+            GnpError::MalformedRttTable
+        );
+    }
+
+    #[test]
+    fn invalid_rtt_rejected() {
+        let mut rtts = right_triangle();
+        rtts[0][1] = f64::NAN;
+        assert_eq!(
+            Gnp::<2>::embed_landmarks(&rtts).unwrap_err(),
+            GnpError::InvalidRtt
+        );
+        let mut rtts = right_triangle();
+        rtts[2][1] = -4.0;
+        assert_eq!(
+            Gnp::<2>::embed_landmarks(&rtts).unwrap_err(),
+            GnpError::InvalidRtt
+        );
+    }
+
+    #[test]
+    fn positions_node_between_landmarks() {
+        let gnp: Gnp<2> = Gnp::embed_landmarks(&right_triangle()).unwrap();
+        // Node collocated with landmark 1 (tiny RTT to it).
+        let c = gnp.position(&[29.0, 1.0, 49.0]).unwrap();
+        let d = c.distance(&gnp.landmarks()[1]);
+        assert!(d < 5.0, "distance to landmark 1 = {d}");
+    }
+
+    #[test]
+    fn position_rejects_wrong_arity() {
+        let gnp: Gnp<2> = Gnp::embed_landmarks(&right_triangle()).unwrap();
+        assert_eq!(
+            gnp.position(&[1.0, 2.0]).unwrap_err(),
+            GnpError::MalformedRttTable
+        );
+        assert_eq!(
+            gnp.position(&[1.0, 2.0, f64::INFINITY]).unwrap_err(),
+            GnpError::InvalidRtt
+        );
+    }
+
+    #[test]
+    fn four_landmarks_in_3d() {
+        // Regular-ish tetrahedron distances.
+        let rtts = vec![
+            vec![0.0, 60.0, 60.0, 60.0],
+            vec![60.0, 0.0, 60.0, 60.0],
+            vec![60.0, 60.0, 0.0, 60.0],
+            vec![60.0, 60.0, 60.0, 0.0],
+        ];
+        let gnp: Gnp<3> = Gnp::embed_landmarks(&rtts).unwrap();
+        assert!(gnp.fit_error() < 0.05, "fit error {}", gnp.fit_error());
+    }
+}

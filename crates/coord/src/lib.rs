@@ -1,0 +1,81 @@
+//! Network coordinate systems for wide-area latency prediction.
+//!
+//! This crate implements the synthetic-coordinate substrate used by the
+//! replica placement technique of Ping et al., *Towards Optimal Data
+//! Replication Across Data Centers* (ICDCS 2011). Nodes (both servers and
+//! clients) are embedded into a low-dimensional space such that the
+//! round-trip time between two arbitrary nodes is approximated by the
+//! distance between their coordinates.
+//!
+//! Three embedding protocols are provided:
+//!
+//! * [`vivaldi`] — the decentralized spring-relaxation scheme of Dabek et
+//!   al. (SIGCOMM 2004), used as a baseline.
+//! * [`rnp`] — *Retrospective Network Positioning* (Ping, McConnell and
+//!   Hwang, GridPeer 2010), the scheme the paper actually uses: each node
+//!   retains a bounded history of latency samples and periodically re-solves
+//!   its own position against that history, weighting samples by the
+//!   reliability of the peer that produced them.
+//! * [`gnp`] — *Global Network Positioning* (Ng and Zhang, INFOCOM 2002),
+//!   the landmark-based scheme discussed in the paper's related work.
+//!
+//! # Example
+//!
+//! ```
+//! use georep_coord::{Coord, vivaldi::Vivaldi, LatencyEstimator};
+//!
+//! let mut a: Vivaldi<3> = Vivaldi::new();
+//! let mut b: Vivaldi<3> = Vivaldi::new();
+//! // Feed both nodes a few RTT observations of each other (20 ms apart).
+//! for _ in 0..64 {
+//!     let (ca, cb) = (a.coordinate(), b.coordinate());
+//!     let (ea, eb) = (a.error(), b.error());
+//!     a.observe(cb, eb, 20.0);
+//!     b.observe(ca, ea, 20.0);
+//! }
+//! let predicted = a.coordinate().distance(&b.coordinate());
+//! assert!((predicted - 20.0).abs() < 2.0);
+//! ```
+
+pub mod embedding;
+pub mod gnp;
+pub mod rnp;
+pub mod simplex;
+pub mod space;
+pub mod stability;
+pub mod vivaldi;
+
+pub use embedding::{EmbeddingReport, EmbeddingRunner};
+pub use gnp::Gnp;
+pub use rnp::Rnp;
+pub use space::Coord;
+pub use stability::{StabilityReport, StabilityTracker};
+pub use vivaldi::Vivaldi;
+
+/// A decentralized, node-local network coordinate protocol.
+///
+/// Implementations maintain a coordinate estimate and a confidence value
+/// which are refined on every observed round-trip-time sample. Both
+/// [`Vivaldi`] and [`Rnp`] implement this trait, which lets the rest of the
+/// system (simulator, placement experiments) swap protocols freely.
+pub trait LatencyEstimator<const D: usize> {
+    /// The node's current coordinate estimate.
+    fn coordinate(&self) -> Coord<D>;
+
+    /// The node's current *relative error* estimate in `[0, 1+]`.
+    ///
+    /// A fresh node reports `1.0` (no confidence); a converged node
+    /// typically reports well under `0.5`.
+    fn error(&self) -> f64;
+
+    /// Incorporates one latency sample: the peer's advertised coordinate and
+    /// error, together with the measured round-trip time in milliseconds.
+    ///
+    /// Samples with non-finite or non-positive `rtt_ms` are ignored.
+    fn observe(&mut self, peer: Coord<D>, peer_error: f64, rtt_ms: f64);
+
+    /// Predicted round-trip time to a peer coordinate, in milliseconds.
+    fn predict(&self, peer: &Coord<D>) -> f64 {
+        self.coordinate().distance(peer)
+    }
+}

@@ -1,0 +1,283 @@
+//! A small, dependency-free Nelder–Mead downhill-simplex minimizer.
+//!
+//! Both landmark-based embedding ([`crate::gnp`]) and retrospective
+//! positioning ([`crate::rnp`]) solve low-dimensional non-linear
+//! least-squares problems ("place me such that my distances to these
+//! reference points best match the measured RTTs"). Nelder–Mead is the
+//! classic derivative-free choice for those problems — it is what the
+//! original GNP paper used.
+
+/// Options controlling a [`minimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplexOptions {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Convergence threshold on the objective spread across the simplex.
+    pub f_tolerance: f64,
+    /// Initial simplex scale (distance of the probing vertices from the
+    /// starting point).
+    pub initial_step: f64,
+}
+
+impl Default for SimplexOptions {
+    fn default() -> Self {
+        SimplexOptions {
+            max_evals: 2_000,
+            f_tolerance: 1e-9,
+            initial_step: 10.0,
+        }
+    }
+}
+
+/// Result of a [`minimize`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimplexResult {
+    /// The best point found.
+    pub point: Vec<f64>,
+    /// Objective value at [`SimplexResult::point`].
+    pub value: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+    /// Whether the spread criterion was met (as opposed to running out of
+    /// evaluations).
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `start` using the Nelder–Mead simplex method
+/// with the standard (1, 2, ½, ½) coefficients.
+///
+/// The objective must return a finite value for finite inputs; non-finite
+/// returns are treated as `+∞` (the vertex is rejected), which makes the
+/// optimizer robust to domain edges.
+///
+/// # Panics
+///
+/// Panics if `start` is empty.
+///
+/// # Example
+///
+/// ```
+/// use georep_coord::simplex::{minimize, SimplexOptions};
+///
+/// // Minimize (x-3)^2 + (y+1)^2.
+/// let r = minimize(&[0.0, 0.0], SimplexOptions::default(), |p| {
+///     (p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2)
+/// });
+/// assert!((r.point[0] - 3.0).abs() < 1e-3);
+/// assert!((r.point[1] + 1.0).abs() < 1e-3);
+/// ```
+pub fn minimize<F>(start: &[f64], opts: SimplexOptions, mut f: F) -> SimplexResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!start.is_empty(), "cannot minimize over zero dimensions");
+    let n = start.len();
+    let mut evals = 0usize;
+    let mut eval = |p: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(p);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Build the initial simplex: the start plus one vertex per axis.
+    let mut verts: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    verts.push(start.to_vec());
+    for i in 0..n {
+        let mut v = start.to_vec();
+        v[i] += opts.initial_step;
+        verts.push(v);
+    }
+    let mut values: Vec<f64> = verts.iter().map(|v| eval(v, &mut evals)).collect();
+
+    let mut converged = false;
+    while evals < opts.max_evals {
+        // Order vertices by objective value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        if (values[worst] - values[best]).abs() <= opts.f_tolerance {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (idx, v) in verts.iter().enumerate() {
+            if idx == worst {
+                continue;
+            }
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x;
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+
+        let blend = |a: &[f64], b: &[f64], t: f64| -> Vec<f64> {
+            a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+        };
+
+        // Reflection.
+        let reflected = blend(&centroid, &verts[worst], -1.0);
+        let fr = eval(&reflected, &mut evals);
+        if fr < values[best] {
+            // Expansion.
+            let expanded = blend(&centroid, &verts[worst], -2.0);
+            let fe = eval(&expanded, &mut evals);
+            if fe < fr {
+                verts[worst] = expanded;
+                values[worst] = fe;
+            } else {
+                verts[worst] = reflected;
+                values[worst] = fr;
+            }
+        } else if fr < values[second_worst] {
+            verts[worst] = reflected;
+            values[worst] = fr;
+        } else {
+            // Contraction (outside if the reflection improved on the worst,
+            // inside otherwise).
+            let (candidate, fc) = if fr < values[worst] {
+                let c = blend(&centroid, &reflected, 0.5);
+                let v = eval(&c, &mut evals);
+                (c, v)
+            } else {
+                let c = blend(&centroid, &verts[worst], 0.5);
+                let v = eval(&c, &mut evals);
+                (c, v)
+            };
+            if fc < values[worst].min(fr) {
+                verts[worst] = candidate;
+                values[worst] = fc;
+            } else {
+                // Shrink everything toward the best vertex.
+                let best_v = verts[best].clone();
+                for (idx, v) in verts.iter_mut().enumerate() {
+                    if idx == best {
+                        continue;
+                    }
+                    *v = blend(&best_v, v, 0.5);
+                    values[idx] = eval(v, &mut evals);
+                }
+            }
+        }
+    }
+
+    let (best_idx, _) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .expect("simplex always has vertices");
+    SimplexResult {
+        point: verts[best_idx].clone(),
+        value: values[best_idx],
+        evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let r = minimize(&[10.0, -10.0, 5.0], SimplexOptions::default(), |p| {
+            p.iter().map(|x| x * x).sum()
+        });
+        assert!(r.value < 1e-6, "value {}", r.value);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let opts = SimplexOptions {
+            max_evals: 20_000,
+            initial_step: 0.5,
+            ..Default::default()
+        };
+        let r = minimize(&[-1.2, 1.0], opts, |p| {
+            let (x, y) = (p[0], p[1]);
+            (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+        });
+        assert!((r.point[0] - 1.0).abs() < 1e-2, "x = {}", r.point[0]);
+        assert!((r.point[1] - 1.0).abs() < 1e-2, "y = {}", r.point[1]);
+    }
+
+    #[test]
+    fn one_dimensional_problems_work() {
+        let r = minimize(&[100.0], SimplexOptions::default(), |p| (p[0] + 4.0).abs());
+        assert!((r.point[0] + 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let opts = SimplexOptions {
+            max_evals: 50,
+            ..Default::default()
+        };
+        let r = minimize(&[5.0, 5.0], opts, |p| p.iter().map(|x| x * x).sum());
+        assert!(r.evals <= 50 + 2, "evals {}", r.evals); // +2: shrink step may overshoot slightly
+    }
+
+    #[test]
+    fn survives_nonfinite_objective_regions() {
+        // NaN outside the unit disk; minimum at origin within.
+        let r = minimize(
+            &[0.9, 0.0],
+            SimplexOptions {
+                initial_step: 0.05,
+                ..Default::default()
+            },
+            |p| {
+                let n: f64 = p.iter().map(|x| x * x).sum();
+                if n > 1.0 {
+                    f64::NAN
+                } else {
+                    n
+                }
+            },
+        );
+        assert!(r.value < 1e-4, "value {}", r.value);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimensions")]
+    fn empty_start_panics() {
+        let _ = minimize(&[], SimplexOptions::default(), |_| 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_never_returns_worse_than_start(
+            start in prop::collection::vec(-100.0..100.0f64, 1..5)
+        ) {
+            let f = |p: &[f64]| p.iter().map(|x| (x - 1.0) * (x - 1.0)).sum::<f64>();
+            let f0 = f(&start);
+            let r = minimize(&start, SimplexOptions::default(), f);
+            prop_assert!(r.value <= f0 + 1e-12);
+        }
+
+        #[test]
+        fn prop_quadratic_converges_to_target(
+            target in prop::collection::vec(-50.0..50.0f64, 2..4)
+        ) {
+            let t = target.clone();
+            let r = minimize(&vec![0.0; target.len()],
+                SimplexOptions { max_evals: 10_000, ..Default::default() },
+                move |p| p.iter().zip(&t).map(|(x, y)| (x - y) * (x - y)).sum());
+            for (x, y) in r.point.iter().zip(&target) {
+                prop_assert!((x - y).abs() < 1e-2);
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Coordinate stability measurement.
+//!
+//! The RNP paper's second claim — beyond accuracy — is *stability*:
+//! coordinates should not jitter from sample to sample, because every
+//! coordinate change invalidates cached routing decisions (and, in this
+//! reproduction, perturbs the micro-cluster summaries built from client
+//! coordinates). [`StabilityTracker`] ingests coordinate snapshots over
+//! time and reports how far and how often they move.
+
+use crate::space::Coord;
+
+/// Tracks the movement of one node's coordinate across updates.
+#[derive(Debug, Clone)]
+pub struct StabilityTracker<const D: usize> {
+    last: Option<Coord<D>>,
+    updates: u64,
+    moves: u64,
+    total_distance: f64,
+    max_step: f64,
+    /// Movement distances, retained for percentile queries.
+    steps: Vec<f64>,
+}
+
+impl<const D: usize> Default for StabilityTracker<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary of a tracked node's coordinate movement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StabilityReport {
+    /// Snapshots ingested.
+    pub updates: u64,
+    /// Snapshots that moved the coordinate (by more than 1 µs-equivalent).
+    pub moves: u64,
+    /// Total distance travelled, in coordinate units (ms).
+    pub total_distance: f64,
+    /// Mean step length over all updates (including zero-length ones).
+    pub mean_step: f64,
+    /// Median step length over all updates.
+    pub median_step: f64,
+    /// Largest single step.
+    pub max_step: f64,
+}
+
+impl<const D: usize> StabilityTracker<D> {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        StabilityTracker {
+            last: None,
+            updates: 0,
+            moves: 0,
+            total_distance: 0.0,
+            max_step: 0.0,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Ingests the node's current coordinate. The first snapshot
+    /// establishes the baseline and counts as an update with zero movement.
+    pub fn observe(&mut self, coord: Coord<D>) {
+        self.updates += 1;
+        let step = match &self.last {
+            Some(prev) => prev.euclidean(&coord) + (prev.height() - coord.height()).abs(),
+            None => 0.0,
+        };
+        if step > 1e-3 {
+            self.moves += 1;
+        }
+        self.total_distance += step;
+        self.max_step = self.max_step.max(step);
+        self.steps.push(step);
+        self.last = Some(coord);
+    }
+
+    /// Produces the movement summary. Returns `None` before any snapshot.
+    pub fn report(&self) -> Option<StabilityReport> {
+        if self.updates == 0 {
+            return None;
+        }
+        let mut sorted = self.steps.clone();
+        sorted.sort_by(f64::total_cmp);
+        Some(StabilityReport {
+            updates: self.updates,
+            moves: self.moves,
+            total_distance: self.total_distance,
+            mean_step: self.total_distance / self.updates as f64,
+            median_step: sorted[(sorted.len() - 1) / 2],
+            max_step: self.max_step,
+        })
+    }
+}
+
+/// Convenience: runs two estimators over the same deterministic sample
+/// stream and returns their total coordinate travel — the comparison behind
+/// "RNP is more stable than Vivaldi".
+pub fn compare_travel<const D: usize, A, B>(
+    mut a: A,
+    mut b: B,
+    samples: &[(Coord<D>, f64, f64)],
+    warmup: usize,
+) -> (f64, f64)
+where
+    A: crate::LatencyEstimator<D>,
+    B: crate::LatencyEstimator<D>,
+{
+    let mut ta = StabilityTracker::new();
+    let mut tb = StabilityTracker::new();
+    for (i, &(peer, err, rtt)) in samples.iter().enumerate() {
+        a.observe(peer, err, rtt);
+        b.observe(peer, err, rtt);
+        if i >= warmup {
+            ta.observe(a.coordinate());
+            tb.observe(b.coordinate());
+        }
+    }
+    (
+        ta.report().map_or(0.0, |r| r.total_distance),
+        tb.report().map_or(0.0, |r| r.total_distance),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rnp::Rnp;
+    use crate::vivaldi::{Vivaldi, VivaldiConfig};
+
+    #[test]
+    fn empty_tracker_has_no_report() {
+        let t: StabilityTracker<2> = StabilityTracker::new();
+        assert!(t.report().is_none());
+    }
+
+    #[test]
+    fn static_coordinate_never_moves() {
+        let mut t: StabilityTracker<2> = StabilityTracker::new();
+        for _ in 0..10 {
+            t.observe(Coord::new([5.0, 5.0]));
+        }
+        let r = t.report().unwrap();
+        assert_eq!(r.updates, 10);
+        assert_eq!(r.moves, 0);
+        assert_eq!(r.total_distance, 0.0);
+        assert_eq!(r.max_step, 0.0);
+    }
+
+    #[test]
+    fn movement_is_accumulated() {
+        let mut t: StabilityTracker<1> = StabilityTracker::new();
+        t.observe(Coord::new([0.0]));
+        t.observe(Coord::new([3.0]));
+        t.observe(Coord::new([3.0]));
+        t.observe(Coord::new([7.0]));
+        let r = t.report().unwrap();
+        assert_eq!(r.updates, 4);
+        assert_eq!(r.moves, 2);
+        assert_eq!(r.total_distance, 7.0);
+        assert_eq!(r.max_step, 4.0);
+        assert_eq!(r.mean_step, 7.0 / 4.0);
+    }
+
+    #[test]
+    fn height_changes_count_as_movement() {
+        let mut t: StabilityTracker<1> = StabilityTracker::new();
+        t.observe(Coord::new([0.0]).with_height(1.0));
+        t.observe(Coord::new([0.0]).with_height(3.0));
+        let r = t.report().unwrap();
+        assert_eq!(r.total_distance, 2.0);
+    }
+
+    #[test]
+    fn rnp_travels_less_than_vivaldi_on_noisy_samples() {
+        // Deterministic noisy stream around three anchors.
+        let anchors = [
+            Coord::new([60.0, 0.0]),
+            Coord::new([-60.0, 0.0]),
+            Coord::new([0.0, 60.0]),
+        ];
+        let noise = [1.15, 0.9, 1.05, 0.85, 1.1, 0.95];
+        let samples: Vec<(Coord<2>, f64, f64)> = (0..600)
+            .map(|i| {
+                let peer = anchors[i % 3];
+                let rtt = 60.0 * noise[i % noise.len()];
+                (peer, 0.1, rtt)
+            })
+            .collect();
+        let (rnp_travel, viv_travel) = compare_travel(
+            Rnp::<2>::new(),
+            Vivaldi::<2>::seeded(VivaldiConfig::default(), 7),
+            &samples,
+            200,
+        );
+        assert!(
+            rnp_travel < viv_travel * 0.5,
+            "rnp travelled {rnp_travel:.1}, vivaldi {viv_travel:.1}"
+        );
+    }
+}

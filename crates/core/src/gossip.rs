@@ -1,0 +1,392 @@
+//! Coordinate assignment by *simulated communications* — the paper's own
+//! methodology, end to end.
+//!
+//! Section IV-A: "this simulator can emulate communications between nodes
+//! based on real network traffic data … Based on such emulated network
+//! communications, the simulator can assign synthetic coordinates to all
+//! the 226 nodes using RNP". [`embed_via_simulation`] does exactly that:
+//! every node runs an RNP gossip [`Process`] on the discrete-event
+//! simulator, periodically pinging a random peer; the pong carries the
+//! peer's current coordinate and confidence, and the *measured* round-trip
+//! time — including whatever jitter the network applied — feeds the node's
+//! estimator. No component ever reads the latency matrix directly; RTTs
+//! are observed the way a deployed system observes them.
+
+use georep_coord::embedding::{evaluate, EmbeddingReport};
+use georep_coord::rnp::Rnp;
+use georep_coord::{Coord, LatencyEstimator};
+use georep_net::rtt::RttMatrix;
+use georep_net::sim::process::{NetStats, NodeId, Process, ProcessCtx, ProcessNet};
+use georep_net::sim::{Network, SimDuration, SimTime};
+
+use crate::experiment::DIMS;
+
+/// Parameters of a gossip embedding run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GossipConfig {
+    /// How often each node pings a random peer.
+    pub ping_interval: SimDuration,
+    /// Total simulated duration of the protocol run.
+    pub duration: SimDuration,
+    /// Multiplicative lognormal jitter applied to every message delay —
+    /// this is the measurement noise the estimators must cope with.
+    pub jitter_sigma: f64,
+    /// Seed for both the network jitter and the peer selection.
+    pub seed: u64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            ping_interval: SimDuration::from_ms(500.0),
+            duration: SimDuration::from_secs(60.0),
+            jitter_sigma: 0.05,
+            seed: 0x605517,
+        }
+    }
+}
+
+/// Messages of the gossip protocol.
+#[derive(Debug, Clone, Copy)]
+enum GossipMsg {
+    /// "What are your coordinates?" — carries the send time so the sender
+    /// can measure the RTT from the reply.
+    Ping { sent_at: SimTime },
+    /// The reply: echo of the ping time plus the peer's current state.
+    Pong {
+        sent_at: SimTime,
+        coord: Coord<DIMS>,
+        error: f64,
+    },
+}
+
+/// One gossiping node.
+struct GossipNode {
+    estimator: Rnp<DIMS>,
+    peers: usize,
+    interval: SimDuration,
+    /// SplitMix64 state for peer selection (deterministic per node).
+    rng_state: u64,
+    pings_sent: u64,
+    pongs_received: u64,
+}
+
+impl GossipNode {
+    fn next_peer(&mut self, me: NodeId) -> NodeId {
+        loop {
+            self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.rng_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            let peer = (z % self.peers as u64) as usize;
+            if peer != me {
+                return peer;
+            }
+        }
+    }
+}
+
+const TIMER_PING: u64 = 1;
+
+impl Process<GossipMsg> for GossipNode {
+    fn on_start(&mut self, ctx: &mut ProcessCtx<GossipMsg>) {
+        // Stagger the first ping by a node-dependent fraction of the
+        // interval so the population does not gossip in lockstep.
+        let stagger =
+            SimDuration::from_micros((ctx.node() as u64 * 7919) % self.interval.as_micros().max(1));
+        ctx.set_timer(self.interval + stagger, TIMER_PING);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: GossipMsg, ctx: &mut ProcessCtx<GossipMsg>) {
+        match msg {
+            GossipMsg::Ping { sent_at } => {
+                ctx.send(
+                    from,
+                    GossipMsg::Pong {
+                        sent_at,
+                        coord: self.estimator.coordinate(),
+                        error: self.estimator.error(),
+                    },
+                );
+            }
+            GossipMsg::Pong {
+                sent_at,
+                coord,
+                error,
+            } => {
+                self.pongs_received += 1;
+                let rtt_ms = (ctx.now() - sent_at).as_ms();
+                self.estimator.observe(coord, error, rtt_ms);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: u64, ctx: &mut ProcessCtx<GossipMsg>) {
+        let peer = self.next_peer(ctx.node());
+        self.pings_sent += 1;
+        ctx.send(peer, GossipMsg::Ping { sent_at: ctx.now() });
+        ctx.set_timer(self.interval, TIMER_PING);
+    }
+}
+
+/// Outcome of a gossip embedding run.
+#[derive(Debug, Clone)]
+pub struct GossipOutcome {
+    /// Final coordinate per node.
+    pub coords: Vec<Coord<DIMS>>,
+    /// Accuracy of the coordinates against the true matrix.
+    pub report: EmbeddingReport,
+    /// Message/event counts of the protocol run.
+    pub net: NetStats,
+    /// Total pings issued across the population.
+    pub pings: u64,
+}
+
+/// Runs the RNP gossip protocol over a jittered network built from
+/// `matrix` and returns the resulting embedding.
+///
+/// # Panics
+///
+/// Panics if `ping_interval` or `duration` is zero.
+pub fn embed_via_simulation(matrix: &RttMatrix, cfg: GossipConfig) -> GossipOutcome {
+    assert!(
+        cfg.ping_interval > SimDuration::ZERO,
+        "ping interval must be positive"
+    );
+    assert!(
+        cfg.duration > SimDuration::ZERO,
+        "duration must be positive"
+    );
+    let n = matrix.len();
+    let network = Network::with_jitter(matrix.clone(), cfg.jitter_sigma, cfg.seed);
+    let procs: Vec<GossipNode> = (0..n)
+        .map(|i| GossipNode {
+            estimator: Rnp::new(),
+            peers: n,
+            interval: cfg.ping_interval,
+            rng_state: cfg.seed ^ (i as u64).wrapping_mul(0xD1B54A32D192ED03),
+            pings_sent: 0,
+            pongs_received: 0,
+        })
+        .collect();
+
+    let mut net = ProcessNet::new(network, procs);
+    net.run_until(SimTime::ZERO + cfg.duration);
+    let stats = net.stats();
+    let procs = net.into_processes();
+
+    let pings = procs.iter().map(|p| p.pings_sent).sum();
+    let coords: Vec<Coord<DIMS>> = procs.iter().map(|p| p.estimator.coordinate()).collect();
+    let report = evaluate(&coords, &|i, j| matrix.get(i, j), cfg.seed);
+    GossipOutcome {
+        coords,
+        report,
+        net: stats,
+        pings,
+    }
+}
+
+/// Runs the gossip protocol for `cfg.duration` on `before`, then swaps the
+/// network to `after` and runs for the same duration again — the
+/// "network changed underneath us" scenario. Returns the embedding accuracy
+/// at the swap point (scored against `before`) and at the end (scored
+/// against `after`), so callers can quantify how well the protocol
+/// *re-converges* after a latency shift.
+///
+/// # Panics
+///
+/// Panics if the matrices cover different node counts or the configured
+/// durations are zero.
+pub fn embed_through_shift(
+    before: &RttMatrix,
+    after: &RttMatrix,
+    cfg: GossipConfig,
+) -> (EmbeddingReport, EmbeddingReport) {
+    assert_eq!(
+        before.len(),
+        after.len(),
+        "matrices must cover the same nodes"
+    );
+    assert!(
+        cfg.ping_interval > SimDuration::ZERO,
+        "ping interval must be positive"
+    );
+    assert!(
+        cfg.duration > SimDuration::ZERO,
+        "duration must be positive"
+    );
+    let n = before.len();
+    let network = Network::with_jitter(before.clone(), cfg.jitter_sigma, cfg.seed);
+    let procs: Vec<GossipNode> = (0..n)
+        .map(|i| GossipNode {
+            estimator: Rnp::new(),
+            peers: n,
+            interval: cfg.ping_interval,
+            rng_state: cfg.seed ^ (i as u64).wrapping_mul(0xD1B54A32D192ED03),
+            pings_sent: 0,
+            pongs_received: 0,
+        })
+        .collect();
+
+    let mut net = ProcessNet::new(network, procs);
+    net.run_until(SimTime::ZERO + cfg.duration);
+    let coords_mid: Vec<Coord<DIMS>> = net.processes().map(|p| p.estimator.coordinate()).collect();
+    let report_mid = evaluate(&coords_mid, &|i, j| before.get(i, j), cfg.seed);
+
+    net.network_mut().set_matrix(after.clone());
+    net.run_until(SimTime::ZERO + cfg.duration + cfg.duration);
+    let coords_end: Vec<Coord<DIMS>> = net.processes().map(|p| p.estimator.coordinate()).collect();
+    let report_end = evaluate(&coords_end, &|i, j| after.get(i, j), cfg.seed);
+
+    (report_mid, report_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use georep_net::topology::{Topology, TopologyConfig};
+
+    fn small_matrix() -> RttMatrix {
+        Topology::generate(TopologyConfig {
+            nodes: 32,
+            seed: 3,
+            ..Default::default()
+        })
+        .unwrap()
+        .into_matrix()
+    }
+
+    #[test]
+    fn gossip_converges_to_useful_coordinates() {
+        let matrix = small_matrix();
+        let outcome = embed_via_simulation(
+            &matrix,
+            GossipConfig {
+                ping_interval: SimDuration::from_ms(200.0),
+                duration: SimDuration::from_secs(60.0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcome.coords.len(), 32);
+        assert!(
+            outcome.report.median_rel_err < 0.3,
+            "median relative error {} too high",
+            outcome.report.median_rel_err
+        );
+        // 32 nodes × 60 s / 200 ms ≈ 9600 pings.
+        assert!(outcome.pings > 8_000, "pings {}", outcome.pings);
+        assert!(outcome.net.messages_delivered >= outcome.pings);
+    }
+
+    #[test]
+    fn longer_runs_are_more_accurate() {
+        let matrix = small_matrix();
+        let short = embed_via_simulation(
+            &matrix,
+            GossipConfig {
+                duration: SimDuration::from_secs(5.0),
+                ..Default::default()
+            },
+        );
+        let long = embed_via_simulation(
+            &matrix,
+            GossipConfig {
+                duration: SimDuration::from_secs(90.0),
+                ..Default::default()
+            },
+        );
+        assert!(
+            long.report.median_abs_err < short.report.median_abs_err,
+            "long {} vs short {}",
+            long.report.median_abs_err,
+            short.report.median_abs_err
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let matrix = small_matrix();
+        let cfg = GossipConfig {
+            duration: SimDuration::from_secs(10.0),
+            ..Default::default()
+        };
+        let a = embed_via_simulation(&matrix, cfg);
+        let b = embed_via_simulation(&matrix, cfg);
+        assert_eq!(a.coords, b.coords);
+        assert_eq!(a.net.messages_delivered, b.net.messages_delivered);
+    }
+
+    #[test]
+    fn jitter_degrades_but_does_not_break_the_embedding() {
+        let matrix = small_matrix();
+        let clean = embed_via_simulation(
+            &matrix,
+            GossipConfig {
+                jitter_sigma: 0.0,
+                duration: SimDuration::from_secs(40.0),
+                ..Default::default()
+            },
+        );
+        let noisy = embed_via_simulation(
+            &matrix,
+            GossipConfig {
+                jitter_sigma: 0.3,
+                duration: SimDuration::from_secs(40.0),
+                ..Default::default()
+            },
+        );
+        assert!(noisy.report.median_abs_err >= clean.report.median_abs_err * 0.8);
+        assert!(
+            noisy.report.median_rel_err < 0.5,
+            "even a noisy run must stay usable: {}",
+            noisy.report.median_rel_err
+        );
+    }
+
+    #[test]
+    fn coordinates_reconverge_after_a_latency_shift() {
+        // The network changes: every inter-node path inflates by 60%
+        // (e.g. a backbone failure forces detours). The protocol must
+        // re-converge onto the new latencies within another run's worth of
+        // gossip.
+        let before = small_matrix();
+        let after = RttMatrix::from_fn(before.len(), |i, j| before.get(i, j) * 1.6)
+            .expect("scaled matrix is valid");
+        let cfg = GossipConfig {
+            duration: SimDuration::from_secs(45.0),
+            ping_interval: SimDuration::from_ms(300.0),
+            ..Default::default()
+        };
+        let (mid, end) = embed_through_shift(&before, &after, cfg);
+        assert!(
+            mid.median_rel_err < 0.3,
+            "pre-shift accuracy {}",
+            mid.median_rel_err
+        );
+        assert!(
+            end.median_rel_err < mid.median_rel_err * 2.0,
+            "post-shift accuracy must recover: {} vs {}",
+            end.median_rel_err,
+            mid.median_rel_err
+        );
+        assert!(
+            end.median_rel_err < 0.35,
+            "post-shift accuracy {}",
+            end.median_rel_err
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let matrix = small_matrix();
+        let _ = embed_via_simulation(
+            &matrix,
+            GossipConfig {
+                duration: SimDuration::ZERO,
+                ..Default::default()
+            },
+        );
+    }
+}

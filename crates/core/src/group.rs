@@ -1,0 +1,464 @@
+//! Managing a *group* of objects under a global replica budget.
+//!
+//! The paper reduces multi-object placement to the single-object problem
+//! ("treating accesses to any object of the group as accesses to a virtual
+//! object") and notes that the degree of replication should follow each
+//! object's demand. [`ObjectGroup`] implements the full story: every object
+//! runs its own [`ReplicaManager`], and a global **replica budget** is
+//! re-divided across objects each period by greedy marginal gain — the next
+//! replica always goes to the object whose summarized demand profits most
+//! from it. Hot objects with dispersed audiences earn breadth; cold or
+//! geographically-concentrated objects stay cheap.
+
+use std::error::Error;
+use std::fmt;
+
+use georep_cluster::point::WeightedPoint;
+use georep_coord::Coord;
+
+use crate::manager::{ManagerConfig, ManagerError, ReplicaManager};
+
+/// Error produced by [`ObjectGroup`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupError {
+    /// The group configuration was inconsistent.
+    InvalidSetup(&'static str),
+    /// An object index was out of range.
+    NoSuchObject {
+        /// The offending index.
+        object: usize,
+        /// Number of objects in the group.
+        objects: usize,
+    },
+    /// A per-object manager failed.
+    Manager(ManagerError),
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::InvalidSetup(what) => write!(f, "invalid group setup: {what}"),
+            GroupError::NoSuchObject { object, objects } => {
+                write!(
+                    f,
+                    "object {object} out of range for a {objects}-object group"
+                )
+            }
+            GroupError::Manager(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for GroupError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GroupError::Manager(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ManagerError> for GroupError {
+    fn from(e: ManagerError) -> Self {
+        GroupError::Manager(e)
+    }
+}
+
+/// Configuration of an [`ObjectGroup`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupConfig {
+    /// Total replicas available across all objects (each object always
+    /// keeps at least one, so `budget ≥ objects` is required).
+    pub budget: usize,
+    /// Upper bound on any single object's replicas.
+    pub max_k: usize,
+    /// Micro-clusters per replica.
+    pub micro_clusters: usize,
+    /// Seed for macro-clustering.
+    pub seed: u64,
+}
+
+impl GroupConfig {
+    /// Defaults: budget spread over the group, at most 5 replicas each,
+    /// 8 micro-clusters per replica.
+    pub fn new(budget: usize) -> Self {
+        GroupConfig {
+            budget,
+            max_k: 5,
+            micro_clusters: 8,
+            seed: 0x6E0F,
+        }
+    }
+}
+
+/// Outcome of one group rebalance round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDecision {
+    /// Replicas allocated per object this period.
+    pub allocations: Vec<usize>,
+    /// Demand weight observed per object this period.
+    pub demand: Vec<f64>,
+    /// Objects whose placement changed.
+    pub migrated_objects: usize,
+}
+
+/// A set of objects sharing candidates, coordinates and a replica budget.
+///
+/// # Example
+///
+/// ```
+/// use georep_core::group::{GroupConfig, ObjectGroup};
+/// use georep_coord::Coord;
+///
+/// let coords: Vec<Coord<1>> = (0..8).map(|i| Coord::new([i as f64 * 10.0])).collect();
+/// let mut group = ObjectGroup::new(coords, vec![0, 3, 6], 2, GroupConfig::new(4))?;
+/// // Object 0 is hot and dispersed; object 1 barely accessed.
+/// for i in 0..300 {
+///     group.record_access(0, Coord::new([(i % 8) as f64 * 10.0]), 1.0)?;
+/// }
+/// group.record_access(1, Coord::new([10.0]), 1.0)?;
+/// let decision = group.rebalance()?;
+/// assert!(decision.allocations[0] > decision.allocations[1]);
+/// assert_eq!(decision.allocations.iter().sum::<usize>(), 4);
+/// # Ok::<(), georep_core::group::GroupError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ObjectGroup<const D: usize> {
+    coords: Vec<Coord<D>>,
+    candidates: Vec<usize>,
+    config: GroupConfig,
+    managers: Vec<ReplicaManager<D>>,
+}
+
+impl<const D: usize> ObjectGroup<D> {
+    /// Creates a group of `objects` objects, each starting with one replica
+    /// at the first candidate.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::InvalidSetup`] when the budget cannot give every
+    /// object a replica, or the candidate/coordinate inputs are invalid.
+    pub fn new(
+        coords: Vec<Coord<D>>,
+        candidates: Vec<usize>,
+        objects: usize,
+        config: GroupConfig,
+    ) -> Result<Self, GroupError> {
+        if objects == 0 {
+            return Err(GroupError::InvalidSetup(
+                "a group needs at least one object",
+            ));
+        }
+        if config.budget < objects {
+            return Err(GroupError::InvalidSetup(
+                "budget must grant every object at least one replica",
+            ));
+        }
+        if config.max_k == 0 {
+            return Err(GroupError::InvalidSetup("max_k must be at least 1"));
+        }
+        if candidates.is_empty() {
+            return Err(GroupError::InvalidSetup("candidate set is empty"));
+        }
+        let managers = (0..objects)
+            .map(|i| {
+                let mut cfg = ManagerConfig::new(1, config.micro_clusters);
+                cfg.seed = config.seed.wrapping_add(i as u64);
+                ReplicaManager::new(coords.clone(), candidates.clone(), vec![candidates[0]], cfg)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ObjectGroup {
+            coords,
+            candidates,
+            config,
+            managers,
+        })
+    }
+
+    /// Number of objects.
+    pub fn objects(&self) -> usize {
+        self.managers.len()
+    }
+
+    /// The current placement of one object.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::NoSuchObject`] for out-of-range indices.
+    pub fn placement(&self, object: usize) -> Result<&[usize], GroupError> {
+        self.manager(object).map(|m| m.placement())
+    }
+
+    /// Total replicas currently deployed across the group.
+    pub fn total_replicas(&self) -> usize {
+        self.managers.iter().map(|m| m.placement().len()).sum()
+    }
+
+    /// Routes and records one access to `object`.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupError::NoSuchObject`] for out-of-range indices.
+    pub fn record_access(
+        &mut self,
+        object: usize,
+        coord: Coord<D>,
+        weight: f64,
+    ) -> Result<usize, GroupError> {
+        let objects = self.managers.len();
+        let mgr = self
+            .managers
+            .get_mut(object)
+            .ok_or(GroupError::NoSuchObject { object, objects })?;
+        Ok(mgr.record_access(coord, weight))
+    }
+
+    fn manager(&self, object: usize) -> Result<&ReplicaManager<D>, GroupError> {
+        self.managers.get(object).ok_or(GroupError::NoSuchObject {
+            object,
+            objects: self.managers.len(),
+        })
+    }
+
+    /// Estimated mean delay of serving `pseudo` demand from the best `k`
+    /// candidates (greedy on coordinate estimates — the same machinery the
+    /// online-greedy strategy uses, reduced to this module's needs).
+    fn estimate_at_k(&self, pseudo: &[WeightedPoint<D>], k: usize) -> f64 {
+        if pseudo.is_empty() {
+            return 0.0;
+        }
+        let total_w: f64 = pseudo.iter().map(|p| p.weight).sum();
+        let mut best_est = vec![f64::INFINITY; pseudo.len()];
+        let mut chosen: Vec<usize> = Vec::new();
+        for _ in 0..k.min(self.candidates.len()) {
+            let mut best: Option<(usize, f64)> = None;
+            for &cand in &self.candidates {
+                if chosen.contains(&cand) {
+                    continue;
+                }
+                let total: f64 = pseudo
+                    .iter()
+                    .zip(&best_est)
+                    .map(|(p, &cur)| p.weight * cur.min(self.coords[cand].distance(&p.coord)))
+                    .sum();
+                if best.is_none_or(|(_, bt)| total < bt) {
+                    best = Some((cand, total));
+                }
+            }
+            let Some((cand, _)) = best else { break };
+            chosen.push(cand);
+            for (p, slot) in pseudo.iter().zip(best_est.iter_mut()) {
+                *slot = slot.min(self.coords[cand].distance(&p.coord));
+            }
+        }
+        pseudo
+            .iter()
+            .zip(&best_est)
+            .map(|(p, &d)| p.weight * d)
+            .sum::<f64>()
+            / total_w
+    }
+
+    /// One group period: re-divide the budget by greedy marginal gain, then
+    /// rebalance every object at its allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-object manager errors.
+    pub fn rebalance(&mut self) -> Result<GroupDecision, GroupError> {
+        let objects = self.managers.len();
+
+        // Summarized demand per object (pseudo-points from the current
+        // period's clusterers).
+        let pseudo: Vec<Vec<WeightedPoint<D>>> = self
+            .managers
+            .iter()
+            .map(|m| {
+                m.summaries()
+                    .iter()
+                    .flat_map(|s| {
+                        s.to_micro_clusters::<D>()
+                            .expect("own summaries always decode")
+                            .into_iter()
+                            .map(|mc| WeightedPoint::new(mc.centroid(), mc.weight()))
+                    })
+                    .collect()
+            })
+            .collect();
+        let demand: Vec<f64> = pseudo
+            .iter()
+            .map(|p| p.iter().map(|x| x.weight).sum())
+            .collect();
+
+        // Greedy budget allocation: everyone gets 1; each further replica
+        // goes to the object with the largest estimated total-delay
+        // reduction (marginal gains of greedy coverage are diminishing, so
+        // the greedy allocation is the standard approximation).
+        let mut alloc = vec![1usize; objects];
+        let mut est: Vec<f64> = (0..objects)
+            .map(|o| self.estimate_at_k(&pseudo[o], 1))
+            .collect();
+        let max_k = self.config.max_k.min(self.candidates.len());
+        for _ in objects..self.config.budget {
+            let mut best: Option<(usize, f64, f64)> = None;
+            for o in 0..objects {
+                if alloc[o] >= max_k || demand[o] <= 0.0 {
+                    continue;
+                }
+                let next_est = self.estimate_at_k(&pseudo[o], alloc[o] + 1);
+                let gain = (est[o] - next_est) * demand[o];
+                if gain > 0.0 && best.is_none_or(|(_, bg, _)| gain > bg) {
+                    best = Some((o, gain, next_est));
+                }
+            }
+            let Some((o, _, next_est)) = best else { break };
+            alloc[o] += 1;
+            est[o] = next_est;
+        }
+
+        // Apply: set each object's k and run its normal period rebalance.
+        let mut migrated = 0;
+        for (mgr, &k) in self.managers.iter_mut().zip(&alloc) {
+            mgr.set_k(k);
+            let d = mgr.rebalance()?;
+            if d.applied {
+                migrated += 1;
+            }
+        }
+        Ok(GroupDecision {
+            allocations: alloc,
+            demand,
+            migrated_objects: migrated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_coords(n: usize) -> Vec<Coord<1>> {
+        (0..n).map(|i| Coord::new([i as f64 * 10.0])).collect()
+    }
+
+    fn group(objects: usize, budget: usize) -> ObjectGroup<1> {
+        ObjectGroup::new(
+            line_coords(12),
+            vec![0, 4, 8, 11],
+            objects,
+            GroupConfig::new(budget),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn setup_validations() {
+        let err = |objects, budget| {
+            ObjectGroup::<1>::new(
+                line_coords(12),
+                vec![0, 4],
+                objects,
+                GroupConfig::new(budget),
+            )
+            .unwrap_err()
+        };
+        assert!(matches!(err(0, 4), GroupError::InvalidSetup(_)));
+        assert!(matches!(err(5, 4), GroupError::InvalidSetup(_)));
+        assert!(matches!(
+            ObjectGroup::<1>::new(line_coords(12), vec![], 1, GroupConfig::new(2)),
+            Err(GroupError::InvalidSetup(_))
+        ));
+    }
+
+    #[test]
+    fn budget_follows_demand_dispersion() {
+        let mut g = group(2, 4);
+        // Object 0: dispersed demand over the whole line; object 1: a single
+        // site. Both get the same total weight.
+        for i in 0..120 {
+            g.record_access(0, Coord::new([(i % 12) as f64 * 10.0]), 1.0)
+                .unwrap();
+            g.record_access(1, Coord::new([40.0]), 1.0).unwrap();
+        }
+        let d = g.rebalance().unwrap();
+        assert_eq!(d.allocations.iter().sum::<usize>(), 4);
+        assert!(
+            d.allocations[0] > d.allocations[1],
+            "dispersed demand earns more replicas: {:?}",
+            d.allocations
+        );
+        assert_eq!(g.total_replicas(), 4);
+    }
+
+    #[test]
+    fn budget_never_exceeded_and_every_object_served() {
+        let mut g = group(3, 5);
+        for i in 0..60 {
+            let obj = i % 3;
+            g.record_access(obj, Coord::new([((i * 7) % 12) as f64 * 10.0]), 1.0)
+                .unwrap();
+        }
+        let d = g.rebalance().unwrap();
+        assert_eq!(d.allocations.len(), 3);
+        assert!(d.allocations.iter().all(|&a| a >= 1));
+        assert!(d.allocations.iter().sum::<usize>() <= 5);
+        for o in 0..3 {
+            assert!(!g.placement(o).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn idle_objects_fall_back_to_one_replica() {
+        let mut g = group(2, 4);
+        for i in 0..100 {
+            g.record_access(0, Coord::new([(i % 12) as f64 * 10.0]), 1.0)
+                .unwrap();
+        }
+        let d = g.rebalance().unwrap();
+        assert_eq!(
+            d.allocations[1], 1,
+            "untouched object keeps a single replica"
+        );
+        assert_eq!(d.demand[1], 0.0);
+    }
+
+    #[test]
+    fn allocations_shift_when_demand_shifts() {
+        let mut g = group(2, 4);
+        for i in 0..100 {
+            g.record_access(0, Coord::new([(i % 12) as f64 * 10.0]), 1.0)
+                .unwrap();
+            g.record_access(1, Coord::new([40.0]), 1.0).unwrap();
+        }
+        let first = g.rebalance().unwrap();
+        assert!(first.allocations[0] > first.allocations[1]);
+        // Demand inverts.
+        for i in 0..100 {
+            g.record_access(1, Coord::new([(i % 12) as f64 * 10.0]), 1.0)
+                .unwrap();
+            g.record_access(0, Coord::new([40.0]), 1.0).unwrap();
+        }
+        let second = g.rebalance().unwrap();
+        assert!(
+            second.allocations[1] > second.allocations[0],
+            "allocations must follow demand: {:?}",
+            second.allocations
+        );
+    }
+
+    #[test]
+    fn bad_object_index_rejected() {
+        let mut g = group(2, 4);
+        assert!(matches!(
+            g.record_access(7, Coord::new([0.0]), 1.0),
+            Err(GroupError::NoSuchObject {
+                object: 7,
+                objects: 2
+            })
+        ));
+        assert!(matches!(
+            g.placement(9),
+            Err(GroupError::NoSuchObject { .. })
+        ));
+    }
+}

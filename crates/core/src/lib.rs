@@ -1,0 +1,67 @@
+//! Replica placement across data centers — the paper's core contribution.
+//!
+//! This crate assembles the substrates ([`georep_coord`], [`georep_net`],
+//! [`georep_cluster`], [`georep_workload`]) into the system of Ping et al.,
+//! *Towards Optimal Data Replication Across Data Centers* (ICDCS 2011):
+//!
+//! * [`problem`] — the formal objective (Section II-B): place `k` replicas
+//!   among candidate data centers minimizing total client access delay;
+//! * [`strategy`] — placement strategies: the paper's online technique
+//!   (Algorithm 1) plus the random / offline k-means / optimal comparators
+//!   and related-work baselines (greedy, hotzone, capacity-constrained);
+//! * [`manager`] — the live system: closest-replica routing, per-replica
+//!   micro-cluster summaries, periodic macro-clustering and cost-gated
+//!   migration, adaptive replication degree;
+//! * [`migration`] — the $/GB migration cost model (Section III-C);
+//! * [`quorum`], [`failure`], [`readwrite`] — the paper's stated future
+//!   work (consistency quorums, availability under replica failures,
+//!   update propagation), implemented;
+//! * [`group`] — many objects sharing a global replica budget (the paper's
+//!   "group of data objects" reduction, made adaptive);
+//! * [`gossip`], [`deployment`] — the paper's methodology end to end on the
+//!   discrete-event simulator: coordinates assigned by emulated
+//!   communications, and a fully message-passing deployment of the whole
+//!   system;
+//! * [`experiment`] — the paper's evaluation methodology (Section IV),
+//!   ready to regenerate every figure;
+//! * [`metrics`], [`combin`] — supporting statistics and combinatorics.
+//!
+//! # Example: one evaluation point of Figure 2
+//!
+//! ```
+//! use georep_core::experiment::{Experiment, StrategyKind};
+//! use georep_net::topology::{Topology, TopologyConfig};
+//!
+//! let matrix = Topology::generate(TopologyConfig { nodes: 40, ..Default::default() })
+//!     .expect("valid config")
+//!     .into_matrix();
+//! let exp = Experiment::builder(matrix)
+//!     .data_centers(10)
+//!     .replicas(3)
+//!     .seeds(0..3)
+//!     .embedding_rounds(15)
+//!     .build()
+//!     .expect("valid experiment");
+//! let online = exp.run(StrategyKind::OnlineClustering).expect("runs");
+//! let random = exp.run(StrategyKind::Random).expect("runs");
+//! assert!(online.mean_delay_ms < random.mean_delay_ms);
+//! ```
+
+pub mod combin;
+pub mod deployment;
+pub mod experiment;
+pub mod failure;
+pub mod gossip;
+pub mod group;
+pub mod manager;
+pub mod metrics;
+pub mod migration;
+pub mod problem;
+pub mod quorum;
+pub mod readwrite;
+pub mod strategy;
+
+pub use experiment::{Experiment, RunSummary, StrategyKind};
+pub use manager::{ManagerConfig, ReplicaManager};
+pub use problem::{PlacementProblem, ProblemError};
+pub use strategy::{PlaceError, PlacementContext, Placer};

@@ -1,0 +1,734 @@
+//! The online replica manager — the paper's system, assembled.
+//!
+//! A [`ReplicaManager`] plays the role of the deployed system described in
+//! Section III: replicas route each access to the closest replica
+//! (estimated from network coordinates), every replica summarizes the
+//! accesses it serves into `m` micro-clusters, and periodically the
+//! summaries are collected, macro-clustered (Algorithm 1) and — when the
+//! estimated gain justifies the migration cost — the replica set migrates.
+//!
+//! The manager deliberately *never* touches true latencies: everything it
+//! does is computable from coordinates and summaries, exactly like a real
+//! deployment. True latencies exist only in the evaluation harness.
+
+use std::error::Error;
+use std::fmt;
+
+use georep_cluster::kmeans::{ClusterError, KMeansConfig};
+use georep_cluster::online::OnlineClusterer;
+use georep_cluster::point::WeightedPoint;
+use georep_cluster::summary::AccessSummary;
+use georep_cluster::weighted::weighted_kmeans;
+use georep_coord::Coord;
+use serde::{Deserialize, Serialize};
+
+use crate::migration::{moved_replicas, MigrationCostModel, MigrationDecision};
+use crate::strategy::nearest_distinct_candidates;
+
+/// Error produced by [`ReplicaManager`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManagerError {
+    /// The constructor inputs were inconsistent.
+    InvalidSetup(&'static str),
+    /// Macro-clustering failed during a rebalance.
+    Cluster(ClusterError),
+}
+
+impl fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerError::InvalidSetup(what) => write!(f, "invalid manager setup: {what}"),
+            ManagerError::Cluster(e) => write!(f, "macro-clustering failed: {e}"),
+        }
+    }
+}
+
+impl Error for ManagerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ManagerError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for ManagerError {
+    fn from(e: ClusterError) -> Self {
+        ManagerError::Cluster(e)
+    }
+}
+
+/// Tuning of the replica manager.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManagerConfig {
+    /// Target degree of replication `k`.
+    pub k: usize,
+    /// Micro-clusters per replica (`m` in the paper).
+    pub micro_clusters: usize,
+    /// Migration pricing.
+    pub cost: MigrationCostModel,
+    /// Required relative delay gain *per migration dollar*: a proposal is
+    /// applied when `relative_gain ≥ gain_per_dollar × cost_usd`. Zero
+    /// migrates on any improvement.
+    pub gain_per_dollar: f64,
+    /// Bounds for adaptive replication ([`ReplicaManager::adapt_k`]).
+    pub min_k: usize,
+    /// Upper bound for adaptive replication.
+    pub max_k: usize,
+    /// Demand weight one replica should serve per period; `adapt_k` sizes
+    /// `k` as `total_weight / demand_per_replica` (clamped). Zero disables
+    /// adaptation.
+    pub demand_per_replica: f64,
+    /// What happens to the summaries at the end of a period when the
+    /// placement did *not* change: `0` discards them (hard reset, the
+    /// default), a value in `(0, 1]` ages them by that factor instead, so
+    /// the summary becomes an exponentially-weighted window over past
+    /// periods. After an applied migration the summaries are always reset
+    /// (they describe populations as served by the old placement).
+    pub period_decay: f64,
+    /// Seed for the macro-clustering.
+    pub seed: u64,
+}
+
+impl ManagerConfig {
+    /// Defaults for `k` replicas with `m` micro-clusters each.
+    pub fn new(k: usize, m: usize) -> Self {
+        ManagerConfig {
+            k,
+            micro_clusters: m,
+            cost: MigrationCostModel::default(),
+            gain_per_dollar: 0.05,
+            min_k: 1,
+            max_k: k.max(1) * 2,
+            demand_per_replica: 0.0,
+            period_decay: 0.0,
+            seed: 0x6E0,
+        }
+    }
+}
+
+/// Cumulative manager statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ManagerStats {
+    /// Rebalance rounds executed.
+    pub rounds: u64,
+    /// Replicas moved across all applied migrations.
+    pub replicas_moved: u64,
+    /// Summary bytes shipped to the central server (Table II bandwidth).
+    pub summary_bytes: u64,
+    /// Accesses routed since construction.
+    pub accesses: u64,
+    /// Replica failures absorbed via [`ReplicaManager::fail_replica`].
+    pub failures: u64,
+}
+
+/// The live placement system: routing, summarization, periodic migration.
+///
+/// # Example
+///
+/// ```
+/// use georep_core::manager::{ManagerConfig, ReplicaManager};
+/// use georep_coord::Coord;
+///
+/// // Nodes on a line; candidates at 0, 3, 5; replicas start at {0, 3}.
+/// let coords: Vec<Coord<1>> = (0..6).map(|i| Coord::new([i as f64 * 10.0])).collect();
+/// let mut mgr = ReplicaManager::new(
+///     coords, vec![0, 3, 5], vec![0, 3], ManagerConfig::new(2, 4),
+/// )?;
+/// // All the demand sits near node 5.
+/// for _ in 0..100 {
+///     mgr.record_access(Coord::new([48.0]), 1.0);
+/// }
+/// let decision = mgr.rebalance()?;
+/// assert!(decision.applied);
+/// assert!(mgr.placement().contains(&5));
+/// # Ok::<(), georep_core::manager::ManagerError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicaManager<const D: usize> {
+    config: ManagerConfig,
+    coords: Vec<Coord<D>>,
+    candidates: Vec<usize>,
+    placement: Vec<usize>,
+    /// One summarizer per replica, aligned with `placement`.
+    clusterers: Vec<OnlineClusterer<D>>,
+    stats: ManagerStats,
+}
+
+impl<const D: usize> ReplicaManager<D> {
+    /// Creates a manager over the given node coordinates.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::InvalidSetup`] when the placement is empty, exceeds
+    /// `k`, contains non-candidates, or any candidate index is out of
+    /// range.
+    pub fn new(
+        coords: Vec<Coord<D>>,
+        candidates: Vec<usize>,
+        initial_placement: Vec<usize>,
+        config: ManagerConfig,
+    ) -> Result<Self, ManagerError> {
+        if config.k == 0 || config.micro_clusters == 0 {
+            return Err(ManagerError::InvalidSetup("k and m must be at least 1"));
+        }
+        if config.min_k == 0 || config.min_k > config.max_k {
+            return Err(ManagerError::InvalidSetup("need 1 ≤ min_k ≤ max_k"));
+        }
+        if candidates.is_empty() {
+            return Err(ManagerError::InvalidSetup("candidate set is empty"));
+        }
+        if candidates.iter().any(|&c| c >= coords.len()) {
+            return Err(ManagerError::InvalidSetup(
+                "candidate index out of coordinate range",
+            ));
+        }
+        if initial_placement.is_empty() || initial_placement.len() > candidates.len() {
+            return Err(ManagerError::InvalidSetup(
+                "placement must be 1..=candidates replicas",
+            ));
+        }
+        if initial_placement.iter().any(|r| !candidates.contains(r)) {
+            return Err(ManagerError::InvalidSetup(
+                "placement must be a subset of candidates",
+            ));
+        }
+        let clusterers = initial_placement
+            .iter()
+            .map(|_| OnlineClusterer::new(config.micro_clusters))
+            .collect();
+        Ok(ReplicaManager {
+            config,
+            coords,
+            candidates,
+            placement: initial_placement,
+            clusterers,
+            stats: ManagerStats::default(),
+        })
+    }
+
+    /// The current replica locations.
+    pub fn placement(&self) -> &[usize] {
+        &self.placement
+    }
+
+    /// The current target degree of replication.
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+
+    /// Sets the target degree of replication directly (clamped to
+    /// `1..=candidates`). Used by external controllers — e.g. a group
+    /// manager allocating a global replica budget across objects — in
+    /// place of the demand-driven [`ReplicaManager::adapt_k`]. The
+    /// placement itself changes at the next [`ReplicaManager::rebalance`].
+    pub fn set_k(&mut self, k: usize) {
+        self.config.k = k.clamp(1, self.candidates.len());
+    }
+
+    /// The candidate data centers currently usable.
+    pub fn candidates(&self) -> &[usize] {
+        &self.candidates
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ManagerStats {
+        self.stats
+    }
+
+    /// The replica that will serve a client at `coord` — the one with the
+    /// smallest *predicted* latency. This mirrors the paper's claim that a
+    /// client knowing the replica coordinates "can predict the closest
+    /// replica with a high accuracy although it has never accessed the
+    /// replicas before".
+    pub fn route(&self, coord: &Coord<D>) -> usize {
+        *self
+            .placement
+            .iter()
+            .min_by(|&&a, &&b| {
+                self.coords[a]
+                    .distance(coord)
+                    .total_cmp(&self.coords[b].distance(coord))
+            })
+            .expect("placement is non-empty")
+    }
+
+    /// Routes an access and records it in the serving replica's summary.
+    /// Returns the serving replica. Bad samples are ignored by the
+    /// underlying clusterer but still routed.
+    pub fn record_access(&mut self, coord: Coord<D>, weight: f64) -> usize {
+        let replica = self.route(&coord);
+        let idx = self
+            .placement
+            .iter()
+            .position(|&r| r == replica)
+            .expect("route returns a placement member");
+        self.clusterers[idx].observe(coord, weight);
+        self.stats.accesses += 1;
+        replica
+    }
+
+    /// Ships the current summaries (counting their bytes) without
+    /// rebalancing — useful for inspecting what the central server would
+    /// receive.
+    pub fn summaries(&self) -> Vec<AccessSummary> {
+        self.placement
+            .iter()
+            .zip(&self.clusterers)
+            .map(|(&r, c)| AccessSummary::from_clusterer(r as u32, c))
+            .collect()
+    }
+
+    /// Estimated mean delay (coordinate distances) of serving the given
+    /// demand from `placement`.
+    fn estimate_mean_delay(&self, placement: &[usize], demand: &[WeightedPoint<D>]) -> f64 {
+        let total_w: f64 = demand.iter().map(|p| p.weight).sum();
+        if total_w <= 0.0 {
+            return 0.0;
+        }
+        let total: f64 = demand
+            .iter()
+            .map(|p| {
+                let d = placement
+                    .iter()
+                    .map(|&r| self.coords[r].distance(&p.coord))
+                    .fold(f64::INFINITY, f64::min);
+                p.weight * d
+            })
+            .sum();
+        total / total_w
+    }
+
+    /// Handles the failure of a replica: the node is removed from the
+    /// placement (subsequent routing fails over to the survivors) and from
+    /// the candidate set (a dead data center cannot host new replicas), and
+    /// its summary is discarded — its clients re-appear in the survivors'
+    /// summaries, and the next [`ReplicaManager::rebalance`] restores the
+    /// target degree of replication at the best *surviving* site. Call
+    /// [`ReplicaManager::restore_candidate`] when the site comes back.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::InvalidSetup`] when `node` is not currently a
+    /// replica, or when it is the *last* replica (the object would become
+    /// unavailable; handle total loss at a higher layer).
+    pub fn fail_replica(&mut self, node: usize) -> Result<(), ManagerError> {
+        let Some(idx) = self.placement.iter().position(|&r| r == node) else {
+            return Err(ManagerError::InvalidSetup("node is not a replica"));
+        };
+        if self.placement.len() == 1 {
+            return Err(ManagerError::InvalidSetup("cannot fail the last replica"));
+        }
+        self.placement.remove(idx);
+        self.clusterers.remove(idx);
+        self.candidates.retain(|&c| c != node);
+        self.stats.failures += 1;
+        Ok(())
+    }
+
+    /// Returns a recovered data center to the candidate set (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::InvalidSetup`] when `node` is outside the coordinate
+    /// range.
+    pub fn restore_candidate(&mut self, node: usize) -> Result<(), ManagerError> {
+        if node >= self.coords.len() {
+            return Err(ManagerError::InvalidSetup(
+                "candidate index out of coordinate range",
+            ));
+        }
+        if !self.candidates.contains(&node) {
+            self.candidates.push(node);
+        }
+        Ok(())
+    }
+
+    /// Adapts `k` to the observed demand (no-op when
+    /// [`ManagerConfig::demand_per_replica`] is zero). Returns the new `k`.
+    pub fn adapt_k(&mut self) -> usize {
+        if self.config.demand_per_replica > 0.0 {
+            let demand: f64 = self.clusterers.iter().map(|c| c.total_weight()).sum();
+            let wanted = (demand / self.config.demand_per_replica).round() as usize;
+            self.config.k = wanted
+                .clamp(self.config.min_k, self.config.max_k)
+                .min(self.candidates.len());
+        }
+        self.config.k
+    }
+
+    /// One periodic round: collect summaries, macro-cluster (Algorithm 1),
+    /// decide on migration, and start a fresh summarization period.
+    ///
+    /// When no accesses were recorded this period, the round is a no-op
+    /// decision with the old placement proposed.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::Cluster`] if the weighted K-means fails.
+    pub fn rebalance(&mut self) -> Result<MigrationDecision, ManagerError> {
+        self.stats.rounds += 1;
+
+        // "The micro-clusters are sent to a central server": account for
+        // the wire bytes (Table II's bandwidth).
+        let summaries = self.summaries();
+        self.stats.summary_bytes += summaries
+            .iter()
+            .map(|s| s.encoded_len() as u64)
+            .sum::<u64>();
+
+        let pseudo: Vec<WeightedPoint<D>> = self
+            .clusterers
+            .iter()
+            .flat_map(|c| c.pseudo_points())
+            .collect();
+
+        if pseudo.is_empty() {
+            return Ok(MigrationDecision {
+                old: self.placement.clone(),
+                proposed: self.placement.clone(),
+                old_est_ms: 0.0,
+                new_est_ms: 0.0,
+                moved: 0,
+                cost_usd: 0.0,
+                applied: false,
+            });
+        }
+
+        let k = self.adapt_k();
+        let clustering = weighted_kmeans(
+            &pseudo,
+            KMeansConfig::new(k.min(pseudo.len())).with_seed(self.config.seed),
+        )?;
+        let proposed =
+            nearest_distinct_candidates(&clustering.centroids, &self.candidates, &self.coords, k);
+
+        let old_est = self.estimate_mean_delay(&self.placement, &pseudo);
+        let new_est = self.estimate_mean_delay(&proposed, &pseudo);
+        let moved = moved_replicas(&self.placement, &proposed);
+        let cost_usd = self.config.cost.cost_usd(moved);
+
+        let relative_gain = if old_est > 0.0 {
+            (old_est - new_est) / old_est
+        } else {
+            0.0
+        };
+        // A change in replica *count* is demand-driven (adapt_k) and applies
+        // unconditionally — the paper varies k "as the demand of an object
+        // increases [or] decreases". Same-size proposals must pay for their
+        // migration: the relative gain has to clear the per-dollar bar.
+        let resized = proposed.len() != self.placement.len();
+        let applied = if resized {
+            true
+        } else {
+            moved > 0 && relative_gain >= self.config.gain_per_dollar * cost_usd
+        };
+
+        let decision = MigrationDecision {
+            old: self.placement.clone(),
+            proposed: proposed.clone(),
+            old_est_ms: old_est,
+            new_est_ms: new_est,
+            moved,
+            cost_usd,
+            applied,
+        };
+
+        if applied {
+            self.stats.replicas_moved += moved as u64;
+            self.placement = proposed;
+        }
+        // Start the next summarization period. With decay disabled the
+        // summaries reset; with decay enabled they are aged — and, after an
+        // applied migration, the aged micro-clusters are *redistributed*
+        // onto the new replica set (each to the replica whose coordinates
+        // are nearest its centroid), because the pooled demand evidence
+        // stays valid even though the serving partition changed.
+        if self.config.period_decay <= 0.0 {
+            self.clusterers = self
+                .placement
+                .iter()
+                .map(|_| OnlineClusterer::new(self.config.micro_clusters))
+                .collect();
+        } else {
+            let factor = self.config.period_decay.min(1.0);
+            for c in &mut self.clusterers {
+                c.decay(factor);
+            }
+            if applied {
+                let retained: Vec<georep_cluster::micro::MicroCluster<D>> = self
+                    .clusterers
+                    .iter()
+                    .flat_map(|c| c.clusters().iter().copied())
+                    .collect();
+                self.clusterers = self
+                    .placement
+                    .iter()
+                    .map(|_| OnlineClusterer::new(self.config.micro_clusters))
+                    .collect();
+                for mc in retained {
+                    let centroid = mc.centroid();
+                    let idx = self
+                        .placement
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, &a), (_, &b)| {
+                            self.coords[a]
+                                .distance(&centroid)
+                                .total_cmp(&self.coords[b].distance(&centroid))
+                        })
+                        .map(|(i, _)| i)
+                        .expect("placement is non-empty");
+                    self.clusterers[idx].absorb_cluster(mc);
+                }
+            }
+        }
+        Ok(decision)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_coords() -> Vec<Coord<1>> {
+        (0..6).map(|i| Coord::new([i as f64 * 10.0])).collect()
+    }
+
+    fn manager(k: usize) -> ReplicaManager<1> {
+        ReplicaManager::new(
+            line_coords(),
+            vec![0, 3, 5],
+            vec![0, 3].into_iter().take(k.max(1)).collect(),
+            ManagerConfig::new(k, 4),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constructor_validations() {
+        let err = |cfg, cands: Vec<usize>, init: Vec<usize>| {
+            ReplicaManager::<1>::new(line_coords(), cands, init, cfg).unwrap_err()
+        };
+        assert!(matches!(
+            err(ManagerConfig::new(0, 4), vec![0], vec![0]),
+            ManagerError::InvalidSetup(_)
+        ));
+        assert!(matches!(
+            err(ManagerConfig::new(1, 4), vec![], vec![]),
+            ManagerError::InvalidSetup(_)
+        ));
+        assert!(matches!(
+            err(ManagerConfig::new(1, 4), vec![99], vec![99]),
+            ManagerError::InvalidSetup(_)
+        ));
+        assert!(matches!(
+            err(ManagerConfig::new(1, 4), vec![0, 3], vec![1]),
+            ManagerError::InvalidSetup(_)
+        ));
+    }
+
+    #[test]
+    fn routes_to_predicted_closest() {
+        let mgr = manager(2);
+        assert_eq!(mgr.route(&Coord::new([2.0])), 0);
+        assert_eq!(mgr.route(&Coord::new([29.0])), 3);
+    }
+
+    #[test]
+    fn migrates_toward_demand() {
+        let mut mgr = manager(2);
+        for _ in 0..200 {
+            mgr.record_access(Coord::new([49.0]), 1.0);
+            mgr.record_access(Coord::new([41.0]), 1.0);
+        }
+        let d = mgr.rebalance().unwrap();
+        assert!(d.applied, "decision {d:?}");
+        assert!(d.new_est_ms < d.old_est_ms);
+        assert!(
+            mgr.placement().contains(&5),
+            "placement {:?}",
+            mgr.placement()
+        );
+        assert_eq!(mgr.stats().rounds, 1);
+        assert!(mgr.stats().replicas_moved >= 1);
+        assert!(mgr.stats().summary_bytes > 0);
+    }
+
+    #[test]
+    fn stable_demand_does_not_migrate() {
+        let mut mgr = manager(2);
+        // Demand exactly at the current replicas.
+        for _ in 0..100 {
+            mgr.record_access(Coord::new([0.0]), 1.0);
+            mgr.record_access(Coord::new([30.0]), 1.0);
+        }
+        let d = mgr.rebalance().unwrap();
+        assert!(!d.applied, "no gain available: {d:?}");
+        assert_eq!(mgr.placement(), &[0, 3]);
+    }
+
+    #[test]
+    fn empty_period_is_noop() {
+        let mut mgr = manager(2);
+        let d = mgr.rebalance().unwrap();
+        assert!(!d.applied);
+        assert_eq!(d.moved, 0);
+        assert_eq!(d.proposed, vec![0, 3]);
+    }
+
+    #[test]
+    fn high_cost_blocks_marginal_migration() {
+        let coords = line_coords();
+        // Demand slightly favours node 5 over node 3, but the object is
+        // huge and the threshold strict.
+        let mut cfg = ManagerConfig::new(1, 4);
+        cfg.cost = MigrationCostModel {
+            object_size_gb: 1000.0,
+            cost_per_gb: 0.10,
+        };
+        cfg.gain_per_dollar = 0.05;
+        let mut mgr = ReplicaManager::new(coords, vec![3, 5], vec![3], cfg).unwrap();
+        for _ in 0..50 {
+            mgr.record_access(Coord::new([38.0]), 1.0);
+        }
+        let d = mgr.rebalance().unwrap();
+        // Gain would be (8 vs 12)/12 ≈ 33 %, threshold needs 0.05 × $100 =
+        // 5.0 ⇒ blocked.
+        assert!(!d.applied, "{d:?}");
+        assert_eq!(mgr.placement(), &[3]);
+    }
+
+    #[test]
+    fn adaptive_k_scales_with_demand() {
+        let mut cfg = ManagerConfig::new(1, 4);
+        cfg.demand_per_replica = 100.0;
+        cfg.min_k = 1;
+        cfg.max_k = 3;
+        let mut mgr = ReplicaManager::new(line_coords(), vec![0, 3, 5], vec![0], cfg).unwrap();
+        // ~300 weight ⇒ k should grow to 3.
+        for i in 0..300 {
+            let x = (i % 3) as f64 * 20.0 + 1.0;
+            mgr.record_access(Coord::new([x]), 1.0);
+        }
+        mgr.rebalance().unwrap();
+        assert_eq!(mgr.k(), 3);
+        assert_eq!(mgr.placement().len(), 3);
+
+        // Demand collapses ⇒ k shrinks back to min_k.
+        mgr.record_access(Coord::new([1.0]), 1.0);
+        mgr.rebalance().unwrap();
+        assert_eq!(mgr.k(), 1);
+        assert_eq!(mgr.placement().len(), 1);
+    }
+
+    #[test]
+    fn failed_replica_is_removed_and_restored_next_period() {
+        let mut mgr = manager(2);
+        assert_eq!(mgr.placement(), &[0, 3]);
+        mgr.fail_replica(3).unwrap();
+        assert_eq!(mgr.placement(), &[0]);
+        assert_eq!(mgr.stats().failures, 1);
+        // Routing fails over to the survivor.
+        assert_eq!(mgr.route(&Coord::new([29.0])), 0);
+
+        // Demand on both sides; the next round restores k = 2.
+        for _ in 0..100 {
+            mgr.record_access(Coord::new([2.0]), 1.0);
+            mgr.record_access(Coord::new([48.0]), 1.0);
+        }
+        mgr.rebalance().unwrap();
+        assert_eq!(
+            mgr.placement().len(),
+            2,
+            "k must be restored: {:?}",
+            mgr.placement()
+        );
+    }
+
+    #[test]
+    fn failing_non_replica_or_last_replica_errors() {
+        let mut mgr = manager(2);
+        assert!(matches!(
+            mgr.fail_replica(5),
+            Err(ManagerError::InvalidSetup(_))
+        ));
+        mgr.fail_replica(0).unwrap();
+        assert!(matches!(
+            mgr.fail_replica(3),
+            Err(ManagerError::InvalidSetup(_))
+        ));
+    }
+
+    #[test]
+    fn period_decay_keeps_faded_history() {
+        let mut cfg = ManagerConfig::new(2, 4);
+        cfg.period_decay = 0.5;
+        let mut mgr = ReplicaManager::new(line_coords(), vec![0, 3, 5], vec![0, 3], cfg).unwrap();
+        // Demand exactly at the replicas: no migration, so the summaries
+        // age rather than reset.
+        for _ in 0..40 {
+            mgr.record_access(Coord::new([0.0]), 1.0);
+            mgr.record_access(Coord::new([30.0]), 1.0);
+        }
+        let d = mgr.rebalance().unwrap();
+        assert!(!d.applied);
+        let kept: u64 = mgr
+            .summaries()
+            .iter()
+            .map(|s| s.clusters.len() as u64)
+            .sum();
+        assert!(
+            kept > 0,
+            "decayed summaries must survive the period boundary"
+        );
+        let weight: f64 = mgr
+            .summaries()
+            .iter()
+            .flat_map(|s| s.clusters.iter().map(|c| c.weight))
+            .sum();
+        assert!((weight - 40.0).abs() < 1e-9, "80 × 0.5 = 40, got {weight}");
+    }
+
+    #[test]
+    fn decayed_history_is_redistributed_after_migration() {
+        let mut cfg = ManagerConfig::new(2, 4);
+        cfg.period_decay = 0.8;
+        cfg.gain_per_dollar = 0.0;
+        let mut mgr = ReplicaManager::new(line_coords(), vec![0, 3, 5], vec![0, 3], cfg).unwrap();
+        // All demand near node 5: the placement migrates, and the aged
+        // micro-clusters must survive, attached to the new replica set.
+        for _ in 0..60 {
+            mgr.record_access(Coord::new([48.0]), 1.0);
+        }
+        let d = mgr.rebalance().unwrap();
+        assert!(d.applied);
+        let retained: u64 = mgr.summaries().iter().map(|s| s.clusters.len() as u64).sum();
+        assert!(retained > 0, "history must survive the migration");
+        let weight: f64 = mgr
+            .summaries()
+            .iter()
+            .flat_map(|s| s.clusters.iter().map(|c| c.weight))
+            .sum();
+        assert!((weight - 60.0 * 0.8).abs() < 1e-9, "aged weight: {weight}");
+        // The retained history sits with the replica nearest the demand.
+        let five_idx = mgr.placement().iter().position(|&r| r == 5).expect("5 is placed");
+        assert!(mgr.summaries()[five_idx].clusters.len() as u64 == retained);
+    }
+
+    #[test]
+    fn summary_period_resets_after_rebalance() {
+        let mut mgr = manager(2);
+        for _ in 0..10 {
+            mgr.record_access(Coord::new([1.0]), 1.0);
+        }
+        mgr.rebalance().unwrap();
+        let post: u64 = mgr
+            .summaries()
+            .iter()
+            .map(|s| s.clusters.len() as u64)
+            .sum();
+        assert_eq!(post, 0, "clusterers must reset each period");
+        assert_eq!(mgr.stats().accesses, 10);
+    }
+}

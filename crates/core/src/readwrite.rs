@@ -1,0 +1,369 @@
+//! Read/write-aware placement — lifting the paper's read-mostly assumption.
+//!
+//! The paper assumes "data objects are read much more frequently than
+//! updated. Thus, the cost of propagating updates among data replicas is
+//! ignored." This module drops that assumption, following the
+//! master-replica model of the related work the paper cites
+//! (Sivasubramanian et al.): writes travel to a designated *master*
+//! replica, which then propagates the update to every other replica; the
+//! write completes when the slowest replica has acknowledged. Reads still
+//! go to the closest replica.
+//!
+//! The combined objective exposes the classic replication trade-off: more
+//! replicas cut read delay but inflate write propagation, so the best
+//! degree of replication *decreases* as the write share grows — the
+//! crossover the `ablation_readwrite` bench maps out.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::problem::{PlacementProblem, ProblemError};
+
+/// Error produced by read/write evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RwError {
+    /// The designated master is not part of the placement.
+    MasterNotInPlacement,
+    /// Read/write weight vectors had the wrong arity or invalid values.
+    BadWeights,
+    /// The placement itself was invalid.
+    Problem(ProblemError),
+}
+
+impl fmt::Display for RwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RwError::MasterNotInPlacement => {
+                write!(f, "the master replica must be part of the placement")
+            }
+            RwError::BadWeights => write!(
+                f,
+                "read/write weights must be one non-negative finite value per client"
+            ),
+            RwError::Problem(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for RwError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RwError::Problem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProblemError> for RwError {
+    fn from(e: ProblemError) -> Self {
+        RwError::Problem(e)
+    }
+}
+
+/// Per-client read and write demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RwDemand {
+    /// Read weight per client (aligned with the problem's client list).
+    pub reads: Vec<f64>,
+    /// Write weight per client.
+    pub writes: Vec<f64>,
+}
+
+impl RwDemand {
+    /// Splits a uniform total demand into read and write shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ read_fraction ≤ 1` and `clients > 0`.
+    pub fn uniform(clients: usize, read_fraction: f64) -> Self {
+        assert!(clients > 0, "need at least one client");
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction must be in [0, 1], got {read_fraction}"
+        );
+        RwDemand {
+            reads: vec![read_fraction; clients],
+            writes: vec![1.0 - read_fraction; clients],
+        }
+    }
+
+    fn validate(&self, clients: usize) -> Result<(), RwError> {
+        let ok = |v: &[f64]| v.len() == clients && v.iter().all(|w| w.is_finite() && *w >= 0.0);
+        if ok(&self.reads) && ok(&self.writes) {
+            Ok(())
+        } else {
+            Err(RwError::BadWeights)
+        }
+    }
+}
+
+/// Write-path delay for one client: to the master, then propagated in
+/// parallel to all other replicas; completes when the slowest replica has
+/// the update.
+fn write_delay(
+    problem: &PlacementProblem<'_>,
+    client: usize,
+    placement: &[usize],
+    master: usize,
+) -> f64 {
+    let to_master = problem.matrix().get(client, master);
+    let propagation = placement
+        .iter()
+        .filter(|&&r| r != master)
+        .map(|&r| problem.matrix().get(master, r))
+        .fold(0.0f64, f64::max);
+    to_master + propagation
+}
+
+/// The combined objective:
+/// `Σ_u reads_u · min_{r} l(u, r) + Σ_u writes_u · (l(u, master) + max_{r≠master} l(master, r))`.
+///
+/// # Errors
+///
+/// See [`RwError`].
+pub fn rw_total_delay(
+    problem: &PlacementProblem<'_>,
+    placement: &[usize],
+    master: usize,
+    demand: &RwDemand,
+) -> Result<f64, RwError> {
+    problem.validate_placement(placement)?;
+    if !placement.contains(&master) {
+        return Err(RwError::MasterNotInPlacement);
+    }
+    demand.validate(problem.clients().len())?;
+
+    let mut total = 0.0;
+    for (i, &u) in problem.clients().iter().enumerate() {
+        if demand.reads[i] > 0.0 {
+            total += demand.reads[i] * problem.client_delay(u, placement);
+        }
+        if demand.writes[i] > 0.0 {
+            total += demand.writes[i] * write_delay(problem, u, placement, master);
+        }
+    }
+    Ok(total)
+}
+
+/// The master of `placement` that minimizes the combined objective.
+///
+/// # Errors
+///
+/// See [`RwError`].
+pub fn best_master(
+    problem: &PlacementProblem<'_>,
+    placement: &[usize],
+    demand: &RwDemand,
+) -> Result<(usize, f64), RwError> {
+    problem.validate_placement(placement)?;
+    demand.validate(problem.clients().len())?;
+    let mut best: Option<(usize, f64)> = None;
+    for &m in placement {
+        let d = rw_total_delay(problem, placement, m, demand)?;
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((m, d));
+        }
+    }
+    Ok(best.expect("placement is non-empty"))
+}
+
+/// Greedy placement under the combined objective: replicas are added one at
+/// a time, re-electing the best master at every step; the addition stops
+/// early if even the best extra replica would *increase* the combined
+/// objective (write propagation can outweigh the read gain).
+///
+/// Returns `(placement, master, total_delay)`.
+///
+/// # Errors
+///
+/// See [`RwError`]; additionally [`ProblemError::BadPlacement`] never
+/// occurs because placements are constructed from candidates.
+///
+/// # Example
+///
+/// ```
+/// use georep_core::problem::PlacementProblem;
+/// use georep_core::readwrite::{rw_greedy, RwDemand};
+/// use georep_net::rtt::RttMatrix;
+///
+/// let m = RttMatrix::from_fn(6, |i, j| (j as f64 - i as f64) * 10.0)?;
+/// let p = PlacementProblem::new(&m, vec![0, 3, 5], vec![1, 2, 4])?;
+/// // Read-only demand: replicas spread out (the search stops early once
+/// // an extra replica stops helping).
+/// let reads = RwDemand::uniform(3, 1.0);
+/// let (placement, _, _) = rw_greedy(&p, 3, &reads)?;
+/// assert!(placement.len() >= 2);
+/// // Write-heavy demand: a single replica (no propagation) wins.
+/// let writes = RwDemand::uniform(3, 0.1);
+/// let (placement, _, _) = rw_greedy(&p, 3, &writes)?;
+/// assert_eq!(placement.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn rw_greedy(
+    problem: &PlacementProblem<'_>,
+    max_k: usize,
+    demand: &RwDemand,
+) -> Result<(Vec<usize>, usize, f64), RwError> {
+    demand.validate(problem.clients().len())?;
+    if max_k == 0 {
+        return Err(RwError::Problem(ProblemError::BadPlacement));
+    }
+
+    // Start with the best single replica.
+    let mut best_single: Option<(usize, f64)> = None;
+    for &c in problem.candidates() {
+        let d = rw_total_delay(problem, &[c], c, demand)?;
+        if best_single.is_none_or(|(_, bd)| d < bd) {
+            best_single = Some((c, d));
+        }
+    }
+    let (first, mut current_delay) = best_single.expect("candidates are non-empty");
+    let mut placement = vec![first];
+    let mut master = first;
+
+    while placement.len() < max_k.min(problem.candidates().len()) {
+        let mut best_add: Option<(usize, usize, f64)> = None;
+        for &cand in problem.candidates() {
+            if placement.contains(&cand) {
+                continue;
+            }
+            let mut trial = placement.clone();
+            trial.push(cand);
+            let (m, d) = best_master(problem, &trial, demand)?;
+            if best_add.is_none_or(|(_, _, bd)| d < bd) {
+                best_add = Some((cand, m, d));
+            }
+        }
+        let Some((cand, m, d)) = best_add else { break };
+        if d >= current_delay {
+            break; // adding any replica makes things worse
+        }
+        placement.push(cand);
+        master = m;
+        current_delay = d;
+    }
+    Ok((placement, master, current_delay))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use georep_net::rtt::RttMatrix;
+
+    fn line() -> RttMatrix {
+        RttMatrix::from_fn(8, |i, j| (j as f64 - i as f64) * 10.0).unwrap()
+    }
+
+    #[test]
+    fn read_only_matches_standard_objective() {
+        let m = line();
+        let p = PlacementProblem::new(&m, vec![0, 4, 7], vec![1, 2, 5]).unwrap();
+        let demand = RwDemand::uniform(3, 1.0);
+        let rw = rw_total_delay(&p, &[0, 7], 0, &demand).unwrap();
+        assert_eq!(rw, p.total_delay(&[0, 7]).unwrap());
+    }
+
+    #[test]
+    fn write_only_counts_master_path_and_propagation() {
+        let m = line();
+        let p = PlacementProblem::new(&m, vec![0, 4, 7], vec![2]).unwrap();
+        let demand = RwDemand::uniform(1, 0.0);
+        // Client 2 writes to master 0, which propagates to 7 (70 ms).
+        let d = rw_total_delay(&p, &[0, 7], 0, &demand).unwrap();
+        assert_eq!(d, 20.0 + 70.0);
+        // Master 7 instead: client path 50, propagation 70.
+        let d = rw_total_delay(&p, &[0, 7], 7, &demand).unwrap();
+        assert_eq!(d, 50.0 + 70.0);
+    }
+
+    #[test]
+    fn best_master_minimizes() {
+        let m = line();
+        let p = PlacementProblem::new(&m, vec![0, 4, 7], vec![1, 2]).unwrap();
+        let demand = RwDemand::uniform(2, 0.2);
+        let (master, delay) = best_master(&p, &[0, 4, 7], &demand).unwrap();
+        for cand in [0usize, 4, 7] {
+            assert!(delay <= rw_total_delay(&p, &[0, 4, 7], cand, &demand).unwrap() + 1e-9);
+        }
+        // Writers sit at nodes 1 and 2, so the master should be node 0 or 4
+        // (close to writers), never 7.
+        assert_ne!(master, 7);
+    }
+
+    #[test]
+    fn master_must_be_in_placement() {
+        let m = line();
+        let p = PlacementProblem::new(&m, vec![0, 4, 7], vec![1]).unwrap();
+        let demand = RwDemand::uniform(1, 0.5);
+        assert_eq!(
+            rw_total_delay(&p, &[0, 4], 7, &demand),
+            Err(RwError::MasterNotInPlacement)
+        );
+    }
+
+    #[test]
+    fn weight_arity_checked() {
+        let m = line();
+        let p = PlacementProblem::new(&m, vec![0, 4], vec![1, 2]).unwrap();
+        let bad = RwDemand {
+            reads: vec![1.0],
+            writes: vec![0.0, 0.0],
+        };
+        assert_eq!(rw_total_delay(&p, &[0], 0, &bad), Err(RwError::BadWeights));
+        let nan = RwDemand {
+            reads: vec![1.0, f64::NAN],
+            writes: vec![0.0, 0.0],
+        };
+        assert_eq!(rw_total_delay(&p, &[0], 0, &nan), Err(RwError::BadWeights));
+    }
+
+    #[test]
+    fn greedy_shrinks_k_as_writes_grow() {
+        let m = line();
+        let p = PlacementProblem::new(&m, vec![0, 3, 5, 7], vec![1, 2, 4, 6]).unwrap();
+        let k_for = |read_fraction: f64| {
+            let demand = RwDemand::uniform(4, read_fraction);
+            rw_greedy(&p, 4, &demand).unwrap().0.len()
+        };
+        let read_only = k_for(1.0);
+        let mixed = k_for(0.6);
+        let write_heavy = k_for(0.05);
+        assert!(read_only >= mixed, "read-only {read_only} vs mixed {mixed}");
+        assert!(
+            mixed >= write_heavy,
+            "mixed {mixed} vs write-heavy {write_heavy}"
+        );
+        assert_eq!(
+            write_heavy, 1,
+            "write-heavy workloads want a single replica"
+        );
+        assert!(
+            read_only >= 3,
+            "read-only workloads spread out, got {read_only}"
+        );
+    }
+
+    #[test]
+    fn greedy_result_is_consistent() {
+        let m = line();
+        let p = PlacementProblem::new(&m, vec![0, 3, 5, 7], vec![1, 2, 4, 6]).unwrap();
+        let demand = RwDemand::uniform(4, 0.8);
+        let (placement, master, delay) = rw_greedy(&p, 4, &demand).unwrap();
+        assert!(placement.contains(&master));
+        let recomputed = rw_total_delay(&p, &placement, master, &demand).unwrap();
+        assert!((recomputed - delay).abs() < 1e-9);
+        // No duplicates.
+        let mut sorted = placement.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), placement.len());
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        let m = line();
+        let p = PlacementProblem::new(&m, vec![0], vec![1]).unwrap();
+        let demand = RwDemand::uniform(1, 0.5);
+        assert!(rw_greedy(&p, 0, &demand).is_err());
+    }
+}

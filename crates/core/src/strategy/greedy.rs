@@ -1,0 +1,143 @@
+//! Greedy incremental placement (Qiu, Padmanabhan, Voelker — INFOCOM 2001).
+
+use super::{PlaceError, PlacementContext, Placer};
+
+/// Adds one replica at a time, each time choosing the candidate that most
+/// reduces the total access delay given the replicas already placed.
+///
+/// This is the "naive greedy algorithm that effectively reduces latency at
+/// a high computation cost" from the paper's related work: every step
+/// evaluates every remaining candidate against every client, so it needs
+/// the full latency matrix — information a scalable system does not have.
+/// It is nevertheless a strong baseline: greedy is within a few percent of
+/// optimal on most instances.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Greedy;
+
+impl<const D: usize> Placer<D> for Greedy {
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_, D>) -> Result<Vec<usize>, PlaceError> {
+        ctx.check_k()?;
+        let problem = ctx.problem;
+        let matrix = problem.matrix();
+        let clients = problem.clients();
+        let weights = problem.weights();
+
+        // best_delay[u] = delay of client u to the replicas chosen so far.
+        let mut best_delay = vec![f64::INFINITY; clients.len()];
+        let mut chosen: Vec<usize> = Vec::with_capacity(ctx.k);
+
+        for _ in 0..ctx.k {
+            let mut best: Option<(usize, f64)> = None;
+            for &cand in problem.candidates() {
+                if chosen.contains(&cand) {
+                    continue;
+                }
+                let total: f64 = clients
+                    .iter()
+                    .zip(weights)
+                    .zip(&best_delay)
+                    .map(|((&u, &w), &cur)| w * cur.min(matrix.get(u, cand)))
+                    .sum();
+                if best.is_none_or(|(_, bt)| total < bt) {
+                    best = Some((cand, total));
+                }
+            }
+            let (cand, _) = best.expect("k ≤ candidates leaves a free candidate");
+            chosen.push(cand);
+            for (slot, &u) in best_delay.iter_mut().zip(clients) {
+                *slot = slot.min(matrix.get(u, cand));
+            }
+        }
+        Ok(chosen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PlacementProblem;
+    use crate::strategy::optimal::Optimal;
+    use crate::strategy::random::Random;
+    use georep_net::rtt::RttMatrix;
+
+    fn ctx<'a>(p: &'a PlacementProblem<'a>, k: usize) -> PlacementContext<'a, 1> {
+        PlacementContext {
+            problem: p,
+            coords: &[],
+            accesses: &[],
+            summaries: &[],
+            k,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn first_pick_is_the_1_median() {
+        let m = RttMatrix::from_fn(6, |i, j| (j as f64 - i as f64) * 10.0).unwrap();
+        let p = PlacementProblem::new(&m, vec![0, 3, 5], vec![1, 2, 4]).unwrap();
+        let greedy = Greedy.place(&ctx(&p, 1)).unwrap();
+        let optimal = Optimal::default().place(&ctx(&p, 1)).unwrap();
+        assert_eq!(greedy, optimal);
+    }
+
+    #[test]
+    fn returns_k_distinct_candidates() {
+        let m = RttMatrix::from_fn(10, |i, j| ((i * 3 + j * 5) % 40 + 1) as f64).unwrap();
+        let p = PlacementProblem::new(&m, (0..6).collect(), (6..10).collect()).unwrap();
+        let placement = Greedy.place(&ctx(&p, 4)).unwrap();
+        assert_eq!(placement.len(), 4);
+        let mut sorted = placement.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+        assert!(p.validate_placement(&placement).is_ok());
+    }
+
+    #[test]
+    fn close_to_optimal_and_better_than_random() {
+        let m = RttMatrix::from_fn(16, |i, j| (((i * 13 + j * 29) % 173) + 7) as f64).unwrap();
+        let p = PlacementProblem::new(&m, (0..8).collect(), (8..16).collect()).unwrap();
+        let c = ctx(&p, 3);
+        let greedy_delay = p.total_delay(&Greedy.place(&c).unwrap()).unwrap();
+        let optimal_delay = p
+            .total_delay(&Optimal::default().place(&c).unwrap())
+            .unwrap();
+        assert!(greedy_delay >= optimal_delay - 1e-9);
+        assert!(
+            greedy_delay <= optimal_delay * 1.15,
+            "greedy {greedy_delay} vs optimal {optimal_delay}"
+        );
+        let mut random_mean = 0.0;
+        for seed in 0..10 {
+            let r = Placer::<1>::place(&Random, &PlacementContext { seed, ..c.clone() }).unwrap();
+            random_mean += p.total_delay(&r).unwrap();
+        }
+        random_mean /= 10.0;
+        assert!(greedy_delay <= random_mean);
+    }
+
+    #[test]
+    fn marginal_gain_is_diminishing() {
+        let m = RttMatrix::from_fn(20, |i, j| (((i * 7 + j * 11) % 200) + 3) as f64).unwrap();
+        let p = PlacementProblem::new(&m, (0..10).collect(), (10..20).collect()).unwrap();
+        let mut prev = f64::INFINITY;
+        let mut prev_gain = f64::INFINITY;
+        for k in 1..=5 {
+            let d = p.total_delay(&Greedy.place(&ctx(&p, k)).unwrap()).unwrap();
+            if prev.is_finite() {
+                let gain = prev - d;
+                assert!(gain >= -1e-9, "delay increased at k = {k}");
+                assert!(
+                    gain <= prev_gain + 1e-9,
+                    "greedy marginal gain must shrink (submodularity): k = {k}"
+                );
+                prev_gain = gain;
+            }
+            prev = d;
+        }
+    }
+}

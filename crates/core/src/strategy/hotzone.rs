@@ -1,0 +1,195 @@
+//! Cell-based placement (Szymaniak, Pierre, van Steen — HotZone / SAINT'05).
+
+use std::collections::HashMap;
+
+use georep_coord::Coord;
+
+use super::{nearest_distinct_candidates, PlaceError, PlacementContext, Placer};
+
+/// Divides the coordinate space into fixed-size cells, ranks cells by the
+/// amount of client demand that falls into them, and places one replica
+/// near each of the `k` most crowded cells.
+///
+/// The paper's related-work section notes the inherent limitation this
+/// reproduction also exhibits: *all demand outside the top-k cells is
+/// ignored*, so a diffuse population (or a poorly chosen cell size) yields
+/// placements noticeably worse than clustering-based techniques.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotZone {
+    /// Cell edge length in coordinate units (milliseconds).
+    pub cell_ms: f64,
+}
+
+impl Default for HotZone {
+    fn default() -> Self {
+        HotZone { cell_ms: 25.0 }
+    }
+}
+
+impl HotZone {
+    /// A cell-based placer with the given cell edge length.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cell_ms` is positive and finite.
+    pub fn new(cell_ms: f64) -> Self {
+        assert!(
+            cell_ms.is_finite() && cell_ms > 0.0,
+            "cell size must be positive"
+        );
+        HotZone { cell_ms }
+    }
+}
+
+impl<const D: usize> Placer<D> for HotZone {
+    fn name(&self) -> &'static str {
+        "hotzone cells"
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_, D>) -> Result<Vec<usize>, PlaceError> {
+        ctx.check_k()?;
+        let coords = ctx.require_coords()?;
+        if ctx.accesses.is_empty() {
+            return Err(PlaceError::MissingData("a recorded access log"));
+        }
+
+        // Bin demand into lattice cells.
+        struct Cell<const D: usize> {
+            weight: f64,
+            sum: Coord<D>,
+            count: f64,
+        }
+        let mut cells: HashMap<[i64; D], Cell<D>> = HashMap::new();
+        for &(client, weight) in ctx.accesses {
+            let c = coords[client];
+            let mut key = [0i64; D];
+            for (slot, &x) in key.iter_mut().zip(c.pos()) {
+                *slot = (x / self.cell_ms).floor() as i64;
+            }
+            let cell = cells.entry(key).or_insert(Cell {
+                weight: 0.0,
+                sum: Coord::origin(),
+                count: 0.0,
+            });
+            cell.weight += weight;
+            cell.sum = cell.sum.add(&c);
+            cell.count += 1.0;
+        }
+
+        // Rank by demand; the centroid of each hot cell becomes a target.
+        let mut ranked: Vec<(f64, Coord<D>)> = cells
+            .values()
+            .map(|c| (c.weight, c.sum.scale(1.0 / c.count)))
+            .collect();
+        ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let targets: Vec<Coord<D>> = ranked.into_iter().take(ctx.k).map(|(_, c)| c).collect();
+
+        Ok(nearest_distinct_candidates(
+            &targets,
+            ctx.problem.candidates(),
+            coords,
+            ctx.k,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PlacementProblem;
+    use georep_net::rtt::RttMatrix;
+
+    fn fixture() -> (RttMatrix, Vec<Coord<2>>) {
+        // Nodes 0–2 around (0, 0); nodes 3–5 around (200, 0).
+        let coords = vec![
+            Coord::new([0.0, 0.0]),
+            Coord::new([5.0, 5.0]),
+            Coord::new([10.0, 0.0]),
+            Coord::new([200.0, 0.0]),
+            Coord::new([205.0, 5.0]),
+            Coord::new([210.0, 0.0]),
+        ];
+        let cs = coords.clone();
+        let m = RttMatrix::from_fn(6, move |i, j| cs[i].distance(&cs[j]).max(1.0)).unwrap();
+        (m, coords)
+    }
+
+    #[test]
+    fn hot_cells_attract_replicas() {
+        let (m, coords) = fixture();
+        let p = PlacementProblem::new(&m, vec![0, 3], vec![1, 2, 4, 5]).unwrap();
+        let accesses = vec![(1usize, 1.0), (2, 1.0), (4, 1.0), (5, 1.0)];
+        let ctx = PlacementContext {
+            problem: &p,
+            coords: &coords,
+            accesses: &accesses,
+            summaries: &[],
+            k: 2,
+            seed: 0,
+        };
+        let mut placement = HotZone::default().place(&ctx).unwrap();
+        placement.sort_unstable();
+        assert_eq!(placement, vec![0, 3]);
+    }
+
+    #[test]
+    fn ignores_demand_outside_top_cells() {
+        let (m, coords) = fixture();
+        // k = 1 and nearly all demand on the left: the right population is
+        // simply not represented.
+        let p = PlacementProblem::new(&m, vec![0, 3], vec![1, 2, 4]).unwrap();
+        let accesses = vec![(1usize, 10.0), (2, 10.0), (4, 1.0)];
+        let ctx = PlacementContext {
+            problem: &p,
+            coords: &coords,
+            accesses: &accesses,
+            summaries: &[],
+            k: 1,
+            seed: 0,
+        };
+        assert_eq!(HotZone::default().place(&ctx).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn cell_size_changes_granularity() {
+        let (m, coords) = fixture();
+        let p = PlacementProblem::new(&m, vec![0, 3], vec![1, 2, 4, 5]).unwrap();
+        let accesses = vec![(1usize, 1.0), (2, 1.0), (4, 3.0), (5, 3.0)];
+        // A cell large enough to swallow everything: a single hot cell whose
+        // centroid lies between populations, dragged right by weight.
+        let huge = HotZone::new(10_000.0);
+        let ctx = PlacementContext {
+            problem: &p,
+            coords: &coords,
+            accesses: &accesses,
+            summaries: &[],
+            k: 1,
+            seed: 0,
+        };
+        assert_eq!(huge.place(&ctx).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn requires_inputs() {
+        let (m, coords) = fixture();
+        let p = PlacementProblem::new(&m, vec![0, 3], vec![1]).unwrap();
+        let ctx = PlacementContext::<2> {
+            problem: &p,
+            coords: &coords,
+            accesses: &[],
+            summaries: &[],
+            k: 1,
+            seed: 0,
+        };
+        assert!(matches!(
+            HotZone::default().place(&ctx),
+            Err(PlaceError::MissingData(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_rejected() {
+        let _ = HotZone::new(0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline k-means placement — the paper's high-overhead baseline.
+
+use georep_cluster::kmeans::KMeansConfig;
+use georep_cluster::point::WeightedPoint;
+use georep_cluster::weighted::weighted_kmeans;
+
+use super::{
+    best_serving_candidates, nearest_distinct_candidates, CentroidMapping, PlaceError,
+    PlacementContext, Placer,
+};
+
+/// Records the coordinates of *every* client access at a central server and
+/// runs k-means over them; each resulting cluster is mapped to a candidate
+/// data center (per the configured [`CentroidMapping`], like the online
+/// technique, so the two baselines differ only in what they ship).
+///
+/// This achieves near-optimal delay (the paper's Figures 1–2) but "incurs
+/// high overhead and is not scalable since the coordinates of all the
+/// clients must be collected at a server" — its storage and transfer cost
+/// grows with the number of accesses `n`, versus `k·m` micro-clusters for
+/// the online technique (Table II).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OfflineKMeans {
+    /// Cluster → data-center mapping rule.
+    pub mapping: CentroidMapping,
+}
+
+impl<const D: usize> Placer<D> for OfflineKMeans {
+    fn name(&self) -> &'static str {
+        "offline k-means"
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_, D>) -> Result<Vec<usize>, PlaceError> {
+        ctx.check_k()?;
+        let coords = ctx.require_coords()?;
+        if ctx.accesses.is_empty() {
+            return Err(PlaceError::MissingData("a recorded access log"));
+        }
+
+        // Every access contributes one weighted point at the client's
+        // coordinates — this is the data volume the online technique avoids
+        // shipping.
+        let points: Vec<WeightedPoint<D>> = ctx
+            .accesses
+            .iter()
+            .map(|&(client, weight)| WeightedPoint::new(coords[client], weight))
+            .collect();
+
+        let k = ctx.k.min(points.len());
+        let clustering = weighted_kmeans(&points, KMeansConfig::new(k).with_seed(ctx.seed))?;
+
+        match self.mapping {
+            CentroidMapping::NearestCentroid => Ok(nearest_distinct_candidates(
+                &clustering.centroids,
+                ctx.problem.candidates(),
+                coords,
+                ctx.k,
+            )),
+            CentroidMapping::BestServing => {
+                let mut members = vec![Vec::new(); clustering.centroids.len()];
+                for (p, &a) in points.iter().zip(&clustering.assignments) {
+                    members[a].push((p.coord, p.weight));
+                }
+                Ok(best_serving_candidates(
+                    &members,
+                    ctx.problem.candidates(),
+                    coords,
+                    ctx.k,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PlacementProblem;
+    use georep_coord::Coord;
+    use georep_net::rtt::RttMatrix;
+
+    /// Six nodes on a line at x = 0, 10, …, 50; rtt = |Δx|.
+    fn line_fixture() -> (RttMatrix, Vec<Coord<1>>) {
+        let coords: Vec<Coord<1>> = (0..6).map(|i| Coord::new([i as f64 * 10.0])).collect();
+        let m = RttMatrix::from_fn(6, |i, j| (j as f64 - i as f64).abs() * 10.0).unwrap();
+        (m, coords)
+    }
+
+    #[test]
+    fn places_replicas_at_population_centers() {
+        let (m, coords) = line_fixture();
+        // Candidates at both ends and the middle; clients at 1 and 4, with
+        // all accesses coming from node 1's neighbourhood and node 4's
+        // neighbourhood.
+        let p = PlacementProblem::new(&m, vec![0, 2, 5], vec![1, 4]).unwrap();
+        let accesses = vec![(1usize, 1.0), (1, 1.0), (4, 1.0), (4, 1.0)];
+        let ctx = PlacementContext {
+            problem: &p,
+            coords: &coords,
+            accesses: &accesses,
+            summaries: &[],
+            k: 2,
+            seed: 1,
+        };
+        let mut placement = OfflineKMeans::default().place(&ctx).unwrap();
+        placement.sort_unstable();
+        // Cluster centers at x = 10 and x = 40 map to candidates 0/2 (10 is
+        // equidistant; either is acceptable) and 5; the key property is one
+        // replica per population side.
+        assert_eq!(placement.len(), 2);
+        assert!(
+            placement.contains(&5),
+            "right population needs a replica: {placement:?}"
+        );
+        assert!(
+            placement[0] == 0 || placement[0] == 2,
+            "left population needs a replica: {placement:?}"
+        );
+    }
+
+    #[test]
+    fn weighted_accesses_pull_placement() {
+        let (m, coords) = line_fixture();
+        let p = PlacementProblem::new(&m, vec![0, 5], vec![1, 4]).unwrap();
+        // One replica; node 4's traffic dominates.
+        let accesses = vec![(1usize, 1.0), (4, 50.0)];
+        let ctx = PlacementContext {
+            problem: &p,
+            coords: &coords,
+            accesses: &accesses,
+            summaries: &[],
+            k: 1,
+            seed: 1,
+        };
+        let placement = OfflineKMeans::default().place(&ctx).unwrap();
+        assert_eq!(placement, vec![5]);
+    }
+
+    #[test]
+    fn requires_access_log_and_coords() {
+        let (m, coords) = line_fixture();
+        let p = PlacementProblem::new(&m, vec![0, 5], vec![1]).unwrap();
+        let ctx = PlacementContext::<1> {
+            problem: &p,
+            coords: &coords,
+            accesses: &[],
+            summaries: &[],
+            k: 1,
+            seed: 0,
+        };
+        assert!(matches!(
+            OfflineKMeans::default().place(&ctx),
+            Err(PlaceError::MissingData("a recorded access log"))
+        ));
+        let accesses = [(1usize, 1.0)];
+        let ctx = PlacementContext::<1> {
+            coords: &[],
+            accesses: &accesses,
+            ..ctx
+        };
+        assert!(matches!(
+            OfflineKMeans::default().place(&ctx),
+            Err(PlaceError::MissingData(_))
+        ));
+    }
+
+    #[test]
+    fn more_replicas_than_accesses_still_fills_k() {
+        let (m, coords) = line_fixture();
+        let p = PlacementProblem::new(&m, vec![0, 2, 5], vec![1]).unwrap();
+        let accesses = [(1usize, 1.0)];
+        let ctx = PlacementContext {
+            problem: &p,
+            coords: &coords,
+            accesses: &accesses,
+            summaries: &[],
+            k: 3,
+            seed: 0,
+        };
+        let placement = OfflineKMeans::default().place(&ctx).unwrap();
+        assert_eq!(placement.len(), 3);
+        let mut sorted = placement;
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+}

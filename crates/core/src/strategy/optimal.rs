@@ -1,0 +1,169 @@
+//! Exhaustive-optimal placement — the paper's impractical upper bound.
+
+use crate::combin::{binomial, Combinations};
+
+use super::{PlaceError, PlacementContext, Placer};
+
+/// Evaluates the true objective for **every** `C(|C|, k)` combination of
+/// candidate data centers and returns the best.
+///
+/// The paper includes this comparator "for comparison purposes" only — it
+/// needs the true latency between every client and every candidate, and its
+/// cost explodes combinatorially. [`Optimal::search_space`] reports how
+/// many placements a context would enumerate so callers can bail out of
+/// infeasible configurations; [`Optimal::with_limit`] enforces a hard cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Optimal {
+    /// Maximum number of combinations this instance will evaluate.
+    limit: u128,
+}
+
+impl Default for Optimal {
+    fn default() -> Self {
+        // Generous default: 20 candidates at k = 7 is 77 520; even
+        // C(30, 5) = 142 506 stays comfortably below.
+        Optimal { limit: 20_000_000 }
+    }
+}
+
+impl Optimal {
+    /// An exhaustive search capped at `limit` combinations.
+    pub fn with_limit(limit: u128) -> Self {
+        Optimal { limit }
+    }
+
+    /// Number of placements a context would enumerate.
+    pub fn search_space<const D: usize>(ctx: &PlacementContext<'_, D>) -> u128 {
+        binomial(ctx.problem.candidates().len(), ctx.k)
+    }
+}
+
+impl<const D: usize> Placer<D> for Optimal {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_, D>) -> Result<Vec<usize>, PlaceError> {
+        ctx.check_k()?;
+        let space = Self::search_space(ctx);
+        if space > self.limit {
+            return Err(PlaceError::MissingData(
+                "a search space within the exhaustive-search limit",
+            ));
+        }
+
+        let problem = ctx.problem;
+        let candidates = problem.candidates();
+        let clients = problem.clients();
+        let weights = problem.weights();
+        let matrix = problem.matrix();
+
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        let mut placement = vec![0usize; ctx.k];
+        for combo in Combinations::new(candidates.len(), ctx.k) {
+            for (slot, &ci) in placement.iter_mut().zip(&combo) {
+                *slot = candidates[ci];
+            }
+            // Inline objective (avoids the per-call placement validation of
+            // `total_delay`, which matters at ~10⁵ combinations).
+            let mut total = 0.0;
+            for (&u, &w) in clients.iter().zip(weights) {
+                let mut min = f64::INFINITY;
+                for &r in &placement {
+                    let d = matrix.get(u, r);
+                    if d < min {
+                        min = d;
+                    }
+                }
+                total += w * min;
+            }
+            if best.as_ref().is_none_or(|(_, bd)| total < *bd) {
+                best = Some((placement.clone(), total));
+            }
+        }
+        Ok(best
+            .expect("search space is non-empty when k ≤ candidates")
+            .0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PlacementProblem;
+    use crate::strategy::random::Random;
+    use georep_net::rtt::RttMatrix;
+
+    fn ctx<'a>(p: &'a PlacementProblem<'a>, k: usize) -> PlacementContext<'a, 1> {
+        PlacementContext {
+            problem: p,
+            coords: &[],
+            accesses: &[],
+            summaries: &[],
+            k,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn finds_the_true_optimum_on_a_line() {
+        // Nodes 0..6 on a line; candidates {0, 3, 5}; clients {1, 2, 4}.
+        let m = RttMatrix::from_fn(6, |i, j| (j as f64 - i as f64) * 10.0).unwrap();
+        let p = PlacementProblem::new(&m, vec![0, 3, 5], vec![1, 2, 4]).unwrap();
+        // k = 1: candidate 3 minimizes 20+10+10 = 40 (vs 0: 70, 5: 70).
+        let placement = Optimal::default().place(&ctx(&p, 1)).unwrap();
+        assert_eq!(placement, vec![3]);
+    }
+
+    #[test]
+    fn never_worse_than_any_other_strategy() {
+        let m = RttMatrix::from_fn(12, |i, j| ((i * 7 + j * 13) % 90 + 5) as f64).unwrap();
+        let p = PlacementProblem::new(&m, (0..6).collect(), (6..12).collect()).unwrap();
+        let c = ctx(&p, 3);
+        let opt = Optimal::default().place(&c).unwrap();
+        let opt_delay = p.total_delay(&opt).unwrap();
+        for seed in 0..10 {
+            let rnd = Placer::<1>::place(&Random, &PlacementContext { seed, ..c.clone() }).unwrap();
+            assert!(opt_delay <= p.total_delay(&rnd).unwrap() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_equals_candidates_returns_all() {
+        let m = RttMatrix::from_fn(5, |i, j| (i + j + 1) as f64).unwrap();
+        let p = PlacementProblem::new(&m, vec![0, 1, 2], vec![3, 4]).unwrap();
+        let mut placement = Optimal::default().place(&ctx(&p, 3)).unwrap();
+        placement.sort_unstable();
+        assert_eq!(placement, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let m = RttMatrix::from_fn(30, |i, j| (i + j + 1) as f64).unwrap();
+        let p = PlacementProblem::new(&m, (0..25).collect(), (25..30).collect()).unwrap();
+        let tight = Optimal::with_limit(10);
+        assert!(matches!(
+            tight.place(&ctx(&p, 5)),
+            Err(PlaceError::MissingData(_))
+        ));
+        assert_eq!(Optimal::search_space(&ctx(&p, 5)), 53_130);
+    }
+
+    #[test]
+    fn respects_client_weights() {
+        // One heavy client decides the k = 1 winner.
+        let m = RttMatrix::from_fn(4, |i, j| (j as f64 - i as f64) * 10.0).unwrap();
+        let p =
+            PlacementProblem::with_weights(&m, vec![0, 3], vec![1, 2], vec![1.0, 100.0]).unwrap();
+        let c = PlacementContext::<1> {
+            problem: &p,
+            coords: &[],
+            accesses: &[],
+            summaries: &[],
+            k: 1,
+            seed: 0,
+        };
+        // Client 2 (weight 100) is 10 from candidate 3, 20 from candidate 0.
+        assert_eq!(Optimal::default().place(&c).unwrap(), vec![3]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Uniform-random placement — the paper's lower baseline.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::{PlaceError, PlacementContext, Placer};
+
+/// Selects `k` candidate data centers uniformly at random.
+///
+/// This is what storage systems that "ignore the replica placement problem"
+/// effectively do, and the baseline the paper's ≥ 35 % improvement claim is
+/// measured against.
+///
+/// # Example
+///
+/// ```
+/// use georep_core::strategy::{random::Random, PlacementContext, Placer};
+/// use georep_core::problem::PlacementProblem;
+/// use georep_net::rtt::RttMatrix;
+///
+/// let m = RttMatrix::from_fn(6, |i, j| (i + j) as f64 + 1.0)?;
+/// let p = PlacementProblem::new(&m, vec![0, 1, 2, 3], vec![4, 5])?;
+/// let ctx = PlacementContext::<3> {
+///     problem: &p, coords: &[], accesses: &[], summaries: &[], k: 2, seed: 9,
+/// };
+/// let placement = Random.place(&ctx)?;
+/// assert_eq!(placement.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Random;
+
+impl<const D: usize> Placer<D> for Random {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn place(&self, ctx: &PlacementContext<'_, D>) -> Result<Vec<usize>, PlaceError> {
+        ctx.check_k()?;
+        let mut rng = StdRng::seed_from_u64(ctx.seed);
+        // Partial Fisher–Yates over a copy of the candidate list.
+        let mut pool: Vec<usize> = ctx.problem.candidates().to_vec();
+        for i in 0..ctx.k {
+            let j = rng.random_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(ctx.k);
+        Ok(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::PlacementProblem;
+    use georep_net::rtt::RttMatrix;
+
+    fn ctx_fixture(m: &RttMatrix, k: usize, seed: u64) -> (PlacementProblem<'_>, usize, u64) {
+        let p = PlacementProblem::new(m, (0..8).collect(), vec![8, 9]).unwrap();
+        (p, k, seed)
+    }
+
+    #[test]
+    fn returns_k_distinct_candidates() {
+        let m = RttMatrix::from_fn(10, |i, j| (i + j + 1) as f64).unwrap();
+        let (p, k, seed) = ctx_fixture(&m, 4, 3);
+        let ctx = PlacementContext::<3> {
+            problem: &p,
+            coords: &[],
+            accesses: &[],
+            summaries: &[],
+            k,
+            seed,
+        };
+        let placement = Placer::<3>::place(&Random, &ctx).unwrap();
+        assert_eq!(placement.len(), 4);
+        let mut sorted = placement.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+        assert!(p.validate_placement(&placement).is_ok());
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_varies_across_seeds() {
+        let m = RttMatrix::from_fn(10, |i, j| (i + j + 1) as f64).unwrap();
+        let (p, ..) = ctx_fixture(&m, 3, 0);
+        let make = |seed| PlacementContext::<3> {
+            problem: &p,
+            coords: &[],
+            accesses: &[],
+            summaries: &[],
+            k: 3,
+            seed,
+        };
+        let a = Placer::<3>::place(&Random, &make(5)).unwrap();
+        let b = Placer::<3>::place(&Random, &make(5)).unwrap();
+        assert_eq!(a, b);
+        let distinct = (0..20)
+            .map(|s| Placer::<3>::place(&Random, &make(s)).unwrap())
+            .collect::<std::collections::HashSet<_>>();
+        assert!(
+            distinct.len() > 5,
+            "only {} distinct placements",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn k_equal_to_candidates_takes_all() {
+        let m = RttMatrix::from_fn(10, |i, j| (i + j + 1) as f64).unwrap();
+        let (p, ..) = ctx_fixture(&m, 0, 0);
+        let ctx = PlacementContext::<3> {
+            problem: &p,
+            coords: &[],
+            accesses: &[],
+            summaries: &[],
+            k: 8,
+            seed: 1,
+        };
+        let mut placement = Placer::<3>::place(&Random, &ctx).unwrap();
+        placement.sort_unstable();
+        assert_eq!(placement, (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,93 @@
+//! The deterministic "PlanetLab-like" 226-node snapshot.
+//!
+//! The paper's evaluation is driven by "real network traffic data collected
+//! from 226 PlanetLab nodes" (the Harvard `syrah/nc` dataset, which is no
+//! longer published). This module substitutes a deterministic synthetic
+//! matrix with the same cardinality and the qualitative properties that
+//! matter to the placement algorithms:
+//!
+//! * node shares per region mirroring the historical PlanetLab deployment
+//!   (North America ≈ 42 %, Europe ≈ 30 %, Asia ≈ 17 %, rest ≈ 11 %);
+//! * a multi-modal RTT distribution — intra-region pairs in the 5–60 ms
+//!   range, trans-continental pairs in the 100–350 ms range;
+//! * measurement jitter and a few percent of triangle-inequality-violating
+//!   triples, so the matrix is *not* perfectly embeddable into a metric
+//!   space (real latency data never is).
+//!
+//! Every call returns the same matrix, so experiment results are
+//! reproducible down to the bit.
+
+use crate::rtt::RttMatrix;
+use crate::topology::{Topology, TopologyConfig};
+
+/// Number of nodes in the snapshot, matching the paper's dataset.
+pub const PLANETLAB_NODES: usize = 226;
+
+/// Seed fixing the snapshot.
+pub const PLANETLAB_SEED: u64 = 0x504C_4142; // "PLAB"
+
+/// Configuration used to synthesize the snapshot.
+pub fn planetlab_config() -> TopologyConfig {
+    TopologyConfig {
+        nodes: PLANETLAB_NODES,
+        seed: PLANETLAB_SEED,
+        ..Default::default()
+    }
+}
+
+/// The full 226-node topology (nodes with regions and locations plus the
+/// RTT matrix).
+pub fn planetlab_topology() -> Topology {
+    Topology::generate(planetlab_config()).expect("snapshot config is valid")
+}
+
+/// The 226 × 226 RTT matrix of the snapshot.
+///
+/// # Example
+///
+/// ```
+/// use georep_net::planetlab::{planetlab_226, PLANETLAB_NODES};
+///
+/// let m = planetlab_226();
+/// assert_eq!(m.len(), PLANETLAB_NODES);
+/// assert_eq!(m.get(3, 7), m.get(7, 3));
+/// ```
+pub fn planetlab_226() -> RttMatrix {
+    planetlab_topology().into_matrix()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_stable() {
+        let a = planetlab_226();
+        let b = planetlab_226();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 226);
+    }
+
+    #[test]
+    fn snapshot_is_wide_area() {
+        let stats = planetlab_226().stats();
+        assert!(stats.min_ms < 30.0, "min {}", stats.min_ms);
+        assert!(stats.median_ms > 40.0, "median {}", stats.median_ms);
+        assert!(stats.max_ms > 200.0, "max {}", stats.max_ms);
+        assert!(stats.max_ms < 2_000.0, "max {}", stats.max_ms); // worst PlanetLab pairs exceeded 1 s
+    }
+
+    #[test]
+    fn snapshot_violates_triangle_inequality_a_little() {
+        let rate = planetlab_226().triangle_violation_rate();
+        assert!(rate > 0.001, "rate {rate}");
+        assert!(rate < 0.25, "rate {rate}");
+    }
+
+    #[test]
+    fn regional_structure_present() {
+        let topo = planetlab_topology();
+        let (intra, inter) = topo.intra_inter_means();
+        assert!(intra < inter / 2.0, "intra {intra:.1}, inter {inter:.1}");
+    }
+}

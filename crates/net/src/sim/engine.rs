@@ -1,0 +1,430 @@
+//! The event loop.
+//!
+//! A [`Simulation`] owns a user-supplied *world* (the mutable state of the
+//! experiment) and a priority queue of timestamped events. Each event is a
+//! closure receiving `(&mut World, &mut Context)`; the [`Context`] exposes
+//! the current simulated time and lets handlers schedule follow-up events.
+//! Events at equal timestamps run in FIFO scheduling order, so runs are
+//! fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use super::time::{SimDuration, SimTime};
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Context<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for Entry<W> {}
+
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // breaking timestamp ties by scheduling order (FIFO).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Handle given to running events, for reading the clock and scheduling
+/// follow-ups.
+pub struct Context<W> {
+    now: SimTime,
+    next_seq: u64,
+    pending: Vec<Entry<W>>,
+}
+
+impl<W> Context<W> {
+    /// The simulated instant the current event runs at.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `f` to run `delay` after the current instant.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Context<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules `f` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Context<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+}
+
+/// A discrete-event simulation over a world of type `W`.
+pub struct Simulation<W> {
+    world: W,
+    now: SimTime,
+    heap: BinaryHeap<Entry<W>>,
+    next_seq: u64,
+    executed: u64,
+}
+
+impl<W: std::fmt::Debug> std::fmt::Debug for Simulation<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("queued", &self.heap.len())
+            .field("executed", &self.executed)
+            .field("world", &self.world)
+            .finish()
+    }
+}
+
+impl<W> Simulation<W> {
+    /// Creates a simulation at `t = 0` over the given world.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            executed: 0,
+        }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (e.g. for inspection between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulation, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently queued.
+    pub fn queued(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `f` to run `delay` after the current instant.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut W, &mut Context<W>) + 'static,
+    {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules `f` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Context<W>) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
+    }
+
+    /// Executes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "heap returned an event from the past");
+        self.now = entry.at;
+        let mut ctx = Context {
+            now: self.now,
+            next_seq: self.next_seq,
+            pending: Vec::new(),
+        };
+        (entry.f)(&mut self.world, &mut ctx);
+        self.next_seq = ctx.next_seq;
+        self.heap.extend(ctx.pending);
+        self.executed += 1;
+        true
+    }
+
+    /// Runs events until the queue is empty or the next event lies strictly
+    /// after `deadline`; the clock is then advanced to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(head) = self.heap.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until the event queue drains, or until `max_events` have
+    /// executed when a limit is given. Returns the number of events run by
+    /// this call.
+    pub fn run_to_completion(&mut self, max_events: Option<u64>) -> u64 {
+        let mut ran = 0;
+        while max_events.is_none_or(|m| ran < m) {
+            if !self.step() {
+                break;
+            }
+            ran += 1;
+        }
+        ran
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_timestamp_order() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        sim.schedule_at(SimTime::from_ms(30.0), |w: &mut Vec<u32>, _| w.push(3));
+        sim.schedule_at(SimTime::from_ms(10.0), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_ms(20.0), |w: &mut Vec<u32>, _| w.push(2));
+        sim.run_to_completion(None);
+        assert_eq!(sim.world(), &vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_ms(30.0));
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        for i in 0..10 {
+            sim.schedule_at(SimTime::from_ms(5.0), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        sim.run_to_completion(None);
+        assert_eq!(sim.world(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_followups() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_in(SimDuration::from_ms(1.0), |_, ctx| {
+            ctx.schedule_in(SimDuration::from_ms(1.0), |w: &mut u32, ctx| {
+                *w += 1;
+                ctx.schedule_in(SimDuration::from_ms(1.0), |w: &mut u32, _| *w += 10);
+            });
+        });
+        sim.run_to_completion(None);
+        assert_eq!(*sim.world(), 11);
+        assert_eq!(sim.now(), SimTime::from_ms(3.0));
+        assert_eq!(sim.executed(), 3);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(Vec::<u32>::new());
+        sim.schedule_at(SimTime::from_ms(10.0), |w: &mut Vec<u32>, _| w.push(1));
+        sim.schedule_at(SimTime::from_ms(50.0), |w: &mut Vec<u32>, _| w.push(2));
+        sim.run_until(SimTime::from_ms(25.0));
+        assert_eq!(sim.world(), &vec![1]);
+        assert_eq!(sim.now(), SimTime::from_ms(25.0));
+        assert_eq!(sim.queued(), 1);
+        sim.run_until(SimTime::from_ms(100.0));
+        assert_eq!(sim.world(), &vec![1, 2]);
+    }
+
+    #[test]
+    fn run_until_includes_events_at_deadline() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_at(SimTime::from_ms(25.0), |w: &mut u32, _| *w += 1);
+        sim.run_until(SimTime::from_ms(25.0));
+        assert_eq!(*sim.world(), 1);
+    }
+
+    #[test]
+    fn max_events_limit_respected() {
+        let mut sim = Simulation::new(0u32);
+        for _ in 0..100 {
+            sim.schedule_in(SimDuration::from_ms(1.0), |w: &mut u32, _| *w += 1);
+        }
+        let ran = sim.run_to_completion(Some(30));
+        assert_eq!(ran, 30);
+        assert_eq!(*sim.world(), 30);
+        assert_eq!(sim.queued(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule_at(SimTime::from_ms(10.0), |_, ctx| {
+            ctx.schedule_at(SimTime::from_ms(5.0), |_, _| {});
+        });
+        sim.run_to_completion(None);
+    }
+
+    #[test]
+    fn periodic_timer_pattern() {
+        // A self-rescheduling tick: classic DES pattern used by the replica
+        // manager's periodic re-clustering.
+        struct World {
+            ticks: u32,
+        }
+        fn tick(w: &mut World, ctx: &mut Context<World>) {
+            w.ticks += 1;
+            if w.ticks < 5 {
+                ctx.schedule_in(SimDuration::from_ms(100.0), tick);
+            }
+        }
+        let mut sim = Simulation::new(World { ticks: 0 });
+        sim.schedule_in(SimDuration::from_ms(100.0), tick);
+        sim.run_to_completion(None);
+        assert_eq!(sim.world().ticks, 5);
+        assert_eq!(sim.now(), SimTime::from_ms(500.0));
+    }
+
+    #[test]
+    fn step_on_empty_queue_is_false() {
+        let mut sim = Simulation::new(());
+        assert!(!sim.step());
+        assert_eq!(sim.executed(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Whatever order events are scheduled in, they execute in
+            /// nondecreasing timestamp order, and ties preserve scheduling
+            /// (FIFO) order.
+            #[test]
+            fn prop_execution_is_chronological(
+                times in prop::collection::vec(0u64..10_000, 1..200)
+            ) {
+                let mut sim = Simulation::new(Vec::<(u64, usize)>::new());
+                for (seq, &t) in times.iter().enumerate() {
+                    sim.schedule_at(
+                        SimTime::from_micros(t),
+                        move |w: &mut Vec<(u64, usize)>, _| w.push((t, seq)),
+                    );
+                }
+                sim.run_to_completion(None);
+                let log = sim.world();
+                prop_assert_eq!(log.len(), times.len());
+                for w in log.windows(2) {
+                    prop_assert!(w[0].0 <= w[1].0, "out of order: {:?}", w);
+                    if w[0].0 == w[1].0 {
+                        prop_assert!(w[0].1 < w[1].1, "tie broke FIFO: {:?}", w);
+                    }
+                }
+            }
+
+            /// Splitting a run at an arbitrary deadline never changes the
+            /// final world (run_until is a pure pause point).
+            #[test]
+            fn prop_run_until_is_a_pure_pause(
+                times in prop::collection::vec(0u64..5_000, 1..100),
+                split in 0u64..5_000,
+            ) {
+                let build = || {
+                    let mut sim = Simulation::new(Vec::<u64>::new());
+                    for &t in &times {
+                        sim.schedule_at(
+                            SimTime::from_micros(t),
+                            move |w: &mut Vec<u64>, _| w.push(t),
+                        );
+                    }
+                    sim
+                };
+                let mut straight = build();
+                straight.run_to_completion(None);
+
+                let mut paused = build();
+                paused.run_until(SimTime::from_micros(split));
+                paused.run_to_completion(None);
+
+                prop_assert_eq!(straight.world(), paused.world());
+            }
+
+            /// Follow-up events scheduled from handlers also obey the clock.
+            #[test]
+            fn prop_followups_never_run_early(
+                delays in prop::collection::vec(1u64..500, 1..50)
+            ) {
+                let mut sim = Simulation::new(Vec::<(u64, u64)>::new());
+                for &d in &delays {
+                    sim.schedule_at(
+                        SimTime::from_micros(d),
+                        move |_, ctx| {
+                            let fired_at = ctx.now().as_micros();
+                            ctx.schedule_in(
+                                SimDuration::from_micros(d),
+                                move |w: &mut Vec<(u64, u64)>, ctx| {
+                                    w.push((fired_at + d, ctx.now().as_micros()));
+                                },
+                            );
+                        },
+                    );
+                }
+                sim.run_to_completion(None);
+                for &(expected, actual) in sim.world() {
+                    prop_assert_eq!(expected, actual);
+                }
+            }
+        }
+    }
+}

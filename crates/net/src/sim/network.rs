@@ -1,0 +1,165 @@
+//! Message-delay sampling on top of an RTT matrix.
+//!
+//! [`Network`] turns the static pairwise RTTs of an
+//! [`crate::rtt::RttMatrix`] into per-message delays: a one-way
+//! delay is half the RTT, optionally scaled by multiplicative lognormal
+//! jitter so repeated messages between the same pair vary a little, the way
+//! real measurements do. The RNP/Vivaldi embeddings in the experiments
+//! observe these jittered samples — not the clean matrix — which is what
+//! keeps their coordinates imperfect.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use super::time::SimDuration;
+use crate::rtt::RttMatrix;
+
+/// A latency sampler bound to an RTT matrix.
+#[derive(Debug)]
+pub struct Network {
+    matrix: RttMatrix,
+    jitter_sigma: f64,
+    rng: StdRng,
+}
+
+impl Network {
+    /// Wraps a matrix with no jitter (delays are exactly `rtt / 2`).
+    pub fn new(matrix: RttMatrix) -> Self {
+        Network {
+            matrix,
+            jitter_sigma: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Wraps a matrix with multiplicative lognormal jitter of the given
+    /// sigma, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ jitter_sigma < 1`.
+    pub fn with_jitter(matrix: RttMatrix, jitter_sigma: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&jitter_sigma),
+            "jitter_sigma must be in [0, 1), got {jitter_sigma}"
+        );
+        Network {
+            matrix,
+            jitter_sigma,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &RttMatrix {
+        &self.matrix
+    }
+
+    /// Swaps the latency matrix mid-simulation (the network changed: a
+    /// route degraded, a cable healed). Subsequent samples use the new
+    /// latencies; the jitter stream continues unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new matrix covers a different node count.
+    pub fn set_matrix(&mut self, matrix: RttMatrix) {
+        assert_eq!(
+            matrix.len(),
+            self.matrix.len(),
+            "replacement matrix must cover the same nodes"
+        );
+        self.matrix = matrix;
+    }
+
+    /// Number of nodes.
+    #[allow(clippy::len_without_is_empty)] // matrices cover ≥ 2 nodes
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// The true (un-jittered) RTT between two nodes, ms.
+    pub fn rtt_ms(&self, a: usize, b: usize) -> f64 {
+        self.matrix.get(a, b)
+    }
+
+    /// Samples a round-trip time between two nodes, applying jitter.
+    pub fn sample_rtt_ms(&mut self, a: usize, b: usize) -> f64 {
+        let base = self.matrix.get(a, b);
+        if self.jitter_sigma == 0.0 || a == b {
+            return base;
+        }
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (base * (normal * self.jitter_sigma).exp()).max(0.01)
+    }
+
+    /// Samples a one-way message delay (half a jittered RTT).
+    pub fn sample_delay(&mut self, from: usize, to: usize) -> SimDuration {
+        SimDuration::from_ms(self.sample_rtt_ms(from, to) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> RttMatrix {
+        RttMatrix::from_fn(4, |i, j| ((i + j) * 20) as f64).unwrap()
+    }
+
+    #[test]
+    fn no_jitter_is_exact() {
+        let mut net = Network::new(matrix());
+        assert_eq!(net.sample_rtt_ms(1, 2), 60.0);
+        assert_eq!(net.sample_delay(1, 2).as_ms(), 30.0);
+    }
+
+    #[test]
+    fn jitter_varies_but_stays_near_base() {
+        let mut net = Network::with_jitter(matrix(), 0.1, 7);
+        let samples: Vec<f64> = (0..200).map(|_| net.sample_rtt_ms(1, 2)).collect();
+        let distinct = samples.windows(2).any(|w| w[0] != w[1]);
+        assert!(distinct, "jittered samples should vary");
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 60.0).abs() < 5.0, "mean {mean}");
+        assert!(samples.iter().all(|&s| s > 30.0 && s < 120.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Network::with_jitter(matrix(), 0.2, 9);
+        let mut b = Network::with_jitter(matrix(), 0.2, 9);
+        for _ in 0..20 {
+            assert_eq!(a.sample_rtt_ms(0, 3), b.sample_rtt_ms(0, 3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter_sigma")]
+    fn bad_jitter_rejected() {
+        let _ = Network::with_jitter(matrix(), 1.5, 0);
+    }
+
+    #[test]
+    fn self_delay_is_zero() {
+        let mut net = Network::with_jitter(matrix(), 0.3, 1);
+        assert_eq!(net.sample_rtt_ms(2, 2), 0.0);
+    }
+
+    #[test]
+    fn set_matrix_changes_subsequent_samples() {
+        let mut net = Network::new(matrix());
+        assert_eq!(net.sample_rtt_ms(1, 2), 60.0);
+        let doubled = RttMatrix::from_fn(4, |i, j| ((i + j) * 40) as f64).unwrap();
+        net.set_matrix(doubled);
+        assert_eq!(net.sample_rtt_ms(1, 2), 120.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same nodes")]
+    fn set_matrix_rejects_size_mismatch() {
+        let mut net = Network::new(matrix());
+        net.set_matrix(RttMatrix::from_fn(5, |_, _| 1.0).unwrap());
+    }
+}

@@ -1,0 +1,37 @@
+//! Client populations and access-stream generation.
+//!
+//! The paper's experiments treat the non-data-center nodes of the topology
+//! as clients that access a replicated data object; its future-work section
+//! calls for evaluation on "data accesses in actual applications". This
+//! crate generates those accesses:
+//!
+//! * [`zipf`] — Zipf-distributed popularity sampling (implemented from
+//!   scratch; used for skewed client activity and multi-object workloads);
+//! * [`population`] — per-client access-rate distributions: uniform,
+//!   Zipf-skewed, region-weighted, and mixtures for modelling population
+//!   drift (e.g. "European users ramp up during EU daytime");
+//! * [`stream`] — timed access events with Poisson arrivals and lognormal
+//!   per-access payload sizes, plus phased workloads whose population
+//!   changes over time to exercise replica migration.
+//!
+//! # Example
+//!
+//! ```
+//! use georep_workload::population::Population;
+//! use georep_workload::stream::{generate, StreamConfig};
+//!
+//! let pop = Population::zipf_skewed(50, 1.0, 7);
+//! let events = generate(&pop, &StreamConfig::default(), 10_000.0);
+//! assert!(!events.is_empty());
+//! assert!(events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+//! ```
+
+pub mod population;
+pub mod stream;
+pub mod trace;
+pub mod zipf;
+
+pub use population::Population;
+pub use stream::{generate, AccessEvent, PhasedWorkload, StreamConfig};
+pub use trace::Trace;
+pub use zipf::Zipf;

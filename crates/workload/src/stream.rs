@@ -1,0 +1,425 @@
+//! Timed access streams.
+//!
+//! Turns a [`Population`] into a sequence of [`AccessEvent`]s: Poisson
+//! arrivals (exponential inter-arrival times) with lognormal per-access
+//! payload sizes. [`PhasedWorkload`] chains several populations back to
+//! back — the "user population moves with the sun" scenario that makes
+//! gradual replica migration worthwhile.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::population::Population;
+
+/// One client access to the replicated object.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// When the access starts, in simulated milliseconds.
+    pub at_ms: f64,
+    /// The accessing client (a topology node index).
+    pub client: usize,
+    /// Amount of data exchanged, in KiB (the micro-cluster `weight`).
+    pub bytes_kib: f64,
+}
+
+/// Arrival-process parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Mean accesses per millisecond (Poisson rate λ).
+    pub rate_per_ms: f64,
+    /// Median payload size in KiB.
+    pub median_kib: f64,
+    /// Lognormal sigma of the payload size (0 = constant size).
+    pub size_sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            rate_per_ms: 0.1,
+            median_kib: 64.0,
+            size_sigma: 0.8,
+            seed: 0xACCE55,
+        }
+    }
+}
+
+/// Generates accesses over `duration_ms` from a single population.
+///
+/// Events are returned sorted by time. Determinstic given the seed.
+///
+/// # Panics
+///
+/// Panics if the configuration is out of range (non-positive rate or
+/// median, negative sigma, non-finite duration).
+///
+/// # Example
+///
+/// ```
+/// use georep_workload::{generate, Population, StreamConfig};
+///
+/// let pop = Population::uniform(10);
+/// let cfg = StreamConfig { rate_per_ms: 1.0, ..Default::default() };
+/// let events = generate(&pop, &cfg, 1_000.0);
+/// // λ = 1/ms over 1000 ms ⇒ about a thousand accesses.
+/// assert!((800..1200).contains(&events.len()));
+/// ```
+pub fn generate(pop: &Population, cfg: &StreamConfig, duration_ms: f64) -> Vec<AccessEvent> {
+    assert!(
+        cfg.rate_per_ms.is_finite() && cfg.rate_per_ms > 0.0,
+        "rate must be positive, got {}",
+        cfg.rate_per_ms
+    );
+    assert!(
+        cfg.median_kib.is_finite() && cfg.median_kib > 0.0,
+        "median size must be positive"
+    );
+    assert!(
+        cfg.size_sigma.is_finite() && cfg.size_sigma >= 0.0,
+        "sigma must be non-negative"
+    );
+    assert!(
+        duration_ms.is_finite() && duration_ms >= 0.0,
+        "duration must be non-negative"
+    );
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut events = Vec::with_capacity((cfg.rate_per_ms * duration_ms) as usize + 1);
+    let mut t = 0.0;
+    loop {
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        t += -u.ln() / cfg.rate_per_ms;
+        if t >= duration_ms {
+            break;
+        }
+        let client = pop.sample(&mut rng);
+        let bytes_kib = if cfg.size_sigma == 0.0 {
+            cfg.median_kib
+        } else {
+            let u1: f64 = rng.random::<f64>().max(1e-12);
+            let u2: f64 = rng.random();
+            let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            cfg.median_kib * (normal * cfg.size_sigma).exp()
+        };
+        events.push(AccessEvent {
+            at_ms: t,
+            client,
+            bytes_kib,
+        });
+    }
+    events
+}
+
+/// A workload whose population changes across consecutive phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedWorkload {
+    phases: Vec<(Population, f64)>,
+}
+
+impl PhasedWorkload {
+    /// Creates a workload from `(population, duration_ms)` phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phases are given or any duration is non-positive.
+    pub fn new(phases: Vec<(Population, f64)>) -> Self {
+        assert!(!phases.is_empty(), "at least one phase is required");
+        assert!(
+            phases.iter().all(|(_, d)| d.is_finite() && *d > 0.0),
+            "phase durations must be positive"
+        );
+        PhasedWorkload { phases }
+    }
+
+    /// A two-phase drift: `steps` intermediate phases blending from `from`
+    /// to `to`, each lasting `phase_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is zero or the populations cover different client
+    /// counts.
+    pub fn drift(from: &Population, to: &Population, steps: usize, phase_ms: f64) -> Self {
+        assert!(steps > 0, "drift needs at least one step");
+        let phases = (0..steps)
+            .map(|i| {
+                let t = if steps == 1 {
+                    1.0
+                } else {
+                    i as f64 / (steps - 1) as f64
+                };
+                (from.blend(to, t), phase_ms)
+            })
+            .collect();
+        Self::new(phases)
+    }
+
+    /// A diurnal workload: regional populations whose activity follows a
+    /// raised cosine peaking at each region's local `peak_hour`, sampled
+    /// into `hours` phases of `phase_ms` each. This is the "demand follows
+    /// the sun" pattern that makes gradual replica migration worthwhile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `regions` is empty, `hours` is zero, or the populations
+    /// cover different client counts.
+    pub fn diurnal(regions: &[(Population, f64)], hours: usize, phase_ms: f64) -> Self {
+        assert!(
+            !regions.is_empty(),
+            "diurnal workload needs at least one region"
+        );
+        assert!(hours > 0, "diurnal workload needs at least one hour");
+        let phases = (0..hours)
+            .map(|h| {
+                let parts: Vec<(&Population, f64)> = regions
+                    .iter()
+                    .map(|(pop, peak)| {
+                        // Raised cosine around the region's peak hour with a
+                        // small always-on floor.
+                        let angle = (h as f64 - peak) / 24.0 * std::f64::consts::TAU;
+                        let activity = 0.05 + 0.95 * (0.5 + 0.5 * angle.cos());
+                        (pop, activity)
+                    })
+                    .collect();
+                (Population::mix(&parts), phase_ms)
+            })
+            .collect();
+        Self::new(phases)
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[(Population, f64)] {
+        &self.phases
+    }
+
+    /// Total duration across phases, ms.
+    pub fn duration_ms(&self) -> f64 {
+        self.phases.iter().map(|(_, d)| d).sum()
+    }
+
+    /// Generates the full event sequence (sorted by time; phase `i`'s
+    /// events are offset by the durations of phases `0..i`).
+    pub fn generate(&self, cfg: &StreamConfig) -> Vec<AccessEvent> {
+        let mut events = Vec::new();
+        let mut offset = 0.0;
+        for (i, (pop, dur)) in self.phases.iter().enumerate() {
+            let phase_cfg = StreamConfig {
+                seed: cfg.seed.wrapping_add(i as u64),
+                ..*cfg
+            };
+            for mut e in generate(pop, &phase_cfg, *dur) {
+                e.at_ms += offset;
+                events.push(e);
+            }
+            offset += dur;
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let pop = Population::uniform(5);
+        let cfg = StreamConfig {
+            rate_per_ms: 0.5,
+            seed: 11,
+            ..Default::default()
+        };
+        let events = generate(&pop, &cfg, 20_000.0);
+        let expected = 0.5 * 20_000.0;
+        assert!(
+            (events.len() as f64 - expected).abs() < expected * 0.05,
+            "{} events, expected ≈{expected}",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn events_sorted_and_in_range() {
+        let pop = Population::uniform(7);
+        let events = generate(&pop, &StreamConfig::default(), 5_000.0);
+        assert!(events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert!(events.iter().all(|e| e.at_ms < 5_000.0 && e.client < 7));
+        assert!(events.iter().all(|e| e.bytes_kib > 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pop = Population::uniform(3);
+        let cfg = StreamConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        assert_eq!(generate(&pop, &cfg, 1_000.0), generate(&pop, &cfg, 1_000.0));
+    }
+
+    #[test]
+    fn zero_duration_is_empty() {
+        let pop = Population::uniform(3);
+        assert!(generate(&pop, &StreamConfig::default(), 0.0).is_empty());
+    }
+
+    #[test]
+    fn constant_size_when_sigma_zero() {
+        let pop = Population::uniform(2);
+        let cfg = StreamConfig {
+            size_sigma: 0.0,
+            median_kib: 10.0,
+            ..Default::default()
+        };
+        let events = generate(&pop, &cfg, 2_000.0);
+        assert!(events.iter().all(|e| e.bytes_kib == 10.0));
+    }
+
+    #[test]
+    fn median_size_approximately_respected() {
+        let pop = Population::uniform(2);
+        let cfg = StreamConfig {
+            rate_per_ms: 1.0,
+            median_kib: 100.0,
+            size_sigma: 0.5,
+            seed: 5,
+        };
+        let mut sizes: Vec<f64> = generate(&pop, &cfg, 20_000.0)
+            .iter()
+            .map(|e| e.bytes_kib)
+            .collect();
+        sizes.sort_by(f64::total_cmp);
+        let median = sizes[sizes.len() / 2];
+        assert!((median - 100.0).abs() < 10.0, "median {median}");
+    }
+
+    #[test]
+    fn phased_workload_shifts_population() {
+        let west = Population::from_weights(vec![1.0, 0.0]).unwrap();
+        let east = Population::from_weights(vec![0.0, 1.0]).unwrap();
+        let wl = PhasedWorkload::new(vec![(west, 1_000.0), (east, 1_000.0)]);
+        let events = wl.generate(&StreamConfig {
+            rate_per_ms: 0.2,
+            ..Default::default()
+        });
+        for e in &events {
+            if e.at_ms < 1_000.0 {
+                assert_eq!(e.client, 0);
+            } else {
+                assert_eq!(e.client, 1);
+            }
+        }
+        assert_eq!(wl.duration_ms(), 2_000.0);
+    }
+
+    #[test]
+    fn drift_blends_gradually() {
+        let a = Population::from_weights(vec![1.0, 0.0]).unwrap();
+        let b = Population::from_weights(vec![0.0, 1.0]).unwrap();
+        let wl = PhasedWorkload::drift(&a, &b, 5, 2_000.0);
+        assert_eq!(wl.phases().len(), 5);
+        let events = wl.generate(&StreamConfig {
+            rate_per_ms: 0.3,
+            ..Default::default()
+        });
+        // Share of client-1 accesses must rise phase over phase.
+        let share = |lo: f64, hi: f64| {
+            let in_phase: Vec<_> = events
+                .iter()
+                .filter(|e| e.at_ms >= lo && e.at_ms < hi)
+                .collect();
+            in_phase.iter().filter(|e| e.client == 1).count() as f64 / in_phase.len().max(1) as f64
+        };
+        assert!(share(0.0, 2_000.0) < 0.05);
+        assert!(share(8_000.0, 10_000.0) > 0.95);
+        assert!((share(4_000.0, 6_000.0) - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn diurnal_activity_follows_the_peaks() {
+        // Two "regions": clients 0-1 peak at hour 0, clients 2-3 at hour 12.
+        let west = Population::from_weights(vec![1.0, 1.0, 0.0, 0.0]).unwrap();
+        let east = Population::from_weights(vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        let wl = PhasedWorkload::diurnal(&[(west, 0.0), (east, 12.0)], 24, 500.0);
+        assert_eq!(wl.phases().len(), 24);
+        let events = wl.generate(&StreamConfig {
+            rate_per_ms: 0.3,
+            seed: 4,
+            ..Default::default()
+        });
+
+        let west_share = |hour: usize| {
+            let (lo, hi) = (hour as f64 * 500.0, (hour + 1) as f64 * 500.0);
+            let window: Vec<_> = events
+                .iter()
+                .filter(|e| e.at_ms >= lo && e.at_ms < hi)
+                .collect();
+            window.iter().filter(|e| e.client < 2).count() as f64 / window.len().max(1) as f64
+        };
+        assert!(
+            west_share(0) > 0.85,
+            "midnight is west-peak: {}",
+            west_share(0)
+        );
+        assert!(
+            west_share(12) < 0.15,
+            "noon is east-peak: {}",
+            west_share(12)
+        );
+        // The crossover sits in between.
+        assert!(
+            (west_share(6) - 0.5).abs() < 0.25,
+            "hour 6: {}",
+            west_share(6)
+        );
+    }
+
+    #[test]
+    fn population_mix_normalizes_components() {
+        let a = Population::from_weights(vec![10.0, 0.0]).unwrap();
+        let b = Population::from_weights(vec![0.0, 1.0]).unwrap();
+        // Equal factors → equal shares, despite the different raw scales.
+        let m = Population::mix(&[(&a, 1.0), (&b, 1.0)]);
+        assert!((m.probability(0) - 0.5).abs() < 1e-12);
+        // Zero factor removes a component.
+        let only_b = Population::mix(&[(&a, 0.0), (&b, 2.0)]);
+        assert_eq!(only_b.probability(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn bad_rate_rejected() {
+        let pop = Population::uniform(2);
+        let _ = generate(
+            &pop,
+            &StreamConfig {
+                rate_per_ms: 0.0,
+                ..Default::default()
+            },
+            10.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        let _ = PhasedWorkload::new(vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_event_times_within_duration(
+            dur in 1.0..5_000.0f64,
+            seed in 0u64..50,
+        ) {
+            let pop = Population::uniform(4);
+            let cfg = StreamConfig { seed, ..Default::default() };
+            let events = generate(&pop, &cfg, dur);
+            prop_assert!(events.iter().all(|e| e.at_ms >= 0.0 && e.at_ms < dur));
+        }
+    }
+}

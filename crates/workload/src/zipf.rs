@@ -1,0 +1,186 @@
+//! Zipf-distributed sampling.
+//!
+//! Object popularity and client activity in storage workloads are famously
+//! heavy-tailed; the classic model is the Zipf distribution, where the
+//! `r`-th most popular of `n` items is drawn with probability proportional
+//! to `1 / r^s`. Implemented from scratch (inverse-CDF table + binary
+//! search) to avoid extra dependencies.
+
+use rand::Rng;
+
+/// A Zipf sampler over ranks `0..n`.
+///
+/// Rank `0` is the most popular item. `s = 0` degenerates to the uniform
+/// distribution; `s = 1` is the classic Zipf law.
+///
+/// # Example
+///
+/// ```
+/// use georep_workload::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(100, 1.0);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let mut hits = [0u32; 100];
+/// for _ in 0..10_000 {
+///     hits[zipf.sample(&mut rng)] += 1;
+/// }
+/// // Rank 0 is sampled far more often than rank 99.
+/// assert!(hits[0] > 20 * hits[99].max(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[r]` = P(rank ≤ r).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be non-negative, got {s}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against rounding keeping the last entry below 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    #[allow(clippy::len_without_is_empty)] // n ≥ 1 by construction
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of rank `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn probability(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Draws a rank.
+    pub fn sample<R>(&self, rng: &mut R) -> usize
+    where
+        R: Rng + rand::RngExt + ?Sized,
+    {
+        let u: f64 = rng.random();
+        // First index whose cumulative probability reaches u.
+        match self.cdf.binary_search_by(|c| c.total_cmp(&u)) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = Zipf::new(50, 0.8);
+        let total: f64 = (0..50).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn classic_zipf_ratios() {
+        let z = Zipf::new(100, 1.0);
+        // P(rank 0) / P(rank 1) = 2 for s = 1.
+        assert!((z.probability(0) / z.probability(1) - 2.0).abs() < 1e-9);
+        // P(rank 0) / P(rank 9) = 10.
+        assert!((z.probability(0) / z.probability(9) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_matches_theoretical() {
+        let z = Zipf::new(20, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut hits = [0u32; 20];
+        for _ in 0..n {
+            hits[z.sample(&mut rng)] += 1;
+        }
+        for (r, &hit) in hits.iter().enumerate() {
+            let expected = z.probability(r) * n as f64;
+            let got = hit as f64;
+            assert!(
+                (got - expected).abs() < expected.max(50.0) * 0.15,
+                "rank {r}: got {got}, expected {expected:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_exponent_rejected() {
+        let _ = Zipf::new(5, -1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_samples_in_range(n in 1usize..200, s in 0.0..3.0f64, seed in 0u64..100) {
+            let z = Zipf::new(n, s);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn prop_probabilities_decreasing(n in 2usize..100, s in 0.1..3.0f64) {
+            let z = Zipf::new(n, s);
+            for r in 1..n {
+                prop_assert!(z.probability(r) <= z.probability(r - 1) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Failover drill: a replica dies mid-day; the system degrades, survives,
+//! and heals at the next re-clustering round.
+//!
+//! Exercises the availability extension (the paper's future work): the
+//! `ReplicaManager` drops the failed replica, routing fails over to the
+//! survivors, and the next summary round restores the target degree of
+//! replication at the best remaining site. The drill prints the mean access
+//! delay in three windows — before the failure, degraded, and healed — plus
+//! the offline single-failure impact analysis that would have predicted the
+//! damage.
+//!
+//! Run with `cargo run --release --example failover_drill`.
+
+use georep::coord::rnp::Rnp;
+use georep::coord::EmbeddingRunner;
+use georep::core::experiment::DIMS;
+use georep::core::failure::single_failure_impact;
+use georep::core::manager::{ManagerConfig, ReplicaManager};
+use georep::core::problem::PlacementProblem;
+use georep::net::topology::{Topology, TopologyConfig};
+use georep::workload::{generate, Population, StreamConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = Topology::generate(TopologyConfig {
+        nodes: 100,
+        ..Default::default()
+    })?;
+    let matrix = topo.matrix().clone();
+    let n = matrix.len();
+    let runner = EmbeddingRunner {
+        rounds: 60,
+        samples_per_round: 4,
+        seed: 0xFA11,
+    };
+    let (coords, _) = runner.run(n, |i, j| matrix.get(i, j), |_| Rnp::<DIMS>::new());
+
+    let candidates: Vec<usize> = (0..n).step_by(4).collect();
+    let clients: Vec<usize> = (0..n).filter(|i| i % 4 != 0).collect();
+    let population = Population::uniform(clients.len());
+    let problem = PlacementProblem::new(&matrix, candidates.clone(), clients.clone())?;
+
+    let mut mgr = ReplicaManager::new(
+        coords.clone(),
+        candidates.clone(),
+        candidates[..3].to_vec(),
+        ManagerConfig::new(3, 8),
+    )?;
+
+    // Warm up: let the manager find a good 3-replica placement.
+    let cfg = StreamConfig {
+        rate_per_ms: 0.1,
+        seed: 0xD12111,
+        ..Default::default()
+    };
+    for e in generate(&population, &cfg, 5_000.0) {
+        mgr.record_access(coords[clients[e.client]], e.bytes_kib);
+    }
+    mgr.rebalance()?;
+    let healthy_placement = mgr.placement().to_vec();
+    let healthy = problem.mean_delay(&healthy_placement)?;
+    println!("healthy placement: {healthy_placement:?} — mean delay {healthy:.1} ms");
+
+    // What would each single failure cost? (offline what-if analysis)
+    println!("\npredicted single-failure impact (worst first):");
+    for (replica, degraded) in single_failure_impact(&problem, &healthy_placement)? {
+        println!(
+            "  lose {replica:>3} -> {degraded:.1} ms (+{:.0}%)",
+            (degraded - healthy) / healthy * 100.0
+        );
+    }
+
+    // Kill the replica whose loss hurts most.
+    let (victim, predicted) = single_failure_impact(&problem, &healthy_placement)?[0];
+    mgr.fail_replica(victim)?;
+    let degraded = problem.mean_delay(mgr.placement())?;
+    println!(
+        "\nreplica {victim} fails: placement {:?} — mean delay {degraded:.1} ms \
+         (analysis predicted {predicted:.1} ms)",
+        mgr.placement()
+    );
+    assert!((degraded - predicted).abs() < 1e-9);
+    assert!(degraded > healthy);
+
+    // Clients keep arriving; the next round heals back to k = 3.
+    let cfg = StreamConfig {
+        rate_per_ms: 0.1,
+        seed: 0x4EA1,
+        ..Default::default()
+    };
+    for e in generate(&population, &cfg, 5_000.0) {
+        mgr.record_access(coords[clients[e.client]], e.bytes_kib);
+    }
+    mgr.rebalance()?;
+    let healed = problem.mean_delay(mgr.placement())?;
+    println!(
+        "after the next re-clustering round: placement {:?} — mean delay {healed:.1} ms",
+        mgr.placement()
+    );
+    assert_eq!(
+        mgr.placement().len(),
+        3,
+        "degree of replication must be restored"
+    );
+    assert!(
+        healed < degraded,
+        "healing must recover delay: healed {healed:.1} vs degraded {degraded:.1}"
+    );
+    println!(
+        "\nsummary: healthy {healthy:.1} ms -> degraded {degraded:.1} ms -> healed {healed:.1} ms \
+         ({} failure absorbed, {} replicas moved in total)",
+        mgr.stats().failures,
+        mgr.stats().replicas_moved
+    );
+    Ok(())
+}

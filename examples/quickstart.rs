@@ -1,0 +1,61 @@
+//! Quickstart: place 3 replicas among 20 data centers and compare the
+//! paper's four strategies on the PlanetLab-like snapshot.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use georep::core::experiment::{Experiment, StrategyKind};
+use georep::core::metrics::improvement_pct;
+use georep::net::planetlab::planetlab_226;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A wide-area latency matrix (226 nodes, deterministic snapshot).
+    let matrix = planetlab_226();
+    println!(
+        "matrix: {} nodes, median RTT {:.0} ms, max {:.0} ms",
+        matrix.len(),
+        matrix.stats().median_ms,
+        matrix.stats().max_ms
+    );
+
+    // 2. An experiment following the paper's methodology: nodes are
+    //    embedded into network coordinates with RNP, 20 random nodes become
+    //    candidate data centers per seed, the rest are clients.
+    let experiment = Experiment::builder(matrix)
+        .data_centers(20)
+        .replicas(3)
+        .seeds(0..8)
+        .build()?;
+    let report = experiment.embedding_report();
+    println!(
+        "embedding: median error {:.1} ms, {:.0}% of pairs within 10 ms\n",
+        report.median_abs_err,
+        report.frac_within_10ms * 100.0
+    );
+
+    // 3. Run the paper's four strategies and print the comparison.
+    println!(
+        "{:<28} {:>14} {:>18}",
+        "strategy", "delay (ms)", "vs random"
+    );
+    let random = experiment.run(StrategyKind::Random)?;
+    for kind in StrategyKind::PAPER {
+        let run = experiment.run(kind)?;
+        let gain = improvement_pct(run.mean_delay_ms, random.mean_delay_ms)
+            .expect("random delay is positive");
+        println!(
+            "{:<28} {:>14.1} {:>17.0}%",
+            run.kind.name(),
+            run.mean_delay_ms,
+            gain
+        );
+        if kind == StrategyKind::OnlineClustering {
+            println!(
+                "{:<28} {:>14} {:>18}",
+                "  (summary traffic)",
+                format!("{:.1} KB", run.mean_summary_bytes / 1024.0),
+                "per placement"
+            );
+        }
+    }
+    Ok(())
+}

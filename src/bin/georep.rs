@@ -1,0 +1,390 @@
+//! `georep` — command-line front end to the library.
+//!
+//! ```text
+//! georep topology  --nodes 226 [--seed S] [--out matrix.txt]
+//! georep embed     --nodes 226 [--protocol rnp|vivaldi] [--rounds 60]
+//! georep compare   --nodes 226 --dcs 20 --k 3 [--seeds 10]
+//! georep place     --nodes 226 --dcs 20 --k 3 --strategy online [--seed 0]
+//! georep trace     --clients 100 [--rate 0.1] [--duration 10000] [--out trace.txt]
+//! georep simulate  --nodes 226 --dcs 20 --k 3 [--duration 60000]
+//! ```
+//!
+//! Every subcommand is deterministic given its seed.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use georep::core::deployment::{run_deployment, DeploymentConfig};
+use georep::core::experiment::{CoordProtocol, Experiment, StrategyKind};
+use georep::core::metrics::improvement_pct;
+use georep::net::sim::SimDuration;
+use georep::net::topology::{Topology, TopologyConfig};
+use georep::workload::{generate, Population, StreamConfig, Trace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match Options::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "topology" => cmd_topology(&opts),
+        "embed" => cmd_embed(&opts),
+        "compare" => cmd_compare(&opts),
+        "place" => cmd_place(&opts),
+        "trace" => cmd_trace(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+georep — latency-aware geo-replica placement (Ping et al., ICDCS 2011)
+
+usage:
+  georep topology  --nodes N [--seed S] [--out FILE]
+      synthesize a wide-area RTT matrix and print its statistics
+  georep embed     --nodes N [--protocol rnp|vivaldi|gnp] [--rounds R]
+      embed the nodes into network coordinates and report accuracy
+  georep compare   --nodes N --dcs D --k K [--seeds S]
+      run every placement strategy and print the comparison table
+  georep place     --nodes N --dcs D --k K --strategy NAME [--seed S]
+      place replicas with one strategy for one seed
+  georep trace     --clients N [--rate R] [--duration MS] [--out FILE]
+      generate a synthetic access trace
+  georep simulate  --nodes N --dcs D --k K [--duration MS]
+      run the fully-deployed system (gossip + accesses + migration) on the
+      discrete-event simulator and print per-period delays
+
+strategies: random, offline, online, online-greedy, optimal, greedy, hotzone, swap";
+
+/// Bag of parsed `--key value` options.
+struct Options {
+    nodes: usize,
+    dcs: usize,
+    k: usize,
+    seed: u64,
+    seeds: u64,
+    rounds: usize,
+    protocol: CoordProtocol,
+    strategy: Option<StrategyKind>,
+    clients: usize,
+    rate: f64,
+    duration: f64,
+    out: Option<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = Options {
+            nodes: 226,
+            dcs: 20,
+            k: 3,
+            seed: 0,
+            seeds: 10,
+            rounds: 60,
+            protocol: CoordProtocol::Rnp,
+            strategy: None,
+            clients: 100,
+            rate: 0.1,
+            duration: 10_000.0,
+            out: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i].as_str();
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{key} needs a value"))?;
+            let num = || -> Result<f64, String> {
+                value
+                    .parse()
+                    .map_err(|_| format!("{key}: {value:?} is not a number"))
+            };
+            match key {
+                "--nodes" => o.nodes = num()? as usize,
+                "--dcs" => o.dcs = num()? as usize,
+                "--k" => o.k = num()? as usize,
+                "--seed" => o.seed = num()? as u64,
+                "--seeds" => o.seeds = num()? as u64,
+                "--rounds" => o.rounds = num()? as usize,
+                "--clients" => o.clients = num()? as usize,
+                "--rate" => o.rate = num()?,
+                "--duration" => o.duration = num()?,
+                "--out" => o.out = Some(value.clone()),
+                "--protocol" => {
+                    o.protocol = match value.as_str() {
+                        "rnp" => CoordProtocol::Rnp,
+                        "vivaldi" => CoordProtocol::Vivaldi,
+                        "gnp" => CoordProtocol::Gnp,
+                        other => return Err(format!("unknown protocol {other:?}")),
+                    }
+                }
+                "--strategy" => o.strategy = Some(parse_strategy(value)?),
+                other => return Err(format!("unknown option {other:?}")),
+            }
+            i += 2;
+        }
+        Ok(o)
+    }
+}
+
+fn parse_strategy(name: &str) -> Result<StrategyKind, String> {
+    Ok(match name {
+        "random" => StrategyKind::Random,
+        "offline" => StrategyKind::OfflineKMeans,
+        "online" => StrategyKind::OnlineClustering,
+        "optimal" => StrategyKind::Optimal,
+        "greedy" => StrategyKind::Greedy,
+        "hotzone" => StrategyKind::HotZone,
+        "swap" => StrategyKind::SwapLocalSearch,
+        "online-greedy" => StrategyKind::OnlineGreedy,
+        other => return Err(format!("unknown strategy {other:?}")),
+    })
+}
+
+fn make_matrix(opts: &Options) -> Result<georep::net::RttMatrix, String> {
+    Topology::generate(TopologyConfig {
+        nodes: opts.nodes,
+        seed: georep::net::planetlab::PLANETLAB_SEED ^ opts.seed,
+        ..Default::default()
+    })
+    .map(Topology::into_matrix)
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_topology(opts: &Options) -> Result<(), String> {
+    let matrix = make_matrix(opts)?;
+    let stats = matrix.stats();
+    println!("nodes: {}", matrix.len());
+    println!(
+        "rtt min/median/mean/p90/max (ms): {:.1} / {:.1} / {:.1} / {:.1} / {:.1}",
+        stats.min_ms, stats.median_ms, stats.mean_ms, stats.p90_ms, stats.max_ms
+    );
+    println!(
+        "triangle-inequality violations: {:.2}%",
+        matrix.triangle_violation_rate() * 100.0
+    );
+    if let Some(path) = &opts.out {
+        std::fs::write(path, matrix.to_text()).map_err(|e| e.to_string())?;
+        println!("matrix written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_embed(opts: &Options) -> Result<(), String> {
+    let matrix = make_matrix(opts)?;
+    let exp = Experiment::builder(matrix)
+        .data_centers(opts.dcs.min(opts.nodes - 1).max(2))
+        .replicas(1)
+        .seeds(0..1)
+        .protocol(opts.protocol)
+        .embedding_rounds(opts.rounds)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let r = exp.embedding_report();
+    println!(
+        "protocol: {}",
+        match opts.protocol {
+            CoordProtocol::Rnp => "rnp",
+            CoordProtocol::Vivaldi => "vivaldi",
+            CoordProtocol::Gnp => "gnp",
+        }
+    );
+    println!("gossip rounds: {}", opts.rounds);
+    println!("median abs error: {:.1} ms", r.median_abs_err);
+    println!("p90 abs error: {:.1} ms", r.p90_abs_err);
+    println!("median rel error: {:.1}%", r.median_rel_err * 100.0);
+    println!("pairs within 10 ms: {:.0}%", r.frac_within_10ms * 100.0);
+    Ok(())
+}
+
+fn cmd_compare(opts: &Options) -> Result<(), String> {
+    let matrix = make_matrix(opts)?;
+    let exp = Experiment::builder(matrix)
+        .data_centers(opts.dcs)
+        .replicas(opts.k)
+        .seeds(0..opts.seeds)
+        .build()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} nodes, {} data centers, k = {}, {} seeds\n",
+        opts.nodes, opts.dcs, opts.k, opts.seeds
+    );
+    let random = exp.run(StrategyKind::Random).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12}",
+        "strategy", "delay (ms)", "vs random"
+    );
+    for kind in StrategyKind::ALL {
+        let run = exp.run(kind).map_err(|e| e.to_string())?;
+        let gain = improvement_pct(run.mean_delay_ms, random.mean_delay_ms).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.1} {:>11.0}%",
+            kind.name(),
+            run.mean_delay_ms,
+            gain
+        );
+    }
+    print!("{out}");
+    Ok(())
+}
+
+fn cmd_place(opts: &Options) -> Result<(), String> {
+    let kind = opts.strategy.ok_or("place needs --strategy")?;
+    let matrix = make_matrix(opts)?;
+    let exp = Experiment::builder(matrix)
+        .data_centers(opts.dcs)
+        .replicas(opts.k)
+        .seeds(0..1)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let outcome = exp.run_seed(kind, opts.seed).map_err(|e| e.to_string())?;
+    println!("strategy: {}", kind.name());
+    println!("placement (node ids): {:?}", outcome.placement);
+    println!("mean access delay: {:.1} ms", outcome.mean_delay_ms);
+    if outcome.summary_bytes > 0 {
+        println!(
+            "summary traffic: {:.1} KB",
+            outcome.summary_bytes as f64 / 1024.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Options) -> Result<(), String> {
+    let matrix = make_matrix(opts)?;
+    let n = matrix.len();
+    let step = (n / opts.dcs.max(1)).max(1);
+    let candidates: Vec<usize> = (0..n).step_by(step).take(opts.dcs).collect();
+    if candidates.len() < opts.k {
+        return Err("not enough candidates for k (raise --dcs or lower --k)".into());
+    }
+    let cfg = DeploymentConfig {
+        k: opts.k,
+        duration: SimDuration::from_ms(opts.duration.max(10_000.0)),
+        seed: opts.seed,
+        ..Default::default()
+    };
+    println!(
+        "deploying: {n} nodes, {} data centers, k = {}, {:.0} s simulated",
+        candidates.len(),
+        opts.k,
+        cfg.duration.as_ms() / 1_000.0
+    );
+    let outcome = run_deployment(&matrix, &candidates, cfg);
+    println!(
+        "{} accesses, {} messages, {:.1} KB of summaries, {} placement rounds seen",
+        outcome.accesses,
+        outcome.messages,
+        outcome.summary_bytes as f64 / 1024.0,
+        outcome.placements_seen
+    );
+    println!(
+        "
+mean measured access delay per period (ms):"
+    );
+    for (i, d) in outcome.period_delay_ms.iter().enumerate() {
+        if d.is_finite() {
+            println!("  period {i}: {d:.1}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(opts: &Options) -> Result<(), String> {
+    if opts.clients == 0 {
+        return Err("trace needs at least one client".into());
+    }
+    let pop = Population::zipf_skewed(opts.clients, 1.0, opts.seed);
+    let cfg = StreamConfig {
+        rate_per_ms: opts.rate,
+        seed: opts.seed,
+        ..Default::default()
+    };
+    let events = generate(&pop, &cfg, opts.duration);
+    let trace = Trace::from_events(events).map_err(|e| e.to_string())?;
+    match trace.stats() {
+        Some(s) => println!(
+            "{} accesses by {} clients over {:.0} ms ({:.1} KiB total)",
+            s.events, s.distinct_clients, s.span_ms, s.total_kib
+        ),
+        None => println!("empty trace (try a longer --duration or higher --rate)"),
+    }
+    if let Some(path) = &opts.out {
+        std::fs::write(path, trace.to_text()).map_err(|e| e.to_string())?;
+        println!("trace written to {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&owned)
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.nodes, 226);
+        assert_eq!(o.k, 3);
+        assert_eq!(o.protocol, CoordProtocol::Rnp);
+    }
+
+    #[test]
+    fn options_override_defaults() {
+        let o = parse(&["--nodes", "50", "--k", "5", "--protocol", "vivaldi"]).unwrap();
+        assert_eq!(o.nodes, 50);
+        assert_eq!(o.k, 5);
+        assert_eq!(o.protocol, CoordProtocol::Vivaldi);
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        assert!(parse(&["--nodes"]).is_err());
+        assert!(parse(&["--nodes", "abc"]).is_err());
+        assert!(parse(&["--bogus", "1"]).is_err());
+        assert!(parse(&["--protocol", "gnp2"]).is_err());
+        assert!(parse(&["--strategy", "nope"]).is_err());
+    }
+
+    #[test]
+    fn all_strategy_names_parse() {
+        for (name, kind) in [
+            ("random", StrategyKind::Random),
+            ("offline", StrategyKind::OfflineKMeans),
+            ("online", StrategyKind::OnlineClustering),
+            ("optimal", StrategyKind::Optimal),
+            ("greedy", StrategyKind::Greedy),
+            ("hotzone", StrategyKind::HotZone),
+            ("swap", StrategyKind::SwapLocalSearch),
+        ] {
+            assert_eq!(parse_strategy(name).unwrap(), kind);
+        }
+    }
+}

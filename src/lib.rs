@@ -1,0 +1,53 @@
+//! # georep — latency-aware geo-replica placement
+//!
+//! A Rust reproduction of Ping, Li, McConnell, Vabbalareddy and Hwang,
+//! *Towards Optimal Data Replication Across Data Centers* (ICDCS 2011
+//! workshops).
+//!
+//! `georep` decides where to place `k` replicas of a data object among a set
+//! of candidate data centers so that the average access delay perceived by a
+//! geographically-dispersed client population is (near-)minimal — while
+//! maintaining only a tiny, decentralized summary of recent accesses instead
+//! of a full access log.
+//!
+//! This facade crate re-exports the workspace sub-crates:
+//!
+//! * [`coord`] — network coordinate systems (Vivaldi, RNP, GNP).
+//! * [`net`] — RTT matrices, synthetic wide-area topologies and a
+//!   discrete-event network simulator.
+//! * [`cluster`] — k-means, weighted k-means, and the paper's online
+//!   micro-clustering stream summaries.
+//! * [`workload`] — client populations and access-stream generators.
+//! * [`core`] — placement strategies (random / offline k-means / online /
+//!   optimal / greedy / hotzone), the placement objective, and the online
+//!   [`core::manager::ReplicaManager`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use georep::core::experiment::{Experiment, StrategyKind};
+//! use georep::net::topology::{Topology, TopologyConfig};
+//!
+//! // A small synthetic wide-area matrix (use
+//! // `georep::net::planetlab::planetlab_226()` for the paper's full
+//! // 226-node snapshot).
+//! let matrix = Topology::generate(TopologyConfig { nodes: 48, ..Default::default() })
+//!     .expect("valid config")
+//!     .into_matrix();
+//! let exp = Experiment::builder(matrix)
+//!     .data_centers(12)
+//!     .replicas(3)
+//!     .seeds(1..4)
+//!     .embedding_rounds(25)
+//!     .build()
+//!     .expect("valid experiment");
+//! let online = exp.run(StrategyKind::OnlineClustering).expect("runs");
+//! let random = exp.run(StrategyKind::Random).expect("runs");
+//! assert!(online.mean_delay_ms < random.mean_delay_ms);
+//! ```
+
+pub use georep_cluster as cluster;
+pub use georep_coord as coord;
+pub use georep_core as core;
+pub use georep_net as net;
+pub use georep_workload as workload;

@@ -1,0 +1,131 @@
+//! Cross-crate interoperability: summaries crossing a (simulated) process
+//! boundary as bytes, reproducibility of whole experiments, and thread
+//! safety of the public types.
+
+use georep::cluster::online::OnlineClusterer;
+use georep::cluster::summary::AccessSummary;
+use georep::coord::Coord;
+use georep::core::experiment::{Experiment, StrategyKind, DIMS};
+use georep::core::problem::PlacementProblem;
+use georep::core::strategy::online::OnlineClustering;
+use georep::core::strategy::{PlacementContext, Placer};
+use georep::net::topology::{Topology, TopologyConfig};
+
+#[test]
+fn summaries_survive_a_wire_crossing_into_placement() {
+    // Replica side: summarize accesses, encode to bytes.
+    let topo = Topology::generate(TopologyConfig {
+        nodes: 30,
+        seed: 5,
+        ..Default::default()
+    })
+    .expect("valid topology");
+    let matrix = topo.matrix();
+    // Synthetic coordinates: straight from geography (good enough for an
+    // interop test).
+    let coords: Vec<Coord<DIMS>> = topo
+        .nodes()
+        .iter()
+        .map(|n| {
+            let mut pos = [0.0; DIMS];
+            pos[0] = n.location.lon_deg();
+            pos[1] = n.location.lat_deg();
+            Coord::new(pos)
+        })
+        .collect();
+
+    let candidates = vec![0usize, 10, 20];
+    let clients: Vec<usize> = (0..30).filter(|c| !candidates.contains(c)).collect();
+
+    let mut wire_messages: Vec<Vec<u8>> = Vec::new();
+    for (idx, &replica) in candidates.iter().enumerate() {
+        let mut oc: OnlineClusterer<DIMS> = OnlineClusterer::new(4);
+        for &c in clients.iter().skip(idx).step_by(3) {
+            oc.observe(coords[c], 1.0);
+        }
+        let summary = AccessSummary::from_clusterer(replica as u32, &oc);
+        wire_messages.push(summary.encode().to_vec());
+    }
+
+    // Central side: decode the bytes and run Algorithm 1.
+    let summaries: Vec<AccessSummary> = wire_messages
+        .iter()
+        .map(|bytes| AccessSummary::decode(bytes).expect("valid wire bytes"))
+        .collect();
+    let problem =
+        PlacementProblem::new(matrix, candidates.clone(), clients).expect("valid problem");
+    let ctx = PlacementContext::<DIMS> {
+        problem: &problem,
+        coords: &coords,
+        accesses: &[],
+        summaries: &summaries,
+        k: 2,
+        seed: 1,
+    };
+    let placement = OnlineClustering::default().place(&ctx).expect("places");
+    assert_eq!(placement.len(), 2);
+    assert!(problem.validate_placement(&placement).is_ok());
+}
+
+#[test]
+fn experiments_are_bit_reproducible() {
+    let matrix = Topology::generate(TopologyConfig {
+        nodes: 40,
+        seed: 9,
+        ..Default::default()
+    })
+    .expect("valid topology")
+    .into_matrix();
+    let build = || {
+        Experiment::builder(matrix.clone())
+            .data_centers(10)
+            .replicas(2)
+            .seeds(0..3)
+            .embedding_rounds(15)
+            .build()
+            .expect("valid experiment")
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.coords(), b.coords(), "embedding must be deterministic");
+    for kind in [
+        StrategyKind::Random,
+        StrategyKind::OnlineClustering,
+        StrategyKind::Greedy,
+    ] {
+        let ra = a.run(kind).expect("runs");
+        let rb = b.run(kind).expect("runs");
+        assert_eq!(ra.per_seed, rb.per_seed, "{kind} must be reproducible");
+    }
+}
+
+#[test]
+fn public_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<georep::net::RttMatrix>();
+    assert_send_sync::<georep::net::Topology>();
+    assert_send_sync::<georep::coord::Coord<3>>();
+    assert_send_sync::<georep::coord::Rnp<3>>();
+    assert_send_sync::<georep::coord::Vivaldi<3>>();
+    assert_send_sync::<georep::cluster::MicroCluster<3>>();
+    assert_send_sync::<georep::cluster::OnlineClusterer<3>>();
+    assert_send_sync::<georep::cluster::AccessSummary>();
+    assert_send_sync::<georep::core::ReplicaManager<3>>();
+    assert_send_sync::<georep::core::Experiment>();
+    assert_send_sync::<georep::workload::Population>();
+}
+
+#[test]
+fn wire_codec_preserves_heights_and_weights() {
+    let mut oc: OnlineClusterer<3> = OnlineClusterer::new(3);
+    oc.observe(Coord::new([1.0, 2.0, 3.0]).with_height(0.5), 2.0);
+    oc.observe(Coord::new([100.0, -5.0, 0.0]), 1.0);
+    let summary = AccessSummary::from_clusterer(7, &oc);
+
+    let decoded = AccessSummary::decode(&summary.encode()).expect("wire ok");
+    assert_eq!(decoded, summary);
+    let micros = decoded.to_micro_clusters::<3>().expect("dims match");
+    assert_eq!(micros.as_slice(), oc.clusters());
+    let total_weight: f64 = micros.iter().map(|m| m.weight()).sum();
+    assert!((total_weight - 3.0).abs() < 1e-12);
+}

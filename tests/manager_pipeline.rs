@@ -1,0 +1,344 @@
+//! End-to-end tests of the live system: the replica manager running on the
+//! discrete-event simulator, with drifting demand, migration cost gating,
+//! failures and quorum reads layered on top.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+use georep::coord::rnp::Rnp;
+use georep::coord::{Coord, EmbeddingRunner};
+use georep::core::experiment::DIMS;
+use georep::core::failure::{degraded_mean_delay, single_failure_impact};
+use georep::core::manager::{ManagerConfig, ReplicaManager};
+use georep::core::problem::PlacementProblem;
+use georep::core::quorum::quorum_mean_delay;
+use georep::net::sim::{SimDuration, SimTime, Simulation};
+use georep::net::topology::{Topology, TopologyConfig};
+use georep::net::RttMatrix;
+use georep::workload::population::Population;
+use georep::workload::stream::{generate, PhasedWorkload, StreamConfig};
+
+struct Fixture {
+    topo: Topology,
+    coords: Vec<Coord<DIMS>>,
+    candidates: Vec<usize>,
+    clients: Vec<usize>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let topo = Topology::generate(TopologyConfig {
+            nodes: 80,
+            seed: 0xF1C,
+            ..Default::default()
+        })
+        .expect("valid topology");
+        let matrix = topo.matrix();
+        let runner = EmbeddingRunner {
+            rounds: 40,
+            samples_per_round: 4,
+            seed: 0xE2E,
+        };
+        let (coords, _) = runner.run(
+            matrix.len(),
+            |i, j| matrix.get(i, j),
+            |_| Rnp::<DIMS>::new(),
+        );
+        let candidates: Vec<usize> = (0..matrix.len()).step_by(4).collect();
+        let clients: Vec<usize> = (0..matrix.len()).filter(|i| i % 4 != 0).collect();
+        Fixture {
+            topo,
+            coords,
+            candidates,
+            clients,
+        }
+    })
+}
+
+fn true_mean_delay(matrix: &RttMatrix, clients: &[usize], placement: &[usize]) -> f64 {
+    clients
+        .iter()
+        .map(|&c| {
+            placement
+                .iter()
+                .map(|&r| matrix.get(c, r))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum::<f64>()
+        / clients.len() as f64
+}
+
+/// Population concentrated on clients whose longitude falls in a window.
+fn lon_population(fx: &Fixture, lo: f64, hi: f64) -> Population {
+    Population::from_weights(
+        fx.clients
+            .iter()
+            .map(|&c| {
+                let lon = fx.topo.nodes()[c].location.lon_deg();
+                if lon >= lo && lon < hi {
+                    1.0
+                } else {
+                    0.02
+                }
+            })
+            .collect(),
+    )
+    .expect("active clients exist")
+}
+
+#[test]
+fn manager_on_des_follows_drifting_demand() {
+    let fx = fixture();
+    let matrix = fx.topo.matrix().clone();
+    let west = lon_population(fx, -130.0, -30.0);
+    let east = lon_population(fx, 60.0, 180.0);
+    let workload = PhasedWorkload::drift(&west, &east, 6, 2_000.0);
+    let events = workload.generate(&StreamConfig {
+        rate_per_ms: 0.05,
+        seed: 3,
+        ..Default::default()
+    });
+
+    let manager = ReplicaManager::new(
+        fx.coords.clone(),
+        fx.candidates.clone(),
+        fx.candidates[..2].to_vec(),
+        ManagerConfig::new(2, 6),
+    )
+    .expect("valid manager");
+
+    struct World {
+        manager: ReplicaManager<DIMS>,
+        placements: Vec<Vec<usize>>,
+    }
+    let mut sim = Simulation::new(World {
+        manager,
+        placements: Vec::new(),
+    });
+
+    let coords = fx.coords.clone();
+    let clients = fx.clients.clone();
+    for e in &events {
+        let coord = coords[clients[e.client]];
+        let kib = e.bytes_kib;
+        sim.schedule_at(SimTime::from_ms(e.at_ms), move |w: &mut World, _| {
+            w.manager.record_access(coord, kib);
+        });
+    }
+    for p in 1..=6u64 {
+        sim.schedule_at(
+            SimTime::from_ms(p as f64 * 2_000.0) + SimDuration::from_micros(1),
+            |w: &mut World, _| {
+                w.manager.rebalance().expect("rebalance succeeds");
+                w.placements.push(w.manager.placement().to_vec());
+            },
+        );
+    }
+    sim.run_to_completion(None);
+    let world = sim.into_world();
+
+    assert_eq!(world.placements.len(), 6);
+    assert!(
+        world.manager.stats().replicas_moved > 0,
+        "demand drift must trigger migration"
+    );
+
+    // The final placement must serve the *eastern* demand clearly better
+    // than the initial placement did.
+    let east_clients: Vec<usize> = fx
+        .clients
+        .iter()
+        .copied()
+        .filter(|&c| fx.topo.nodes()[c].location.lon_deg() >= 60.0)
+        .collect();
+    let final_delay = true_mean_delay(&matrix, &east_clients, world.manager.placement());
+    let initial_delay = true_mean_delay(&matrix, &east_clients, &fx.candidates[..2]);
+    assert!(
+        final_delay < initial_delay * 0.7,
+        "final {final_delay:.1} ms vs initial {initial_delay:.1} ms for eastern clients"
+    );
+}
+
+#[test]
+fn migration_gate_blocks_when_cost_dominates() {
+    let fx = fixture();
+    let mut cfg = ManagerConfig::new(2, 6);
+    cfg.cost.object_size_gb = 10_000.0; // colossal object
+    cfg.gain_per_dollar = 0.01;
+    let mut mgr = ReplicaManager::new(
+        fx.coords.clone(),
+        fx.candidates.clone(),
+        fx.candidates[..2].to_vec(),
+        cfg,
+    )
+    .expect("valid manager");
+
+    let east = lon_population(fx, 60.0, 180.0);
+    for e in generate(
+        &east,
+        &StreamConfig {
+            rate_per_ms: 0.2,
+            ..Default::default()
+        },
+        2_000.0,
+    ) {
+        mgr.record_access(fx.coords[fx.clients[e.client]], e.bytes_kib);
+    }
+    let d = mgr.rebalance().expect("rebalance succeeds");
+    assert!(
+        !d.applied,
+        "a 10 TB object must not migrate for a latency win: {d:?}"
+    );
+    assert_eq!(mgr.placement(), &fx.candidates[..2]);
+}
+
+#[test]
+fn failure_and_quorum_on_managed_placement() {
+    let fx = fixture();
+    let matrix = fx.topo.matrix().clone();
+    let mut mgr = ReplicaManager::new(
+        fx.coords.clone(),
+        fx.candidates.clone(),
+        fx.candidates[..3].to_vec(),
+        ManagerConfig::new(3, 6),
+    )
+    .expect("valid manager");
+    let uniform = Population::uniform(fx.clients.len());
+    for e in generate(
+        &uniform,
+        &StreamConfig {
+            rate_per_ms: 0.2,
+            ..Default::default()
+        },
+        3_000.0,
+    ) {
+        mgr.record_access(fx.coords[fx.clients[e.client]], e.bytes_kib);
+    }
+    mgr.rebalance().expect("rebalance succeeds");
+    let placement = mgr.placement().to_vec();
+
+    let problem = PlacementProblem::new(&matrix, fx.candidates.clone(), fx.clients.clone())
+        .expect("valid problem");
+
+    // Quorum delays are ordered in r.
+    let q1 = quorum_mean_delay(&problem, &placement, 1).expect("valid quorum");
+    let q2 = quorum_mean_delay(&problem, &placement, 2).expect("valid quorum");
+    let q3 = quorum_mean_delay(&problem, &placement, 3).expect("valid quorum");
+    assert!(
+        q1 <= q2 && q2 <= q3,
+        "quorum delays must be monotone: {q1} {q2} {q3}"
+    );
+    assert!((q1 - problem.mean_delay(&placement).expect("valid")).abs() < 1e-9);
+
+    // Any single failure degrades but keeps the object available; the
+    // ranked impact list is sorted.
+    let impacts = single_failure_impact(&problem, &placement).expect("valid placement");
+    assert_eq!(impacts.len(), 3);
+    assert!(impacts.windows(2).all(|w| w[0].1 >= w[1].1));
+    for &(replica, degraded) in &impacts {
+        let failed: HashSet<usize> = [replica].into_iter().collect();
+        let via_fn = degraded_mean_delay(&problem, &placement, &failed)
+            .expect("valid placement")
+            .expect("survivors exist");
+        assert!((via_fn - degraded).abs() < 1e-9);
+        assert!(
+            degraded >= q1 - 1e-9,
+            "losing a replica cannot speed reads up"
+        );
+    }
+
+    // Losing everything makes the object unavailable.
+    let all: HashSet<usize> = placement.iter().copied().collect();
+    assert_eq!(
+        degraded_mean_delay(&problem, &placement, &all).expect("valid placement"),
+        None
+    );
+}
+
+#[test]
+fn adaptive_degree_tracks_demand_through_periods() {
+    let fx = fixture();
+    let mut cfg = ManagerConfig::new(1, 6);
+    cfg.min_k = 1;
+    cfg.max_k = 4;
+    cfg.demand_per_replica = 3_000.0;
+    let mut mgr = ReplicaManager::new(
+        fx.coords.clone(),
+        fx.candidates.clone(),
+        vec![fx.candidates[0]],
+        cfg,
+    )
+    .expect("valid manager");
+
+    let uniform = Population::uniform(fx.clients.len());
+    // Heavy period: demand warrants several replicas.
+    for e in generate(
+        &uniform,
+        &StreamConfig {
+            rate_per_ms: 0.5,
+            median_kib: 64.0,
+            ..Default::default()
+        },
+        3_000.0,
+    ) {
+        mgr.record_access(fx.coords[fx.clients[e.client]], e.bytes_kib);
+    }
+    mgr.rebalance().expect("rebalance succeeds");
+    let heavy_k = mgr.placement().len();
+    assert!(
+        heavy_k >= 3,
+        "heavy demand should earn ≥ 3 replicas, got {heavy_k}"
+    );
+
+    // Quiet period: demand collapses, replicas are discarded.
+    for e in generate(
+        &uniform,
+        &StreamConfig {
+            rate_per_ms: 0.002,
+            median_kib: 8.0,
+            ..Default::default()
+        },
+        3_000.0,
+    ) {
+        mgr.record_access(fx.coords[fx.clients[e.client]], e.bytes_kib);
+    }
+    mgr.rebalance().expect("rebalance succeeds");
+    let quiet_k = mgr.placement().len();
+    assert!(
+        quiet_k < heavy_k,
+        "quiet demand should shed replicas: {quiet_k} vs {heavy_k}"
+    );
+}
+
+#[test]
+fn routing_quality_estimated_vs_true() {
+    // The manager routes by coordinate prediction; measure how often that
+    // matches the true closest replica and how much delay it costs. The
+    // paper's claim is that the predicted choice is accurate.
+    let fx = fixture();
+    let matrix = fx.topo.matrix();
+    let mgr = ReplicaManager::new(
+        fx.coords.clone(),
+        fx.candidates.clone(),
+        fx.candidates[..4].to_vec(),
+        ManagerConfig::new(4, 6),
+    )
+    .expect("valid manager");
+
+    let mut est_total = 0.0;
+    let mut true_total = 0.0;
+    for &c in &fx.clients {
+        let routed = mgr.route(&fx.coords[c]);
+        est_total += matrix.get(c, routed);
+        true_total += mgr
+            .placement()
+            .iter()
+            .map(|&r| matrix.get(c, r))
+            .fold(f64::INFINITY, f64::min);
+    }
+    assert!(
+        est_total <= true_total * 1.25,
+        "coordinate routing cost {est_total:.0} should be within 25% of perfect {true_total:.0}"
+    );
+}

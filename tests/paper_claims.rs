@@ -1,0 +1,207 @@
+//! Integration tests asserting the paper's qualitative claims end-to-end:
+//! topology synthesis → coordinate embedding → workload → placement →
+//! true-latency evaluation. These are smaller, faster versions of the
+//! figure reproductions in `crates/bench/src/bin/` (which run the full
+//! 226-node, 30-seed configurations).
+
+use std::sync::OnceLock;
+
+use georep::core::experiment::{Experiment, StrategyKind};
+use georep::core::metrics::improvement_pct;
+use georep::net::topology::{Topology, TopologyConfig};
+
+/// A shared 64-node experiment fixture (embedding is the expensive part).
+fn experiment() -> &'static Experiment {
+    static EXP: OnceLock<Experiment> = OnceLock::new();
+    EXP.get_or_init(|| {
+        let matrix = Topology::generate(TopologyConfig {
+            nodes: 64,
+            seed: georep::net::planetlab::PLANETLAB_SEED,
+            ..Default::default()
+        })
+        .expect("valid topology")
+        .into_matrix();
+        Experiment::builder(matrix)
+            .data_centers(14)
+            .replicas(3)
+            .seeds(0..5)
+            .embedding_rounds(40)
+            .build()
+            .expect("valid experiment")
+    })
+}
+
+#[test]
+fn online_substantially_beats_random() {
+    let exp = experiment();
+    let online = exp
+        .run(StrategyKind::OnlineClustering)
+        .expect("online runs");
+    let random = exp.run(StrategyKind::Random).expect("random runs");
+    let gain =
+        improvement_pct(online.mean_delay_ms, random.mean_delay_ms).expect("positive baseline");
+    // The paper claims ≥ 35% on its 226-node matrix, and the full-scale
+    // reproduction (`cargo run -p georep-bench --bin figure2`) matches that
+    // for k ≥ 2. At this reduced 64-node test scale the spread between
+    // random and optimal is structurally smaller, so require ≥ 18%.
+    assert!(
+        gain >= 18.0,
+        "online {:.1} ms vs random {:.1} ms: only {gain:.0}% better",
+        online.mean_delay_ms,
+        random.mean_delay_ms
+    );
+}
+
+#[test]
+fn optimal_is_a_lower_bound_for_every_strategy_and_seed() {
+    let exp = experiment();
+    let optimal = exp.run(StrategyKind::Optimal).expect("optimal runs");
+    for kind in StrategyKind::ALL {
+        let run = exp.run(kind).expect("strategy runs");
+        for (o, r) in optimal.per_seed.iter().zip(&run.per_seed) {
+            assert!(
+                o.mean_delay_ms <= r.mean_delay_ms + 1e-9,
+                "{kind} beat optimal on seed {}: {} < {}",
+                r.seed,
+                r.mean_delay_ms,
+                o.mean_delay_ms
+            );
+        }
+    }
+}
+
+#[test]
+fn online_is_comparable_to_offline_and_near_optimal() {
+    let exp = experiment();
+    let online = exp
+        .run(StrategyKind::OnlineClustering)
+        .expect("online runs");
+    let offline = exp.run(StrategyKind::OfflineKMeans).expect("offline runs");
+    let optimal = exp.run(StrategyKind::Optimal).expect("optimal runs");
+    assert!(
+        online.mean_delay_ms <= offline.mean_delay_ms * 1.15,
+        "online {:.1} ms should track offline {:.1} ms",
+        online.mean_delay_ms,
+        offline.mean_delay_ms
+    );
+    assert!(
+        online.mean_delay_ms <= optimal.mean_delay_ms * 1.35,
+        "online {:.1} ms should be near optimal {:.1} ms",
+        online.mean_delay_ms,
+        optimal.mean_delay_ms
+    );
+}
+
+#[test]
+fn summary_traffic_is_independent_of_access_volume() {
+    // Table II's bandwidth argument: the online technique ships O(k·m)
+    // bytes regardless of how many accesses occurred, while a raw log grows
+    // linearly. Scale the per-client access count 8x and compare.
+    let matrix = experiment().matrix().clone();
+    let coords = experiment().coords().to_vec();
+    let report = experiment().embedding_report().clone();
+    let run_with = |accesses: f64| {
+        Experiment::builder(matrix.clone())
+            .data_centers(14)
+            .replicas(3)
+            .seeds(0..3)
+            .accesses_per_client(accesses)
+            .with_embedding(coords.clone(), report.clone())
+            .build()
+            .expect("valid experiment")
+            .run(StrategyKind::OnlineClustering)
+            .expect("online runs")
+    };
+    let light = run_with(5.0);
+    let heavy = run_with(40.0);
+    assert!(light.mean_summary_bytes > 0.0);
+    assert!(
+        heavy.mean_summary_bytes < light.mean_summary_bytes * 1.5,
+        "summary bytes must not scale with access volume: {} vs {}",
+        heavy.mean_summary_bytes,
+        light.mean_summary_bytes
+    );
+    // The raw log, by contrast, would have grown 8x.
+}
+
+#[test]
+fn more_replicas_reduce_delay_with_diminishing_returns() {
+    let matrix = experiment().matrix().clone();
+    let coords = experiment().coords().to_vec();
+    let report = experiment().embedding_report().clone();
+    let mut delays = Vec::new();
+    for k in [1usize, 3, 6] {
+        let exp = Experiment::builder(matrix.clone())
+            .data_centers(14)
+            .replicas(k)
+            .seeds(0..5)
+            .with_embedding(coords.clone(), report.clone())
+            .build()
+            .expect("valid experiment");
+        delays.push(
+            exp.run(StrategyKind::Optimal)
+                .expect("optimal runs")
+                .mean_delay_ms,
+        );
+    }
+    assert!(delays[1] < delays[0], "k=3 must beat k=1: {delays:?}");
+    assert!(
+        delays[2] < delays[1] + 1e-9,
+        "k=6 must not lose to k=3: {delays:?}"
+    );
+    let early = delays[0] - delays[1];
+    let late = delays[1] - delays[2];
+    assert!(late < early, "returns must diminish: {delays:?}");
+}
+
+#[test]
+fn hotzone_is_weaker_than_clustering() {
+    // The paper's related-work critique: ignoring everything but the most
+    // crowded cells "may not perform adequately".
+    let exp = experiment();
+    let online = exp
+        .run(StrategyKind::OnlineClustering)
+        .expect("online runs");
+    let hotzone = exp.run(StrategyKind::HotZone).expect("hotzone runs");
+    assert!(
+        online.mean_delay_ms <= hotzone.mean_delay_ms * 1.02,
+        "online {:.1} ms should not lose to hotzone {:.1} ms",
+        online.mean_delay_ms,
+        hotzone.mean_delay_ms
+    );
+}
+
+#[test]
+fn summaries_suffice_for_near_optimal_placement() {
+    // The extension strategy consumes the *same* shipped summaries as
+    // Algorithm 1 but optimizes the estimated placement objective directly;
+    // it must land near the exhaustive optimum, demonstrating that the
+    // micro-cluster summary itself preserves enough information.
+    let exp = experiment();
+    let ext = exp.run(StrategyKind::OnlineGreedy).expect("extension runs");
+    let optimal = exp.run(StrategyKind::Optimal).expect("optimal runs");
+    assert!(
+        ext.mean_delay_ms <= optimal.mean_delay_ms * 1.15,
+        "extension {:.1} ms vs optimal {:.1} ms",
+        ext.mean_delay_ms,
+        optimal.mean_delay_ms
+    );
+    assert!(
+        ext.mean_summary_bytes > 0.0,
+        "the extension ships summaries too"
+    );
+}
+
+#[test]
+fn greedy_sits_between_online_and_optimal_cost() {
+    let exp = experiment();
+    let greedy = exp.run(StrategyKind::Greedy).expect("greedy runs");
+    let optimal = exp.run(StrategyKind::Optimal).expect("optimal runs");
+    // Greedy with full latency knowledge is near-optimal (within 10%).
+    assert!(
+        greedy.mean_delay_ms <= optimal.mean_delay_ms * 1.10,
+        "greedy {:.1} ms vs optimal {:.1} ms",
+        greedy.mean_delay_ms,
+        optimal.mean_delay_ms
+    );
+}

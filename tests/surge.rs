@@ -1,0 +1,98 @@
+//! Flash-crowd behaviour: a sudden surge of demand from one region makes
+//! the adaptive manager grow `k` and pull a replica toward the crowd; when
+//! the crowd dissipates, the extra replicas are shed.
+
+use georep::coord::rnp::Rnp;
+use georep::coord::{Coord, EmbeddingRunner};
+use georep::core::experiment::DIMS;
+use georep::core::manager::{ManagerConfig, ReplicaManager};
+use georep::net::topology::{Topology, TopologyConfig};
+use georep::workload::population::Population;
+use georep::workload::stream::{generate, StreamConfig};
+
+#[test]
+fn flash_crowd_grows_k_and_relocates_then_sheds() {
+    let topo = Topology::generate(TopologyConfig {
+        nodes: 80,
+        seed: 0xF1A5,
+        ..Default::default()
+    })
+    .expect("valid topology");
+    let matrix = topo.matrix().clone();
+    let n = matrix.len();
+    let runner = EmbeddingRunner { rounds: 40, samples_per_round: 4, seed: 0xF1A5 };
+    let (coords, _) = runner.run(n, |i, j| matrix.get(i, j), |_| Rnp::<DIMS>::new());
+    let candidates: Vec<usize> = (0..n).step_by(4).collect();
+    let clients: Vec<usize> = (0..n).filter(|i| i % 4 != 0).collect();
+
+    let mut cfg = ManagerConfig::new(1, 8);
+    cfg.min_k = 1;
+    cfg.max_k = 4;
+    cfg.demand_per_replica = 2_000.0;
+    let mut mgr = ReplicaManager::<DIMS>::new(
+        coords.clone(),
+        candidates.clone(),
+        vec![candidates[0]],
+        cfg,
+    )
+    .expect("valid manager");
+
+    let feed = |mgr: &mut ReplicaManager<DIMS>, pop: &Population, rate: f64, seed: u64| {
+        for e in generate(
+            pop,
+            &StreamConfig { rate_per_ms: rate, seed, ..Default::default() },
+            2_000.0,
+        ) {
+            mgr.record_access(coords[clients[e.client]], e.bytes_kib);
+        }
+    };
+
+    // Quiet baseline period.
+    let uniform = Population::uniform(clients.len());
+    feed(&mut mgr, &uniform, 0.005, 1);
+    mgr.rebalance().expect("rebalance succeeds");
+    let quiet_k = mgr.placement().len();
+    assert_eq!(quiet_k, 1, "quiet demand keeps a single replica");
+
+    // The flash crowd: 30x the traffic, concentrated in the east.
+    let east = Population::from_weights(
+        clients
+            .iter()
+            .map(|&c| {
+                if topo.nodes()[c].location.lon_deg() > 60.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            })
+            .collect(),
+    )
+    .expect("east clients exist");
+    feed(&mut mgr, &east, 1.5, 2);
+    mgr.rebalance().expect("rebalance succeeds");
+    let surge_k = mgr.placement().len();
+    assert!(surge_k > quiet_k, "the surge must earn extra replicas, got {surge_k}");
+
+    // At least one replica must now sit near the crowd (eastern longitude).
+    let east_replica = mgr.placement().iter().any(|&r| {
+        topo.nodes()[r].location.lon_deg() > 40.0
+    });
+    assert!(
+        east_replica,
+        "a replica should move toward the crowd: {:?}",
+        mgr.placement()
+            .iter()
+            .map(|&r| topo.nodes()[r].location.lon_deg() as i32)
+            .collect::<Vec<_>>()
+    );
+
+    // The crowd dissipates; the manager sheds capacity again.
+    feed(&mut mgr, &uniform, 0.005, 3);
+    mgr.rebalance().expect("rebalance succeeds");
+    assert!(
+        mgr.placement().len() < surge_k,
+        "capacity must be shed after the surge: {} -> {}",
+        surge_k,
+        mgr.placement().len()
+    );
+}

@@ -8,6 +8,7 @@ use georep_cluster::summary::AccessSummary;
 use georep_coord::rnp::Rnp;
 use georep_coord::{Coord, EmbeddingRunner};
 use georep_core::experiment::DIMS;
+use georep_core::objective::IncrementalEval;
 use georep_core::problem::PlacementProblem;
 use georep_core::strategy::greedy::Greedy;
 use georep_core::strategy::hotzone::HotZone;
@@ -158,10 +159,56 @@ fn bench_objective(c: &mut Criterion) {
     });
 }
 
+/// Delta evaluation vs from-scratch: the heart of the objective layer. A
+/// swap score through [`IncrementalEval`] reads one candidate row against
+/// the cached nearest/second-nearest state (O(clients)); the from-scratch
+/// path re-minimizes over the whole placement (O(clients · k) plus
+/// validation). Both are benched over every (position, candidate) swap of
+/// a k = 5 placement so the ratio is directly the local-search speedup.
+fn bench_delta_vs_scratch(c: &mut Criterion) {
+    let fx = fixture();
+    let problem = PlacementProblem::new(&fx.matrix, fx.candidates.clone(), fx.clients.clone())
+        .expect("valid problem");
+    let table = problem.cost_table();
+    let placement: Vec<usize> = fx.candidates[..5].to_vec();
+    let slots = table.slots_for(&placement).expect("valid placement");
+    let eval = IncrementalEval::with_placement(table, problem.weights(), &slots);
+
+    let mut group = c.benchmark_group("swap_score_k5_20dc");
+    group.bench_function("incremental_delta", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for pos in 0..eval.len() {
+                for slot in 0..table.n_candidates() {
+                    acc += eval.swap_total(black_box(pos), black_box(slot));
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("from_scratch", |b| {
+        b.iter(|| {
+            let mut trial = placement.clone();
+            let mut acc = 0.0;
+            for pos in 0..trial.len() {
+                let original = trial[pos];
+                for &cand in &fx.candidates {
+                    trial[pos] = cand;
+                    acc += problem.total_delay(black_box(&trial)).expect("valid");
+                }
+                trial[pos] = original;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_strategies,
     bench_optimal_blowup,
-    bench_objective
+    bench_objective,
+    bench_delta_vs_scratch
 );
 criterion_main!(benches);

@@ -94,7 +94,11 @@ fn main() {
                 table.push_row([
                     matrix_name.to_string(),
                     name.to_string(),
-                    if rounds == 0 { "—".to_string() } else { rounds.to_string() },
+                    if rounds == 0 {
+                        "—".to_string()
+                    } else {
+                        rounds.to_string()
+                    },
                     format!("{:.1}", r.median_abs_err),
                     format!("{:.1}", r.p90_abs_err),
                     format!("{:.0}%", r.frac_within_10ms * 100.0),

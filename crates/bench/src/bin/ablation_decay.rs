@@ -15,10 +15,10 @@
 //! Run with `cargo run -p georep-bench --release --bin ablation_decay`.
 
 use georep_bench::{report_checks, HarnessOptions, ResultTable, ShapeCheck};
-use georep_core::experiment::DIMS;
-use georep_core::manager::{ManagerConfig, ReplicaManager};
 use georep_coord::rnp::Rnp;
 use georep_coord::{Coord, EmbeddingRunner};
+use georep_core::experiment::DIMS;
+use georep_core::manager::{ManagerConfig, ReplicaManager};
 use georep_net::topology::{Topology, TopologyConfig};
 use georep_net::RttMatrix;
 use georep_workload::population::Population;
@@ -64,7 +64,10 @@ fn run(scenario: &Scenario<'_>, decay: f64) -> (f64, u64) {
             .fold(f64::INFINITY, f64::min);
         count += 1;
     }
-    (total_delay / count.max(1) as f64, mgr.stats().replicas_moved)
+    (
+        total_delay / count.max(1) as f64,
+        mgr.stats().replicas_moved,
+    )
 }
 
 fn main() {
@@ -77,7 +80,11 @@ fn main() {
     .expect("valid topology config");
     let matrix = topo.matrix().clone();
     let n = matrix.len();
-    let runner = EmbeddingRunner { rounds: 60, samples_per_round: 4, seed: 0xDECA };
+    let runner = EmbeddingRunner {
+        rounds: 60,
+        samples_per_round: 4,
+        seed: 0xDECA,
+    };
     let (coords, _) = runner.run(n, |i, j| matrix.get(i, j), |_| Rnp::<DIMS>::new());
     let candidates: Vec<usize> = (0..n).step_by(5).collect();
     let clients: Vec<usize> = (0..n).filter(|i| i % 5 != 0).collect();
@@ -104,13 +111,14 @@ fn main() {
         )
         .expect("active clients")
     };
-    let drift_events = PhasedWorkload::drift(
-        &by_lon(-130.0, -30.0),
-        &by_lon(60.0, 180.0),
-        8,
-        PERIOD_MS,
-    )
-    .generate(&StreamConfig { rate_per_ms: 0.05, seed: 0xD1, ..Default::default() });
+    let drift_events =
+        PhasedWorkload::drift(&by_lon(-130.0, -30.0), &by_lon(60.0, 180.0), 8, PERIOD_MS).generate(
+            &StreamConfig {
+                rate_per_ms: 0.05,
+                seed: 0xD1,
+                ..Default::default()
+            },
+        );
     let drifting = Scenario {
         matrix: &matrix,
         coords: &coords,
@@ -123,7 +131,11 @@ fn main() {
     // only a handful of accesses.
     let stable_events = generate(
         &Population::uniform(clients.len()),
-        &StreamConfig { rate_per_ms: 0.004, seed: 0x57AB, ..Default::default() },
+        &StreamConfig {
+            rate_per_ms: 0.004,
+            seed: 0x57AB,
+            ..Default::default()
+        },
         8.0 * PERIOD_MS,
     );
     let sparse = Scenario {
@@ -174,11 +186,15 @@ fn main() {
         ShapeCheck::new(
             "under sparse stable demand, retained history is at or near the best",
             keep.3 <= best_sparse * 1.10,
-            format!("full retention {:.1} ms vs best {best_sparse:.1} ms", keep.3),
+            format!(
+                "full retention {:.1} ms vs best {best_sparse:.1} ms",
+                keep.3
+            ),
         ),
         ShapeCheck::new(
             "no decay setting catastrophically degrades either scenario",
-            rows.iter().all(|r| r.1 < best_drift * 2.0 && r.3 < best_sparse * 2.0),
+            rows.iter()
+                .all(|r| r.1 < best_drift * 2.0 && r.3 < best_sparse * 2.0),
             "all settings stay within 2x of the best per scenario".to_string(),
         ),
     ];

@@ -316,11 +316,7 @@ impl ExperimentBuilder {
                                 "GNP landmark embedding failed on this matrix",
                             )
                         })?;
-                        let report = georep_coord::embedding::evaluate(
-                            &coords,
-                            &oracle,
-                            0xE3BED,
-                        );
+                        let report = georep_coord::embedding::evaluate(&coords, &oracle, 0xE3BED);
                         (coords, report)
                     }
                 }
@@ -515,6 +511,10 @@ impl Experiment {
         }
 
         let problem = PlacementProblem::with_weights(&self.matrix, candidates, clients, weights)?;
+        // Densify the client × candidate cost table up front: the strategy
+        // under test and the final true-matrix evaluation share one table
+        // instead of each paying the first-touch build.
+        problem.cost_table();
         let ctx = PlacementContext::<DIMS> {
             problem: &problem,
             coords: &self.coords,
@@ -692,7 +692,9 @@ mod tests {
             .expect("GNP experiment builds");
         // Landmark embeddings are coarser than gossip protocols but must
         // still beat random placement.
-        let online = exp.run(StrategyKind::OnlineClustering).expect("online runs");
+        let online = exp
+            .run(StrategyKind::OnlineClustering)
+            .expect("online runs");
         let random = exp.run(StrategyKind::Random).expect("random runs");
         assert!(online.mean_delay_ms < random.mean_delay_ms);
         assert!(exp.embedding_report().median_rel_err < 0.8);

@@ -9,6 +9,8 @@
 //! * [`strategy`] — placement strategies: the paper's online technique
 //!   (Algorithm 1) plus the random / offline k-means / optimal comparators
 //!   and related-work baselines (greedy, hotzone, capacity-constrained);
+//! * [`objective`] — the shared evaluation layer under every strategy:
+//!   delay oracles, precomputed cost tables, incremental delta scoring;
 //! * [`manager`] — the live system: closest-replica routing, per-replica
 //!   micro-cluster summaries, periodic macro-clustering and cost-gated
 //!   migration, adaptive replication degree;
@@ -56,6 +58,7 @@ pub mod group;
 pub mod manager;
 pub mod metrics;
 pub mod migration;
+pub mod objective;
 pub mod problem;
 pub mod quorum;
 pub mod readwrite;
@@ -63,5 +66,6 @@ pub mod strategy;
 
 pub use experiment::{Experiment, RunSummary, StrategyKind};
 pub use manager::{ManagerConfig, ReplicaManager};
+pub use objective::{CostTable, DelayOracle, IncrementalEval};
 pub use problem::{PlacementProblem, ProblemError};
 pub use strategy::{PlaceError, PlacementContext, Placer};

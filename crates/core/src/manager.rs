@@ -703,7 +703,11 @@ mod tests {
         }
         let d = mgr.rebalance().unwrap();
         assert!(d.applied);
-        let retained: u64 = mgr.summaries().iter().map(|s| s.clusters.len() as u64).sum();
+        let retained: u64 = mgr
+            .summaries()
+            .iter()
+            .map(|s| s.clusters.len() as u64)
+            .sum();
         assert!(retained > 0, "history must survive the migration");
         let weight: f64 = mgr
             .summaries()
@@ -712,7 +716,11 @@ mod tests {
             .sum();
         assert!((weight - 60.0 * 0.8).abs() < 1e-9, "aged weight: {weight}");
         // The retained history sits with the replica nearest the demand.
-        let five_idx = mgr.placement().iter().position(|&r| r == 5).expect("5 is placed");
+        let five_idx = mgr
+            .placement()
+            .iter()
+            .position(|&r| r == 5)
+            .expect("5 is placed");
         assert!(mgr.summaries()[five_idx].clusters.len() as u64 == retained);
     }
 

@@ -1,0 +1,37 @@
+//! The unified objective-evaluation layer.
+//!
+//! Every placement strategy ultimately scores candidate placements against
+//! the paper's objective `l(o) = Σ_u w_u · min_{c ∈ R} l(u, c)` (Section
+//! II-B) or one of its extensions (quorum order statistics, read/write
+//! mixes, coordinate-space estimates). Before this layer existed each
+//! strategy re-derived that arithmetic inline — rescanning the latency
+//! matrix, re-validating membership with `O(|C|)` `contains` walks, and
+//! re-summing the full objective for every single-replica trial.
+//!
+//! The layer splits evaluation into three reusable pieces:
+//!
+//! * [`oracle`] — [`DelayOracle`]: one trait for every latency source
+//!   (true [`georep_net::rtt::RttMatrix`] entries, coordinate-space
+//!   estimates, quorum `r`-th order statistics, read/write mixes);
+//! * [`table`] — [`CostTable`]: a dense candidate-major client×candidate
+//!   cost matrix with an `O(1)` node→candidate-slot remap, built once per
+//!   [`crate::problem::PlacementProblem`] and shared by every strategy that
+//!   evaluates the same instance;
+//! * [`eval`] — [`IncrementalEval`]: per-client nearest / second-nearest
+//!   replica bookkeeping so greedy additions and local-search swaps score
+//!   in `O(n)` instead of `O(n·k)` — with optional bound-based early exit.
+//!
+//! All fast paths reproduce the straightforward implementations
+//! *bit-for-bit*: minima are selections (never rounded), products pair the
+//! same operands, and sums run in the same client order, so every strategy
+//! returns exactly the placement it returned before the refactor. The
+//! equivalence is pinned by property tests in [`eval`] and by the
+//! `objective_equivalence` integration suite.
+
+pub mod eval;
+pub mod oracle;
+pub mod table;
+
+pub use eval::{IncrementalEval, WeightedCosts};
+pub use oracle::{CoordDelay, DelayOracle, MatrixDelay, QuorumDelay, ReadWriteDelay};
+pub use table::CostTable;

@@ -1,0 +1,232 @@
+//! [`DelayOracle`]: one interface for every latency source.
+//!
+//! Strategies and evaluators ask a single question — "what delay does
+//! demand point `row` perceive toward site `site` (or toward a whole
+//! placement)?" — but the answer comes from different places: the true
+//! latency matrix, a coordinate embedding, a quorum order statistic, or a
+//! read/write mix. Each source is an oracle; [`super::CostTable`] densifies
+//! any of them.
+
+use georep_coord::Coord;
+use georep_net::rtt::RttMatrix;
+
+use crate::readwrite::RwDemand;
+
+/// A latency source: demand rows × candidate sites.
+///
+/// `row` indexes a *demand point* (a client of the placement problem, or a
+/// pseudo-point decoded from a shipped summary); `site` is a node id of the
+/// underlying topology. Keeping rows positional (rather than node ids)
+/// allows duplicate clients and summary pseudo-points that correspond to no
+/// node at all.
+pub trait DelayOracle {
+    /// Delay from demand row `row` to site `site`.
+    fn delay(&self, row: usize, site: usize) -> f64;
+
+    /// Delay `row` perceives under `placement` — by default the delay to
+    /// the closest site, matching the paper's single-read model.
+    fn placement_delay(&self, row: usize, placement: &[usize]) -> f64 {
+        placement
+            .iter()
+            .map(|&s| self.delay(row, s))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// True pairwise latencies from an [`RttMatrix`] — the paper's base model.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixDelay<'a> {
+    matrix: &'a RttMatrix,
+    clients: &'a [usize],
+}
+
+impl<'a> MatrixDelay<'a> {
+    /// Oracle over `clients` (row `i` is node `clients[i]`).
+    pub fn new(matrix: &'a RttMatrix, clients: &'a [usize]) -> Self {
+        MatrixDelay { matrix, clients }
+    }
+}
+
+impl DelayOracle for MatrixDelay<'_> {
+    fn delay(&self, row: usize, site: usize) -> f64 {
+        self.matrix.get(self.clients[row], site)
+    }
+}
+
+/// Coordinate-space delay estimates — what summary-driven strategies see.
+///
+/// Rows are arbitrary demand points (e.g. micro-cluster centroids shipped
+/// by replicas); sites are embedded nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordDelay<'a, const D: usize> {
+    sites: &'a [Coord<D>],
+    points: &'a [Coord<D>],
+}
+
+impl<'a, const D: usize> CoordDelay<'a, D> {
+    /// Oracle with `sites[site]` as the embedded node coordinates and
+    /// `points[row]` as the demand points.
+    pub fn new(sites: &'a [Coord<D>], points: &'a [Coord<D>]) -> Self {
+        CoordDelay { sites, points }
+    }
+}
+
+impl<const D: usize> DelayOracle for CoordDelay<'_, D> {
+    fn delay(&self, row: usize, site: usize) -> f64 {
+        self.sites[site].distance(&self.points[row])
+    }
+}
+
+/// Quorum-read delays: an access completes when the `r`-th fastest replica
+/// responds (the paper's consistency future work, see [`crate::quorum`]).
+#[derive(Debug, Clone, Copy)]
+pub struct QuorumDelay<'a> {
+    matrix: &'a RttMatrix,
+    clients: &'a [usize],
+    r: usize,
+}
+
+impl<'a> QuorumDelay<'a> {
+    /// Oracle over `clients` with read quorum `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero (the checked quorum APIs reject this before
+    /// constructing the oracle).
+    pub fn new(matrix: &'a RttMatrix, clients: &'a [usize], r: usize) -> Self {
+        assert!(r >= 1, "read quorum must be at least 1");
+        QuorumDelay { matrix, clients, r }
+    }
+}
+
+impl DelayOracle for QuorumDelay<'_> {
+    fn delay(&self, row: usize, site: usize) -> f64 {
+        self.matrix.get(self.clients[row], site)
+    }
+
+    /// The `r`-th smallest latency from the client to the placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds `placement.len()`.
+    fn placement_delay(&self, row: usize, placement: &[usize]) -> f64 {
+        assert!(
+            self.r <= placement.len(),
+            "invalid quorum {} for {} replicas",
+            self.r,
+            placement.len()
+        );
+        let mut delays: Vec<f64> = placement.iter().map(|&s| self.delay(row, s)).collect();
+        delays.sort_by(f64::total_cmp);
+        delays[self.r - 1]
+    }
+}
+
+/// Mixed read/write delays under the master-replica propagation model of
+/// [`crate::readwrite`]: reads go to the closest replica, writes to the
+/// designated master which then propagates to every other replica.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadWriteDelay<'a> {
+    matrix: &'a RttMatrix,
+    clients: &'a [usize],
+    demand: &'a RwDemand,
+    master: usize,
+}
+
+impl<'a> ReadWriteDelay<'a> {
+    /// Oracle over `clients` with per-row read/write demand and a master.
+    pub fn new(
+        matrix: &'a RttMatrix,
+        clients: &'a [usize],
+        demand: &'a RwDemand,
+        master: usize,
+    ) -> Self {
+        ReadWriteDelay {
+            matrix,
+            clients,
+            demand,
+            master,
+        }
+    }
+}
+
+impl DelayOracle for ReadWriteDelay<'_> {
+    fn delay(&self, row: usize, site: usize) -> f64 {
+        self.matrix.get(self.clients[row], site)
+    }
+
+    /// `reads_row · min_r l(u, r) + writes_row · (l(u, master) + max_{r ≠ master} l(master, r))`.
+    ///
+    /// Already demand-weighted: summing this over rows gives
+    /// [`crate::readwrite::rw_total_delay`] directly.
+    fn placement_delay(&self, row: usize, placement: &[usize]) -> f64 {
+        let u = self.clients[row];
+        let mut total = 0.0;
+        if self.demand.reads[row] > 0.0 {
+            let read = placement
+                .iter()
+                .map(|&s| self.matrix.get(u, s))
+                .fold(f64::INFINITY, f64::min);
+            total += self.demand.reads[row] * read;
+        }
+        if self.demand.writes[row] > 0.0 {
+            let to_master = self.matrix.get(u, self.master);
+            let propagation = placement
+                .iter()
+                .filter(|&&s| s != self.master)
+                .map(|&s| self.matrix.get(self.master, s))
+                .fold(0.0f64, f64::max);
+            total += self.demand.writes[row] * (to_master + propagation);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> RttMatrix {
+        RttMatrix::from_fn(n, |i, j| (j as f64 - i as f64) * 10.0).unwrap()
+    }
+
+    #[test]
+    fn matrix_oracle_reads_the_matrix() {
+        let m = line(5);
+        let clients = [1usize, 3];
+        let o = MatrixDelay::new(&m, &clients);
+        assert_eq!(o.delay(0, 4), 30.0);
+        assert_eq!(o.placement_delay(1, &[0, 4]), 10.0);
+    }
+
+    #[test]
+    fn coord_oracle_measures_distances() {
+        let sites = vec![Coord::new([0.0]), Coord::new([10.0])];
+        let points = vec![Coord::new([4.0])];
+        let o = CoordDelay::new(&sites, &points);
+        assert_eq!(o.delay(0, 0), 4.0);
+        assert_eq!(o.placement_delay(0, &[0, 1]), 4.0);
+    }
+
+    #[test]
+    fn quorum_oracle_takes_rth_order_statistic() {
+        let m = line(5);
+        let clients = [1usize];
+        let o = QuorumDelay::new(&m, &clients, 2);
+        // Client 1: 10 to site 0, 30 to site 4 — the 2-quorum waits for 30.
+        assert_eq!(o.placement_delay(0, &[0, 4]), 30.0);
+    }
+
+    #[test]
+    fn readwrite_oracle_mixes_paths() {
+        let m = line(8);
+        let clients = [2usize];
+        let demand = RwDemand {
+            reads: vec![0.0],
+            writes: vec![1.0],
+        };
+        let o = ReadWriteDelay::new(&m, &clients, &demand, 0);
+        // Write to master 0 (20), propagated to 7 (70).
+        assert_eq!(o.placement_delay(0, &[0, 7]), 90.0);
+    }
+}

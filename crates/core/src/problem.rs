@@ -14,8 +14,11 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
 
 use georep_net::rtt::RttMatrix;
+
+use crate::objective::{CostTable, IncrementalEval, MatrixDelay, WeightedCosts};
 
 /// Error produced when constructing a [`PlacementProblem`] or evaluating a
 /// placement.
@@ -59,7 +62,7 @@ impl fmt::Display for ProblemError {
 impl Error for ProblemError {}
 
 /// A concrete instance of the replica placement problem.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PlacementProblem<'a> {
     matrix: &'a RttMatrix,
     candidates: Vec<usize>,
@@ -67,6 +70,23 @@ pub struct PlacementProblem<'a> {
     /// Per-client demand weight (number of accesses, or bytes). Defaults to
     /// 1 per client.
     weights: Vec<f64>,
+    /// Lazily built dense client×candidate cost table, shared by every
+    /// strategy that evaluates this instance.
+    cost_table: OnceLock<CostTable>,
+    /// Lazily built demand-weighted cost slabs over `cost_table`, shared by
+    /// every incremental evaluator of this instance.
+    objective_costs: OnceLock<WeightedCosts>,
+}
+
+impl PartialEq for PlacementProblem<'_> {
+    /// Equality over the problem definition; the lazily built cost table is
+    /// derived state and deliberately ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.matrix == other.matrix
+            && self.candidates == other.candidates
+            && self.clients == other.clients
+            && self.weights == other.weights
+    }
 }
 
 impl<'a> PlacementProblem<'a> {
@@ -113,7 +133,36 @@ impl<'a> PlacementProblem<'a> {
             candidates,
             clients,
             weights,
+            cost_table: OnceLock::new(),
+            objective_costs: OnceLock::new(),
         })
+    }
+
+    /// The dense client×candidate [`CostTable`] of this instance, built on
+    /// first use and cached. Strategies share it: each problem pays for the
+    /// `|U| × |C|` matrix scan exactly once, no matter how many placers run.
+    pub fn cost_table(&self) -> &CostTable {
+        self.cost_table.get_or_init(|| {
+            CostTable::from_oracle(
+                &MatrixDelay::new(self.matrix, &self.clients),
+                &self.candidates,
+                self.matrix.len(),
+                self.clients.len(),
+            )
+        })
+    }
+
+    /// The demand-weighted cost slabs over [`PlacementProblem::cost_table`],
+    /// built on first use and cached like the table itself.
+    pub fn objective_costs(&self) -> &WeightedCosts {
+        self.objective_costs
+            .get_or_init(|| WeightedCosts::new(self.cost_table(), &self.weights))
+    }
+
+    /// A fresh [`IncrementalEval`] over the cached table and cost slabs —
+    /// `O(|U|)` to construct once the caches are warm.
+    pub fn objective_eval(&self) -> IncrementalEval<'_> {
+        IncrementalEval::with_costs(self.cost_table(), self.objective_costs())
     }
 
     /// The latency matrix.
@@ -179,13 +228,11 @@ impl<'a> PlacementProblem<'a> {
     /// [`ProblemError::BadPlacement`] if the placement is empty or not a
     /// subset of the candidates.
     pub fn total_delay(&self, placement: &[usize]) -> Result<f64, ProblemError> {
-        self.validate_placement(placement)?;
-        Ok(self
-            .clients
-            .iter()
-            .zip(&self.weights)
-            .map(|(&u, &w)| w * self.client_delay(u, placement))
-            .sum())
+        let table = self.cost_table();
+        let slots = table
+            .slots_for(placement)
+            .ok_or(ProblemError::BadPlacement)?;
+        Ok(table.total_delay(&self.weights, &slots))
     }
 
     /// The demand-weighted mean access delay, `l(o) / Σ_u w_u` — the y-axis
@@ -199,16 +246,14 @@ impl<'a> PlacementProblem<'a> {
     }
 
     /// Checks that a placement is usable: non-empty, all members candidates.
+    /// `O(k)` via the cost table's node→slot remap (the former per-member
+    /// scan of the candidate list was `O(k·|C|)`).
     pub fn validate_placement(&self, placement: &[usize]) -> Result<(), ProblemError> {
-        if placement.is_empty() {
-            return Err(ProblemError::BadPlacement);
+        if self.cost_table().is_valid_placement(placement) {
+            Ok(())
+        } else {
+            Err(ProblemError::BadPlacement)
         }
-        for r in placement {
-            if !self.candidates.contains(r) {
-                return Err(ProblemError::BadPlacement);
-            }
-        }
-        Ok(())
     }
 }
 
@@ -293,6 +338,27 @@ mod tests {
         assert_eq!(p.total_delay(&[]), Err(ProblemError::BadPlacement));
         assert_eq!(p.total_delay(&[3]), Err(ProblemError::BadPlacement));
         assert!(p.total_delay(&[5]).is_ok());
+    }
+
+    #[test]
+    fn cost_table_is_cached_and_ignored_by_equality() {
+        let m = matrix();
+        let p = PlacementProblem::new(&m, vec![0, 5], vec![1, 2]).unwrap();
+        let fresh = p.clone();
+        // Force the cache on one copy only; equality must not care.
+        let t = p.cost_table() as *const _;
+        assert_eq!(
+            p.cost_table() as *const _,
+            t,
+            "second call reuses the table"
+        );
+        assert_eq!(p, fresh);
+        // The table agrees with the direct evaluation path.
+        let slots = p.cost_table().slots_for(&[0, 5]).unwrap();
+        assert_eq!(
+            p.cost_table().total_delay(p.weights(), &slots),
+            p.total_delay(&[0, 5]).unwrap()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::objective::{DelayOracle, QuorumDelay};
 use crate::problem::{PlacementProblem, ProblemError};
 
 /// Error produced by quorum evaluation.
@@ -73,12 +74,8 @@ pub fn quorum_client_delay(
         "invalid quorum {r} for {} replicas",
         placement.len()
     );
-    let mut delays: Vec<f64> = placement
-        .iter()
-        .map(|&c| problem.matrix().get(client, c))
-        .collect();
-    delays.sort_by(f64::total_cmp);
-    delays[r - 1]
+    let clients = [client];
+    QuorumDelay::new(problem.matrix(), &clients, r).placement_delay(0, placement)
 }
 
 /// The quorum analogue of the paper's objective:
@@ -94,7 +91,10 @@ pub fn quorum_total_delay(
     placement: &[usize],
     r: usize,
 ) -> Result<f64, QuorumError> {
-    problem.validate_placement(placement)?;
+    let table = problem.cost_table();
+    let slots = table
+        .slots_for(placement)
+        .ok_or(ProblemError::BadPlacement)?;
     if r == 0 {
         return Err(QuorumError::ZeroQuorum);
     }
@@ -104,12 +104,19 @@ pub fn quorum_total_delay(
             replicas: placement.len(),
         });
     }
-    Ok(problem
-        .clients()
-        .iter()
-        .zip(problem.weights())
-        .map(|(&u, &w)| w * quorum_client_delay(problem, u, placement, r))
-        .sum())
+    // The cost table stores *raw* delays (weights applied only here), so
+    // the r-th order statistic is taken over the same values the
+    // per-client path sorts; one reused buffer replaces an allocation per
+    // client.
+    let mut delays = Vec::with_capacity(slots.len());
+    let mut total = 0.0;
+    for (row, &w) in problem.weights().iter().enumerate() {
+        delays.clear();
+        delays.extend(slots.iter().map(|&s| table.delay(s, row)));
+        delays.sort_by(f64::total_cmp);
+        total += w * delays[r - 1];
+    }
+    Ok(total)
 }
 
 /// Demand-weighted mean quorum delay.

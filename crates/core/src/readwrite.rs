@@ -97,26 +97,14 @@ impl RwDemand {
     }
 }
 
-/// Write-path delay for one client: to the master, then propagated in
-/// parallel to all other replicas; completes when the slowest replica has
-/// the update.
-fn write_delay(
-    problem: &PlacementProblem<'_>,
-    client: usize,
-    placement: &[usize],
-    master: usize,
-) -> f64 {
-    let to_master = problem.matrix().get(client, master);
-    let propagation = placement
-        .iter()
-        .filter(|&&r| r != master)
-        .map(|&r| problem.matrix().get(master, r))
-        .fold(0.0f64, f64::max);
-    to_master + propagation
-}
-
 /// The combined objective:
 /// `Σ_u reads_u · min_{r} l(u, r) + Σ_u writes_u · (l(u, master) + max_{r≠master} l(master, r))`.
+///
+/// This is the per-row model of [`crate::objective::ReadWriteDelay`],
+/// evaluated against the problem's cached cost table: read minima come
+/// from the table's candidate-major rows and the master's propagation term
+/// (identical for every writer) is computed once per call instead of per
+/// client.
 ///
 /// # Errors
 ///
@@ -127,19 +115,29 @@ pub fn rw_total_delay(
     master: usize,
     demand: &RwDemand,
 ) -> Result<f64, RwError> {
-    problem.validate_placement(placement)?;
+    let table = problem.cost_table();
+    let slots = table
+        .slots_for(placement)
+        .ok_or(RwError::Problem(ProblemError::BadPlacement))?;
     if !placement.contains(&master) {
         return Err(RwError::MasterNotInPlacement);
     }
     demand.validate(problem.clients().len())?;
 
+    let propagation = placement
+        .iter()
+        .filter(|&&r| r != master)
+        .map(|&r| problem.matrix().get(master, r))
+        .fold(0.0f64, f64::max);
+
     let mut total = 0.0;
     for (i, &u) in problem.clients().iter().enumerate() {
         if demand.reads[i] > 0.0 {
-            total += demand.reads[i] * problem.client_delay(u, placement);
+            total += demand.reads[i] * table.min_delay(i, &slots);
         }
         if demand.writes[i] > 0.0 {
-            total += demand.writes[i] * write_delay(problem, u, placement, master);
+            let to_master = problem.matrix().get(u, master);
+            total += demand.writes[i] * (to_master + propagation);
         }
     }
     Ok(total)

@@ -48,16 +48,17 @@ impl CapacityGreedy {
         placement: &[usize],
     ) -> (f64, f64) {
         let problem = ctx.problem;
-        let matrix = problem.matrix();
-        let cap_of = |node: usize| -> f64 {
-            let idx = problem
-                .candidates()
-                .iter()
-                .position(|&c| c == node)
-                .expect("placement members are candidates");
-            self.capacities.get(idx).copied().unwrap_or(f64::INFINITY)
-        };
-        let caps: Vec<f64> = placement.iter().map(|&r| cap_of(r)).collect();
+        let table = problem.cost_table();
+        // O(1) node→slot lookups (the former `position()` scan was O(|C|)
+        // per placement member, per trial).
+        let slots: Vec<usize> = placement
+            .iter()
+            .map(|&r| table.slot_of(r).expect("placement members are candidates"))
+            .collect();
+        let caps: Vec<f64> = slots
+            .iter()
+            .map(|&s| self.capacities.get(s).copied().unwrap_or(f64::INFINITY))
+            .collect();
         let mut load = vec![0.0; placement.len()];
 
         let mut order: Vec<usize> = (0..problem.clients().len()).collect();
@@ -65,13 +66,12 @@ impl CapacityGreedy {
 
         let mut total = 0.0;
         for ci in order {
-            let u = problem.clients()[ci];
             let w = problem.weights()[ci];
             // Closest replica with room, else closest overall.
             let mut best_fit: Option<(usize, f64)> = None;
             let mut best_any: Option<(usize, f64)> = None;
-            for (ri, &r) in placement.iter().enumerate() {
-                let d = matrix.get(u, r);
+            for (ri, &s) in slots.iter().enumerate() {
+                let d = table.delay(s, ci);
                 if best_any.is_none_or(|(_, bd)| d < bd) {
                     best_any = Some((ri, d));
                 }
@@ -108,21 +108,30 @@ impl<const D: usize> Placer<D> for CapacityGreedy {
         if self.capacities.len() != ctx.problem.candidates().len() {
             return Err(PlaceError::MissingData("one capacity per candidate"));
         }
+        let table = ctx.problem.cost_table();
+        let mut used = vec![false; table.n_candidates()];
         let mut chosen: Vec<usize> = Vec::with_capacity(ctx.k);
         for _ in 0..ctx.k {
             let mut best: Option<(usize, f64)> = None;
-            for &cand in ctx.problem.candidates() {
-                if chosen.contains(&cand) {
+            for (slot, &is_used) in used.iter().enumerate() {
+                if is_used {
                     continue;
                 }
                 let mut trial = chosen.clone();
-                trial.push(cand);
+                trial.push(table.site_of(slot));
                 let (cost, _) = self.assignment_cost(ctx, &trial);
                 if best.is_none_or(|(_, bc)| cost < bc) {
-                    best = Some((cand, cost));
+                    best = Some((slot, cost));
                 }
             }
-            chosen.push(best.expect("free candidate exists").0);
+            let slot = best.expect("free candidate exists").0;
+            let node = table.site_of(slot);
+            for (s, u) in used.iter_mut().enumerate() {
+                if table.site_of(s) == node {
+                    *u = true;
+                }
+            }
+            chosen.push(node);
         }
         Ok(chosen)
     }

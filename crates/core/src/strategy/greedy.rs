@@ -1,6 +1,7 @@
 //! Greedy incremental placement (Qiu, Padmanabhan, Voelker — INFOCOM 2001).
 
 use super::{PlaceError, PlacementContext, Placer};
+use crate::objective::IncrementalEval;
 
 /// Adds one replica at a time, each time choosing the candidate that most
 /// reduces the total access delay given the replicas already placed.
@@ -21,38 +22,55 @@ impl<const D: usize> Placer<D> for Greedy {
 
     fn place(&self, ctx: &PlacementContext<'_, D>) -> Result<Vec<usize>, PlaceError> {
         ctx.check_k()?;
-        let problem = ctx.problem;
-        let matrix = problem.matrix();
-        let clients = problem.clients();
-        let weights = problem.weights();
+        let mut eval = ctx.problem.objective_eval();
+        greedy_fill(&mut eval, ctx.k);
+        Ok(eval.placement())
+    }
+}
 
-        // best_delay[u] = delay of client u to the replicas chosen so far.
-        let mut best_delay = vec![f64::INFINITY; clients.len()];
-        let mut chosen: Vec<usize> = Vec::with_capacity(ctx.k);
+/// Runs the greedy selection into `eval`, committing `k` replicas. Shared
+/// with [`super::swap::SwapLocalSearch`], whose local search picks up the
+/// evaluator state exactly where greedy left it (no rebuild).
+pub(crate) fn greedy_fill(eval: &mut IncrementalEval<'_>, k: usize) {
+    let table = eval.table();
+    // Slot-indexed "already chosen" mask — O(1) per candidate where the
+    // former `chosen.contains` scan was O(k).
+    let mut used = vec![false; table.n_candidates()];
 
-        for _ in 0..ctx.k {
-            let mut best: Option<(usize, f64)> = None;
-            for &cand in problem.candidates() {
-                if chosen.contains(&cand) {
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        if eval.is_empty() {
+            // First replica: every trial total is the candidate's weighted
+            // column sum, which the shared [`WeightedCosts`] precomputed —
+            // same row-order sums, so the same bits and the same winner.
+            for (slot, &total) in eval.costs().column_sums().iter().enumerate() {
+                if !used[slot] && best.is_none_or(|(_, bt)| total < bt) {
+                    best = Some((slot, total));
+                }
+            }
+        } else {
+            for (slot, &is_used) in used.iter().enumerate() {
+                if is_used {
                     continue;
                 }
-                let total: f64 = clients
-                    .iter()
-                    .zip(weights)
-                    .zip(&best_delay)
-                    .map(|((&u, &w), &cur)| w * cur.min(matrix.get(u, cand)))
-                    .sum();
-                if best.is_none_or(|(_, bt)| total < bt) {
-                    best = Some((cand, total));
+                // The incumbent total is an exact prune bound: selection is
+                // strict `<`, so a trial that reaches it can never win.
+                let bound = best.map_or(f64::INFINITY, |(_, bt)| bt);
+                if let Some(total) = eval.add_total_pruned(slot, bound) {
+                    best = Some((slot, total));
                 }
             }
-            let (cand, _) = best.expect("k ≤ candidates leaves a free candidate");
-            chosen.push(cand);
-            for (slot, &u) in best_delay.iter_mut().zip(clients) {
-                *slot = slot.min(matrix.get(u, cand));
+        }
+        let (slot, _) = best.expect("k ≤ candidates leaves a free candidate");
+        // Duplicate node ids in the candidate list share their fate, as
+        // they did when chosen-ness was tracked per node.
+        let node = table.site_of(slot);
+        for (s, u) in used.iter_mut().enumerate() {
+            if table.site_of(s) == node {
+                *u = true;
             }
         }
-        Ok(chosen)
+        eval.commit_add(slot);
     }
 }
 

@@ -36,6 +36,7 @@ use georep_cluster::kmeans::ClusterError;
 use georep_cluster::summary::{AccessSummary, SummaryError};
 use georep_coord::Coord;
 
+use crate::objective::{CoordDelay, CostTable};
 use crate::problem::{PlacementProblem, ProblemError};
 
 /// Error produced by a placement strategy.
@@ -277,53 +278,72 @@ pub(crate) fn best_serving_candidates<const D: usize>(
     k: usize,
 ) -> Vec<usize> {
     debug_assert!(k <= candidates.len());
+    // Densify the pseudo-point × candidate distance matrix once; every
+    // 1-median scan below reads contiguous slices of a candidate-major row
+    // instead of recomputing coordinate distances per (cluster, candidate)
+    // pair. Rows are the clusters' members flattened in cluster order, so
+    // per-cluster sums visit the same values in the same order as the
+    // member-list fold this replaces.
+    let points: Vec<Coord<D>> = members.iter().flatten().map(|&(c, _)| c).collect();
+    let weights: Vec<f64> = members.iter().flatten().map(|&(_, w)| w).collect();
+    let oracle = CoordDelay::new(coords, &points);
+    let table = CostTable::from_oracle(&oracle, candidates, coords.len(), points.len());
+    let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(members.len());
+    let mut start = 0usize;
+    for m in members {
+        ranges.push(start..start + m.len());
+        start += m.len();
+    }
+    let est_for = |slot: usize, rows: std::ops::Range<usize>| -> f64 {
+        table.row(slot)[rows.clone()]
+            .iter()
+            .zip(&weights[rows])
+            .map(|(&d, &w)| w * d)
+            .sum()
+    };
+
     let mut order: Vec<usize> = (0..members.len()).collect();
-    let demand: Vec<f64> = members
+    let demand: Vec<f64> = ranges
         .iter()
-        .map(|m| m.iter().map(|(_, w)| w).sum())
+        .map(|r| weights[r.clone()].iter().sum())
         .collect();
     order.sort_by(|&a, &b| demand[b].total_cmp(&demand[a]));
 
     let mut used = vec![false; candidates.len()];
     let mut chosen = Vec::with_capacity(k);
     for &ci in order.iter().take(k) {
-        let cluster = &members[ci];
         let mut best: Option<(usize, f64)> = None;
-        for (idx, &cand) in candidates.iter().enumerate() {
-            if used[idx] {
+        for (slot, &is_used) in used.iter().enumerate() {
+            if is_used {
                 continue;
             }
-            let est: f64 = cluster
-                .iter()
-                .map(|(c, w)| w * coords[cand].distance(c))
-                .sum();
+            let est = est_for(slot, ranges[ci].clone());
             if best.is_none_or(|(_, bd)| est < bd) {
-                best = Some((idx, est));
+                best = Some((slot, est));
             }
         }
-        if let Some((idx, _)) = best {
-            used[idx] = true;
-            chosen.push(candidates[idx]);
+        if let Some((slot, _)) = best {
+            used[slot] = true;
+            chosen.push(candidates[slot]);
         }
     }
 
     // Top up (deduped clusters or fewer clusters than k): fall back to the
     // candidate that best serves *all* demand not yet chosen.
     while chosen.len() < k {
-        let all: Vec<(Coord<D>, f64)> = members.iter().flatten().copied().collect();
         let mut best: Option<(usize, f64)> = None;
-        for (idx, &cand) in candidates.iter().enumerate() {
-            if used[idx] {
+        for (slot, &is_used) in used.iter().enumerate() {
+            if is_used {
                 continue;
             }
-            let est: f64 = all.iter().map(|(c, w)| w * coords[cand].distance(c)).sum();
+            let est = est_for(slot, 0..points.len());
             if best.is_none_or(|(_, bd)| est < bd) {
-                best = Some((idx, est));
+                best = Some((slot, est));
             }
         }
-        let (idx, _) = best.expect("k ≤ candidates guarantees a free candidate");
-        used[idx] = true;
-        chosen.push(candidates[idx]);
+        let (slot, _) = best.expect("k ≤ candidates guarantees a free candidate");
+        used[slot] = true;
+        chosen.push(candidates[slot]);
     }
     chosen
 }

@@ -18,8 +18,10 @@
 
 use georep_cluster::micro::MicroCluster;
 use georep_cluster::point::WeightedPoint;
+use georep_coord::Coord;
 
 use super::{PlaceError, PlacementContext, Placer};
+use crate::objective::{CoordDelay, CostTable, IncrementalEval};
 
 /// Greedy facility location on the estimated (summary + coordinate)
 /// objective.
@@ -50,76 +52,75 @@ impl<const D: usize> Placer<D> for OnlineGreedy {
             ));
         }
 
-        let candidates = ctx.problem.candidates();
-        let estimate = |placement: &[usize]| -> f64 {
-            pseudo
-                .iter()
-                .map(|p| {
-                    p.weight
-                        * placement
-                            .iter()
-                            .map(|&r| coords[r].distance(&p.coord))
-                            .fold(f64::INFINITY, f64::min)
-                })
-                .sum()
-        };
+        // The estimated instance is a fixed pseudo-point × candidate matrix:
+        // densify it once and run both phases through the incremental
+        // evaluator, exactly like the matrix-backed greedy + local search.
+        let points: Vec<Coord<D>> = pseudo.iter().map(|p| p.coord).collect();
+        let weights: Vec<f64> = pseudo.iter().map(|p| p.weight).collect();
+        let oracle = CoordDelay::new(coords, &points);
+        let table = CostTable::from_oracle(
+            &oracle,
+            ctx.problem.candidates(),
+            coords.len(),
+            points.len(),
+        );
+        let mut eval = IncrementalEval::new(&table, &weights);
 
         // Greedy construction.
-        let mut best_est = vec![f64::INFINITY; pseudo.len()];
-        let mut chosen: Vec<usize> = Vec::with_capacity(ctx.k);
+        let mut used = vec![false; table.n_candidates()];
         for _ in 0..ctx.k {
             let mut best: Option<(usize, f64)> = None;
-            for &cand in candidates {
-                if chosen.contains(&cand) {
+            for (slot, &is_used) in used.iter().enumerate() {
+                if is_used {
                     continue;
                 }
-                let total: f64 = pseudo
-                    .iter()
-                    .zip(&best_est)
-                    .map(|(p, &cur)| p.weight * cur.min(coords[cand].distance(&p.coord)))
-                    .sum();
-                if best.is_none_or(|(_, bt)| total < bt) {
-                    best = Some((cand, total));
+                let bound = best.map_or(f64::INFINITY, |(_, bt)| bt);
+                if let Some(total) = eval.add_total_pruned(slot, bound) {
+                    best = Some((slot, total));
                 }
             }
-            let (cand, _) = best.expect("k ≤ candidates leaves a free candidate");
-            chosen.push(cand);
-            for (p, slot) in pseudo.iter().zip(best_est.iter_mut()) {
-                *slot = slot.min(coords[cand].distance(&p.coord));
+            let (slot, _) = best.expect("k ≤ candidates leaves a free candidate");
+            let node = table.site_of(slot);
+            for (s, u) in used.iter_mut().enumerate() {
+                if table.site_of(s) == node {
+                    *u = true;
+                }
             }
+            eval.commit_add(slot);
         }
 
         // Single-swap refinement on the estimated objective.
-        let mut current = estimate(&chosen);
+        let mut current = eval.total();
+        let mut in_placement = vec![false; table.n_candidates()];
+        for &s in eval.slots() {
+            in_placement[s] = true;
+        }
         for _pass in 0..8 {
             let mut improved = false;
-            for slot in 0..chosen.len() {
-                let original = chosen[slot];
+            for pos in 0..eval.len() {
                 let mut best: Option<(usize, f64)> = None;
-                for &cand in candidates {
-                    if chosen.contains(&cand) {
+                for (slot, &in_place) in in_placement.iter().enumerate() {
+                    if in_place {
                         continue;
                     }
-                    chosen[slot] = cand;
-                    let est = estimate(&chosen);
-                    if est < current && best.is_none_or(|(_, be)| est < be) {
-                        best = Some((cand, est));
+                    let bound = best.map_or(current, |(_, be)| f64::min(current, be));
+                    if let Some(est) = eval.swap_total_pruned(pos, slot, bound) {
+                        best = Some((slot, est));
                     }
                 }
-                match best {
-                    Some((cand, est)) => {
-                        chosen[slot] = cand;
-                        current = est;
-                        improved = true;
-                    }
-                    None => chosen[slot] = original,
+                if let Some((slot, est)) = best {
+                    in_placement[eval.slots()[pos]] = false;
+                    in_placement[slot] = true;
+                    eval.commit_swap(pos, slot);
+                    current = est;
+                    improved = true;
                 }
             }
             if !improved {
                 break;
             }
         }
-        Ok(chosen)
+        Ok(eval.placement())
     }
 }
 

@@ -1,7 +1,21 @@
 //! Exhaustive-optimal placement — the paper's impractical upper bound.
+//!
+//! The search is exhaustive in its *result*, not in its work: combinations
+//! are explored depth-first over a prefix tree (first chosen slot, then
+//! second, …), each prefix carries the elementwise minimum of its rows, and
+//! a subtree is discarded when `Σ_row min(prefix_min, suffix_min)` — a
+//! lower bound on every completion, since the remaining slots can only be
+//! drawn from the suffix — already exceeds the best total seen. Both the
+//! bound and the totals sum the same non-negative per-row values in the
+//! same row order, and IEEE round-to-nearest is monotone, so the float
+//! bound never overshoots a descendant's float total: pruning (strict `>`)
+//! returns bit-for-bit the placement of the plain scan.
 
-use crate::combin::{binomial, Combinations};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use crate::combin::binomial;
+
+use super::greedy::Greedy;
 use super::{PlaceError, PlacementContext, Placer};
 
 /// Evaluates the true objective for **every** `C(|C|, k)` combination of
@@ -38,6 +52,131 @@ impl Optimal {
     }
 }
 
+/// Best `(placement, total)` found within one first-slot subtree, if the
+/// subtree beat the shared bound at all.
+type GroupBest = Option<(Vec<usize>, f64)>;
+
+/// Read-only context shared by every worker of one exhaustive search.
+struct Search<'a> {
+    /// Candidate-major weighted costs (`w · delay` per client row).
+    wcost: &'a [f64],
+    /// Candidate-major suffix minima: row `s` is the elementwise minimum of
+    /// `wcost` rows `s..`.
+    suffix: &'a [f64],
+    n_rows: usize,
+    n_cand: usize,
+    k: usize,
+    /// Global upper bound as `f64` bits (non-negative floats order exactly
+    /// like their bit patterns, so `fetch_min` works). Stays `∞` when the
+    /// costs may be negative and pruning is off.
+    shared: &'a AtomicU64,
+    prunable: bool,
+}
+
+impl Search<'_> {
+    fn row(&self, slot: usize) -> &[f64] {
+        &self.wcost[slot * self.n_rows..(slot + 1) * self.n_rows]
+    }
+
+    fn suffix_row(&self, slot: usize) -> &[f64] {
+        &self.suffix[slot * self.n_rows..(slot + 1) * self.n_rows]
+    }
+
+    fn bound(&self, local: &Option<(Vec<usize>, f64)>) -> f64 {
+        if !self.prunable {
+            return f64::INFINITY;
+        }
+        let global = f64::from_bits(self.shared.load(Ordering::Relaxed));
+        local.as_ref().map_or(global, |&(_, b)| f64::min(global, b))
+    }
+
+    /// Depth-first scan with `combo[level]` ranging over `from..=to`.
+    /// `mins` is the prefix-minimum stack (`k` rows of `n_rows`): level ℓ
+    /// holds the elementwise minimum of the first ℓ+1 chosen rows, folded
+    /// left with strict `<` exactly like the flat per-combination loop.
+    fn descend(
+        &self,
+        level: usize,
+        from: usize,
+        to: usize,
+        combo: &mut Vec<usize>,
+        mins: &mut [f64],
+        best: &mut Option<(Vec<usize>, f64)>,
+    ) {
+        let n_rows = self.n_rows;
+        let leaf = level + 1 == self.k;
+        for v in from..=to {
+            let bound = self.bound(best);
+            let row = self.row(v);
+            let (done, rest) = mins.split_at_mut(level * n_rows);
+            let prev: Option<&[f64]> = done.get(done.len().wrapping_sub(n_rows)..);
+            if leaf {
+                // Exact total, summed in row order with early exit: once
+                // the partial exceeds the bound the full total does too
+                // (adding non-negative terms, monotone rounding).
+                let mut total = 0.0;
+                let mut pruned = false;
+                for r in 0..n_rows {
+                    let c = row[r];
+                    total += match prev {
+                        Some(p) if p[r] < c => p[r],
+                        _ => c,
+                    };
+                    if total > bound {
+                        pruned = true;
+                        break;
+                    }
+                }
+                if !pruned && best.as_ref().is_none_or(|&(_, bd)| total < bd) {
+                    if self.prunable {
+                        self.shared.fetch_min(total.to_bits(), Ordering::Relaxed);
+                    }
+                    combo.push(v);
+                    *best = Some((combo.clone(), total));
+                    combo.pop();
+                }
+            } else {
+                // Interior node: extend the prefix-min stack and lower-
+                // bound every completion (remaining slots come from
+                // `v+1..`, so `suffix[v+1]` bounds their contribution).
+                let cur = &mut rest[..n_rows];
+                let sfx = self.suffix_row(v + 1);
+                let mut lb = 0.0;
+                let mut pruned = false;
+                for r in 0..n_rows {
+                    let c = row[r];
+                    let m = match prev {
+                        Some(p) if p[r] < c => p[r],
+                        _ => c,
+                    };
+                    cur[r] = m;
+                    let s = sfx[r];
+                    lb += if m < s { m } else { s };
+                    if lb > bound {
+                        pruned = true;
+                        break;
+                    }
+                }
+                if !pruned {
+                    combo.push(v);
+                    let to = self.n_cand - (self.k - level - 1);
+                    self.descend(level + 1, v + 1, to, combo, mins, best);
+                    combo.pop();
+                }
+            }
+        }
+    }
+
+    /// Scans the subtree rooted at first slot `v0`, returning its best
+    /// (first-wins on ties, like the flat lexicographic scan).
+    fn scan_group(&self, v0: usize, mins: &mut [f64]) -> GroupBest {
+        let mut combo = Vec::with_capacity(self.k);
+        let mut best = None;
+        self.descend(0, v0, v0, &mut combo, mins, &mut best);
+        best
+    }
+}
+
 impl<const D: usize> Placer<D> for Optimal {
     fn name(&self) -> &'static str {
         "optimal"
@@ -53,37 +192,97 @@ impl<const D: usize> Placer<D> for Optimal {
         }
 
         let problem = ctx.problem;
-        let candidates = problem.candidates();
-        let clients = problem.clients();
-        let weights = problem.weights();
-        let matrix = problem.matrix();
+        let table = problem.cost_table();
+        let n_cand = table.n_candidates();
+        let n_rows = table.n_rows();
+        let k = ctx.k;
+        let costs = problem.objective_costs();
+        let wcost = costs.wcost();
+        let prunable = costs.is_prunable();
 
-        let mut best: Option<(Vec<usize>, f64)> = None;
-        let mut placement = vec![0usize; ctx.k];
-        for combo in Combinations::new(candidates.len(), ctx.k) {
-            for (slot, &ci) in placement.iter_mut().zip(&combo) {
-                *slot = candidates[ci];
-            }
-            // Inline objective (avoids the per-call placement validation of
-            // `total_delay`, which matters at ~10⁵ combinations).
-            let mut total = 0.0;
-            for (&u, &w) in clients.iter().zip(weights) {
-                let mut min = f64::INFINITY;
-                for &r in &placement {
-                    let d = matrix.get(u, r);
-                    if d < min {
-                        min = d;
-                    }
-                }
-                total += w * min;
-            }
-            if best.as_ref().is_none_or(|(_, bd)| total < *bd) {
-                best = Some((placement.clone(), total));
+        // Candidate-major suffix minima feed the subtree lower bounds.
+        let mut suffix = vec![0.0; n_cand * n_rows];
+        suffix[(n_cand - 1) * n_rows..].copy_from_slice(&wcost[(n_cand - 1) * n_rows..]);
+        for s in (0..n_cand - 1).rev() {
+            for r in 0..n_rows {
+                let c = wcost[s * n_rows + r];
+                let nxt = suffix[(s + 1) * n_rows + r];
+                suffix[s * n_rows + r] = if c < nxt { c } else { nxt };
             }
         }
-        Ok(best
-            .expect("search space is non-empty when k ≤ candidates")
-            .0)
+
+        // A greedy solution seeds the prune bound: most subtrees exceed it
+        // within a few rows. Pruning is strict (`>`), so ties with the
+        // bound still complete and the returned placement stays the first
+        // minimum in lexicographic order — exactly the unpruned answer.
+        let greedy_total = if prunable {
+            let greedy = Greedy.place(ctx)?;
+            problem
+                .total_delay(&greedy)
+                .expect("greedy returns a valid placement")
+        } else {
+            f64::INFINITY
+        };
+        let shared = AtomicU64::new(greedy_total.to_bits());
+        let search = Search {
+            wcost,
+            suffix: &suffix,
+            n_rows,
+            n_cand,
+            k,
+            shared: &shared,
+            prunable,
+        };
+
+        // One work unit per first-slot choice; workers pull units off a
+        // shared counter (subtree sizes are wildly uneven — C(n-1-v, k-1)
+        // shrinks as v grows — so static splits would straggle).
+        let n_groups = n_cand - k + 1;
+        let counter = AtomicUsize::new(0);
+        let run_worker = || {
+            let mut mins = vec![0.0; k * n_rows];
+            let mut out: Vec<(usize, GroupBest)> = Vec::new();
+            loop {
+                let v0 = counter.fetch_add(1, Ordering::Relaxed);
+                if v0 >= n_groups {
+                    return out;
+                }
+                out.push((v0, search.scan_group(v0, &mut mins)));
+            }
+        };
+
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(n_groups);
+        // Parallelism only pays once the space amortizes thread start-up.
+        let groups = if threads <= 1 || space <= 2048 {
+            run_worker()
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads).map(|_| s.spawn(run_worker)).collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scan worker panicked"))
+                    .collect()
+            })
+        };
+
+        // Merge in first-slot (= lexicographic) order with strict `<` so
+        // the earliest minimum still wins.
+        let mut results: Vec<Option<(Vec<usize>, f64)>> = vec![None; n_groups];
+        for (v0, r) in groups {
+            results[v0] = r;
+        }
+        let mut merged: Option<(Vec<usize>, f64)> = None;
+        for r in results.into_iter().flatten() {
+            if merged.as_ref().is_none_or(|&(_, bd)| r.1 < bd) {
+                merged = Some(r);
+            }
+        }
+
+        let (combo, _) = merged.expect("search space is non-empty when k ≤ candidates");
+        Ok(combo.into_iter().map(|slot| table.site_of(slot)).collect())
     }
 }
 

@@ -129,19 +129,15 @@ pub fn place_for_slo(
 
     let clients = problem.clients();
     let weights = problem.weights();
-    let matrix = problem.matrix();
+    let table = problem.cost_table();
+    let n_cand = table.n_candidates();
     let total = problem.total_weight();
 
     // Feasibility: what can all candidates together cover?
-    let best_possible: f64 = clients
+    let best_possible: f64 = weights
         .iter()
-        .zip(weights)
-        .filter(|(&u, _)| {
-            problem
-                .candidates()
-                .iter()
-                .any(|&c| matrix.get(u, c) <= limit_ms)
-        })
+        .enumerate()
+        .filter(|&(row, _)| (0..n_cand).any(|s| table.delay(s, row) <= limit_ms))
         .map(|(_, &w)| w)
         .sum::<f64>()
         / total;
@@ -151,34 +147,43 @@ pub fn place_for_slo(
 
     let mut covered = vec![false; clients.len()];
     let mut covered_weight = 0.0;
+    let mut used = vec![false; n_cand];
     let mut placement: Vec<usize> = Vec::new();
 
     while covered_weight / total + 1e-12 < target_coverage {
         let mut best: Option<(usize, f64)> = None;
-        for &cand in problem.candidates() {
-            if placement.contains(&cand) {
+        for (slot, &is_used) in used.iter().enumerate() {
+            if is_used {
                 continue;
             }
-            let gain: f64 = clients
+            // Candidate-major row: one contiguous scan per candidate.
+            let gain: f64 = table
+                .row(slot)
                 .iter()
                 .zip(weights)
                 .zip(&covered)
-                .filter(|((&u, _), &c)| !c && matrix.get(u, cand) <= limit_ms)
+                .filter(|((&d, _), &c)| !c && d <= limit_ms)
                 .map(|((_, &w), _)| w)
                 .sum();
             if gain > 0.0 && best.is_none_or(|(_, bg)| gain > bg) {
-                best = Some((cand, gain));
+                best = Some((slot, gain));
             }
         }
-        let Some((cand, _)) = best else {
+        let Some((slot, _)) = best else {
             // No candidate adds coverage; feasibility said the target is
             // reachable, so this cannot happen — guard anyway.
             break;
         };
-        placement.push(cand);
-        for ((&u, &w), slot) in clients.iter().zip(weights).zip(covered.iter_mut()) {
-            if !*slot && matrix.get(u, cand) <= limit_ms {
-                *slot = true;
+        let node = table.site_of(slot);
+        for (s, u) in used.iter_mut().enumerate() {
+            if table.site_of(s) == node {
+                *u = true;
+            }
+        }
+        placement.push(node);
+        for ((&d, &w), cov) in table.row(slot).iter().zip(weights).zip(covered.iter_mut()) {
+            if !*cov && d <= limit_ms {
+                *cov = true;
                 covered_weight += w;
             }
         }

@@ -10,7 +10,7 @@
 //! it. It serves here to sandwich the online technique between greedy and
 //! optimal.
 
-use super::greedy::Greedy;
+use super::greedy::greedy_fill;
 use super::{PlaceError, PlacementContext, Placer};
 
 /// Greedy followed by single-swap local search on the true objective.
@@ -33,39 +33,50 @@ impl<const D: usize> Placer<D> for SwapLocalSearch {
 
     fn place(&self, ctx: &PlacementContext<'_, D>) -> Result<Vec<usize>, PlaceError> {
         ctx.check_k()?;
-        let problem = ctx.problem;
-        let mut placement = Greedy.place(ctx)?;
-        let mut current = problem.total_delay(&placement)?;
+        let table = ctx.problem.cost_table();
+        // Seed with greedy through the same evaluator the local search
+        // uses: its nearest/second-nearest state is already exact, so no
+        // placement round-trip or rebuild is needed.
+        let mut eval = ctx.problem.objective_eval();
+        greedy_fill(&mut eval, ctx.k);
+        let mut current = eval.total();
+        // Slot-indexed membership mask: O(1) per candidate where the former
+        // `placement.contains` scan was O(k). A trial of the occupant itself
+        // can only reproduce `current`, which strict `<` never accepts, so
+        // keeping the swapped-out slot marked loses nothing.
+        let mut in_placement = vec![false; table.n_candidates()];
+        for &s in eval.slots() {
+            in_placement[s] = true;
+        }
 
         for _ in 0..self.max_passes {
             let mut improved = false;
-            for slot in 0..placement.len() {
-                let original = placement[slot];
+            for pos in 0..eval.len() {
                 let mut best: Option<(usize, f64)> = None;
-                for &cand in problem.candidates() {
-                    if placement.contains(&cand) {
+                for (slot, &in_place) in in_placement.iter().enumerate() {
+                    if in_place {
                         continue;
                     }
-                    placement[slot] = cand;
-                    let d = problem.total_delay(&placement)?;
-                    if d < current && best.is_none_or(|(_, bd)| d < bd) {
-                        best = Some((cand, d));
+                    // Accepting needs `d < current` and `d < best`, so the
+                    // smaller of the two prunes the trial exactly.
+                    let bound = best.map_or(current, |(_, bd)| f64::min(current, bd));
+                    if let Some(d) = eval.swap_total_pruned(pos, slot, bound) {
+                        best = Some((slot, d));
                     }
                 }
-                match best {
-                    Some((cand, d)) => {
-                        placement[slot] = cand;
-                        current = d;
-                        improved = true;
-                    }
-                    None => placement[slot] = original,
+                if let Some((slot, d)) = best {
+                    in_placement[eval.slots()[pos]] = false;
+                    in_placement[slot] = true;
+                    eval.commit_swap(pos, slot);
+                    current = d;
+                    improved = true;
                 }
             }
             if !improved {
                 break;
             }
         }
-        Ok(placement)
+        Ok(eval.placement())
     }
 }
 
@@ -73,6 +84,7 @@ impl<const D: usize> Placer<D> for SwapLocalSearch {
 mod tests {
     use super::*;
     use crate::problem::PlacementProblem;
+    use crate::strategy::greedy::Greedy;
     use crate::strategy::optimal::Optimal;
     use georep_net::rtt::RttMatrix;
 

@@ -1,0 +1,257 @@
+//! Regression tests pinning the objective-layer refactor to the original
+//! per-call implementations.
+//!
+//! The cost-table + incremental-evaluation layer in `georep_core::objective`
+//! is designed to be *bit-for-bit* equivalent to the straightforward
+//! matrix-walking code it replaced: every min is a selection (no rounding),
+//! weights multiply the same selected operand, and sums visit clients in
+//! the same order. These tests hold the strategies to that claim: each one
+//! re-implements the original algorithm verbatim (candidate `contains`
+//! scans and all) and asserts the refactored strategy returns the identical
+//! placement and the identical `f64` total on a spread of fixed fixtures.
+
+use georep_core::problem::PlacementProblem;
+use georep_core::quorum::quorum_total_delay;
+use georep_core::strategy::greedy::Greedy;
+use georep_core::strategy::optimal::Optimal;
+use georep_core::strategy::swap::SwapLocalSearch;
+use georep_core::strategy::{PlacementContext, Placer};
+use georep_net::rtt::RttMatrix;
+
+/// The original objective: `Σ_u w_u · min_{r ∈ placement} l(u, r)`,
+/// folding `f64::min` over the placement per client.
+fn reference_total(p: &PlacementProblem<'_>, placement: &[usize]) -> f64 {
+    p.clients()
+        .iter()
+        .zip(p.weights())
+        .map(|(&u, &w)| {
+            w * placement
+                .iter()
+                .map(|&r| p.matrix().get(u, r))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+/// The original greedy: per step, scan candidates in order (skipping chosen
+/// ones via `contains`), score each against the running `best_delay`
+/// vector, keep the first strict minimum.
+fn reference_greedy(p: &PlacementProblem<'_>, k: usize) -> Vec<usize> {
+    let mut best_delay = vec![f64::INFINITY; p.clients().len()];
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for &cand in p.candidates() {
+            if chosen.contains(&cand) {
+                continue;
+            }
+            let total: f64 = p
+                .clients()
+                .iter()
+                .zip(p.weights())
+                .zip(&best_delay)
+                .map(|((&u, &w), &cur)| w * cur.min(p.matrix().get(u, cand)))
+                .sum();
+            if best.is_none_or(|(_, bt)| total < bt) {
+                best = Some((cand, total));
+            }
+        }
+        let (cand, _) = best.expect("k ≤ candidates");
+        chosen.push(cand);
+        for (slot, &u) in best_delay.iter_mut().zip(p.clients()) {
+            *slot = slot.min(p.matrix().get(u, cand));
+        }
+    }
+    chosen
+}
+
+/// The original swap local search, including its quirk of leaving the last
+/// tried candidate in the slot while scanning (so the original occupant is
+/// re-evaluated at `d == current` and never accepted).
+fn reference_swap(p: &PlacementProblem<'_>, k: usize, max_passes: usize) -> Vec<usize> {
+    let mut placement = reference_greedy(p, k);
+    let mut current = reference_total(p, &placement);
+    for _ in 0..max_passes {
+        let mut improved = false;
+        for slot in 0..placement.len() {
+            let original = placement[slot];
+            let mut best: Option<(usize, f64)> = None;
+            for &cand in p.candidates() {
+                if placement.contains(&cand) {
+                    continue;
+                }
+                placement[slot] = cand;
+                let d = reference_total(p, &placement);
+                if d < current && best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((cand, d));
+                }
+            }
+            match best {
+                Some((cand, d)) => {
+                    placement[slot] = cand;
+                    current = d;
+                    improved = true;
+                }
+                None => placement[slot] = original,
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    placement
+}
+
+/// The original exhaustive search: enumerate combinations in lexicographic
+/// order, inline objective, keep the first strict minimum.
+fn reference_optimal(p: &PlacementProblem<'_>, k: usize) -> Vec<usize> {
+    let candidates = p.candidates();
+    let n = candidates.len();
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut combo: Vec<usize> = (0..k).collect();
+    loop {
+        let placement: Vec<usize> = combo.iter().map(|&ci| candidates[ci]).collect();
+        let mut total = 0.0;
+        for (&u, &w) in p.clients().iter().zip(p.weights()) {
+            let mut min = f64::INFINITY;
+            for &r in &placement {
+                let d = p.matrix().get(u, r);
+                if d < min {
+                    min = d;
+                }
+            }
+            total += w * min;
+        }
+        if best.as_ref().is_none_or(|(_, bd)| total < *bd) {
+            best = Some((placement, total));
+        }
+        // Next lexicographic combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return best.expect("non-empty search space").0;
+            }
+            i -= 1;
+            if combo[i] != i + n - k {
+                break;
+            }
+        }
+        combo[i] += 1;
+        for j in i + 1..k {
+            combo[j] = combo[j - 1] + 1;
+        }
+    }
+}
+
+/// Deterministic dense matrices with varied structure (no RNG dependency,
+/// so the fixture is identical under any test harness).
+fn fixture_matrix(seed: u64, n: usize) -> RttMatrix {
+    RttMatrix::from_fn(n, move |i, j| {
+        let h = (i as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((j as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(seed.wrapping_mul(0x94D0_49BB_1331_11EB));
+        let h = (h ^ (h >> 31)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        ((h >> 40) % 400 + 3) as f64 + ((h >> 8) % 1000) as f64 / 1000.0
+    })
+    .expect("positive finite matrix")
+}
+
+fn fixture_problem(m: &RttMatrix, n_cand: usize) -> PlacementProblem<'_> {
+    let n = m.len();
+    let candidates: Vec<usize> = (0..n).step_by(n / n_cand).take(n_cand).collect();
+    let clients: Vec<usize> = (0..n).filter(|u| !candidates.contains(u)).collect();
+    let weights: Vec<f64> = clients.iter().map(|&u| 1.0 + (u % 7) as f64).collect();
+    PlacementProblem::with_weights(m, candidates, clients, weights).expect("valid problem")
+}
+
+fn ctx<'a>(p: &'a PlacementProblem<'a>, k: usize) -> PlacementContext<'a, 1> {
+    PlacementContext {
+        problem: p,
+        coords: &[],
+        accesses: &[],
+        summaries: &[],
+        k,
+        seed: 0,
+    }
+}
+
+#[test]
+fn total_delay_is_bitwise_identical_to_the_matrix_walk() {
+    for seed in 0..5u64 {
+        let m = fixture_matrix(seed, 40);
+        let p = fixture_problem(&m, 10);
+        let placement: Vec<usize> = p.candidates()[..4].to_vec();
+        assert_eq!(
+            p.total_delay(&placement).unwrap(),
+            reference_total(&p, &placement),
+            "seed {seed}"
+        );
+        // r = 1 quorum routes through the same table.
+        assert_eq!(
+            quorum_total_delay(&p, &placement, 1).unwrap(),
+            reference_total(&p, &placement),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn greedy_returns_the_seed_placement() {
+    for seed in 0..6u64 {
+        let m = fixture_matrix(seed, 36);
+        let p = fixture_problem(&m, 9);
+        for k in 1..=5 {
+            let got = Greedy.place(&ctx(&p, k)).unwrap();
+            let want = reference_greedy(&p, k);
+            assert_eq!(got, want, "seed {seed}, k {k}");
+            assert_eq!(
+                p.total_delay(&got).unwrap(),
+                reference_total(&p, &want),
+                "seed {seed}, k {k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn swap_local_search_returns_the_seed_placement() {
+    for seed in 0..6u64 {
+        let m = fixture_matrix(seed, 36);
+        let p = fixture_problem(&m, 9);
+        for k in 2..=4 {
+            let got = SwapLocalSearch::default().place(&ctx(&p, k)).unwrap();
+            let want = reference_swap(&p, k, 16);
+            assert_eq!(got, want, "seed {seed}, k {k}");
+        }
+    }
+}
+
+#[test]
+fn optimal_returns_the_seed_placement() {
+    for seed in 0..4u64 {
+        let m = fixture_matrix(seed, 32);
+        let p = fixture_problem(&m, 10);
+        for k in 1..=4 {
+            let got = Optimal::default().place(&ctx(&p, k)).unwrap();
+            let want = reference_optimal(&p, k);
+            assert_eq!(got, want, "seed {seed}, k {k}");
+        }
+    }
+}
+
+#[test]
+fn optimal_pruning_is_exact_under_adversarial_ties() {
+    // Matrices with massive value collisions exercise the tie-breaking
+    // rules (first strict minimum wins) that the pruned, greedy-seeded,
+    // chunked search must reproduce.
+    for n in [20usize, 25] {
+        let m = RttMatrix::from_fn(n, |i, j| (((i + j) % 4) * 10 + 5) as f64).unwrap();
+        let p = fixture_problem(&m, 8);
+        for k in 1..=4 {
+            let got = Optimal::default().place(&ctx(&p, k)).unwrap();
+            let want = reference_optimal(&p, k);
+            assert_eq!(got, want, "n {n}, k {k}");
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! the crowd dissipates, the extra replicas are shed.
 
 use georep::coord::rnp::Rnp;
-use georep::coord::{Coord, EmbeddingRunner};
+use georep::coord::EmbeddingRunner;
 use georep::core::experiment::DIMS;
 use georep::core::manager::{ManagerConfig, ReplicaManager};
 use georep::net::topology::{Topology, TopologyConfig};
@@ -20,7 +20,11 @@ fn flash_crowd_grows_k_and_relocates_then_sheds() {
     .expect("valid topology");
     let matrix = topo.matrix().clone();
     let n = matrix.len();
-    let runner = EmbeddingRunner { rounds: 40, samples_per_round: 4, seed: 0xF1A5 };
+    let runner = EmbeddingRunner {
+        rounds: 40,
+        samples_per_round: 4,
+        seed: 0xF1A5,
+    };
     let (coords, _) = runner.run(n, |i, j| matrix.get(i, j), |_| Rnp::<DIMS>::new());
     let candidates: Vec<usize> = (0..n).step_by(4).collect();
     let clients: Vec<usize> = (0..n).filter(|i| i % 4 != 0).collect();
@@ -29,18 +33,18 @@ fn flash_crowd_grows_k_and_relocates_then_sheds() {
     cfg.min_k = 1;
     cfg.max_k = 4;
     cfg.demand_per_replica = 2_000.0;
-    let mut mgr = ReplicaManager::<DIMS>::new(
-        coords.clone(),
-        candidates.clone(),
-        vec![candidates[0]],
-        cfg,
-    )
-    .expect("valid manager");
+    let mut mgr =
+        ReplicaManager::<DIMS>::new(coords.clone(), candidates.clone(), vec![candidates[0]], cfg)
+            .expect("valid manager");
 
     let feed = |mgr: &mut ReplicaManager<DIMS>, pop: &Population, rate: f64, seed: u64| {
         for e in generate(
             pop,
-            &StreamConfig { rate_per_ms: rate, seed, ..Default::default() },
+            &StreamConfig {
+                rate_per_ms: rate,
+                seed,
+                ..Default::default()
+            },
             2_000.0,
         ) {
             mgr.record_access(coords[clients[e.client]], e.bytes_kib);
@@ -71,12 +75,16 @@ fn flash_crowd_grows_k_and_relocates_then_sheds() {
     feed(&mut mgr, &east, 1.5, 2);
     mgr.rebalance().expect("rebalance succeeds");
     let surge_k = mgr.placement().len();
-    assert!(surge_k > quiet_k, "the surge must earn extra replicas, got {surge_k}");
+    assert!(
+        surge_k > quiet_k,
+        "the surge must earn extra replicas, got {surge_k}"
+    );
 
     // At least one replica must now sit near the crowd (eastern longitude).
-    let east_replica = mgr.placement().iter().any(|&r| {
-        topo.nodes()[r].location.lon_deg() > 40.0
-    });
+    let east_replica = mgr
+        .placement()
+        .iter()
+        .any(|&r| topo.nodes()[r].location.lon_deg() > 40.0);
     assert!(
         east_replica,
         "a replica should move toward the crowd: {:?}",

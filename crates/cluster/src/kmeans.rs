@@ -4,6 +4,16 @@
 //! coordinates for the paper's *offline k-means clustering* baseline, and —
 //! through [`crate::weighted`] — over micro-cluster pseudo-points for the
 //! paper's own online technique.
+//!
+//! The implementation is the fast half of the streaming layer: the
+//! assignment step keeps Hamerly-style per-point upper/lower bounds so most
+//! points skip the full centroid scan, centroids live in a flat
+//! structure-of-arrays buffer reused across iterations, and the `restarts`
+//! independent runs execute on crossbeam scoped threads. All of it is a
+//! *bit-for-bit* equivalence with the plain full-scan serial implementation
+//! (preserved in [`crate::reference`]): identical assignments, SSE,
+//! iteration counts and winning restart, regardless of thread count. See
+//! DESIGN.md ("The streaming layer") for the exactness argument.
 
 use std::error::Error;
 use std::fmt;
@@ -28,6 +38,10 @@ pub enum ClusterError {
         /// Number of points available.
         points: usize,
     },
+    /// A configuration field was out of its valid range (e.g. a zero
+    /// `max_iters` or `restarts` written directly into the struct, which
+    /// previously made the solver silently loop zero times).
+    InvalidConfig(&'static str),
 }
 
 impl fmt::Display for ClusterError {
@@ -38,6 +52,7 @@ impl fmt::Display for ClusterError {
             ClusterError::KTooLarge { k, points } => {
                 write!(f, "k = {k} exceeds the number of points ({points})")
             }
+            ClusterError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }
@@ -63,15 +78,19 @@ pub struct KMeansConfig {
 }
 
 impl KMeansConfig {
-    /// Default-tuned configuration for `k` clusters.
+    /// Default-tuned configuration for `k` clusters. `max_iters` and
+    /// `restarts` are routed through the clamping builders, so they can
+    /// never start below 1.
     pub fn new(k: usize) -> Self {
         KMeansConfig {
             k,
-            max_iters: 100,
+            max_iters: 1,
             tolerance: 1e-3,
             seed: 0x5EED,
-            restarts: 4,
+            restarts: 1,
         }
+        .with_max_iters(100)
+        .with_restarts(4)
     }
 
     /// Returns a copy with a different seed.
@@ -83,6 +102,12 @@ impl KMeansConfig {
     /// Returns a copy with a different restart count (minimum 1).
     pub fn with_restarts(mut self, restarts: usize) -> Self {
         self.restarts = restarts.max(1);
+        self
+    }
+
+    /// Returns a copy with a different iteration cap (minimum 1).
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters.max(1);
         self
     }
 }
@@ -148,79 +173,417 @@ pub fn kmeans<const D: usize>(
     crate::weighted::weighted_kmeans(&weighted, cfg)
 }
 
+/// Rejects inputs the solvers cannot run on. The first three checks (and
+/// their order) match what every restart performed inline before the
+/// restarts went parallel; the config checks replace the old behaviour of
+/// silently looping zero times when a zero `max_iters` or `restarts` was
+/// written directly into the struct.
+pub(crate) fn validate(points: usize, cfg: &KMeansConfig) -> Result<(), ClusterError> {
+    if points == 0 {
+        return Err(ClusterError::NoPoints);
+    }
+    if cfg.k == 0 {
+        return Err(ClusterError::ZeroK);
+    }
+    if cfg.k > points {
+        return Err(ClusterError::KTooLarge { k: cfg.k, points });
+    }
+    if cfg.max_iters == 0 {
+        return Err(ClusterError::InvalidConfig("max_iters must be at least 1"));
+    }
+    if cfg.restarts == 0 {
+        return Err(ClusterError::InvalidConfig("restarts must be at least 1"));
+    }
+    Ok(())
+}
+
+/// Runs `cfg.restarts` independent solver restarts — in parallel on up to
+/// `threads` crossbeam scoped threads — and picks the winner.
+///
+/// Restart `r` always runs with seed `cfg.seed + r`, and the winner is the
+/// lowest SSE with ties broken by the lowest restart index. Each restart is
+/// a pure function of `(points, cfg, r)`, so the result is identical
+/// whatever `threads` is — including 1, which reproduces the original
+/// serial loop exactly.
+pub(crate) fn run_restarts<const D: usize, F>(
+    points: &[WeightedPoint<D>],
+    cfg: KMeansConfig,
+    threads: usize,
+    once: F,
+) -> Result<Clustering<D>, ClusterError>
+where
+    F: Fn(&[WeightedPoint<D>], KMeansConfig) -> Clustering<D> + Sync,
+{
+    validate(points.len(), &cfg)?;
+    let per_restart = |r: usize| KMeansConfig {
+        seed: cfg.seed.wrapping_add(r as u64),
+        restarts: 1,
+        ..cfg
+    };
+
+    let threads = threads.max(1).min(cfg.restarts);
+    if threads == 1 {
+        let mut best: Option<Clustering<D>> = None;
+        for r in 0..cfg.restarts {
+            let run = once(points, per_restart(r));
+            if best.as_ref().is_none_or(|b| run.sse < b.sse) {
+                best = Some(run);
+            }
+        }
+        return Ok(best.expect("restarts ≥ 1"));
+    }
+
+    let mut slots: Vec<Option<Clustering<D>>> = (0..cfg.restarts).map(|_| None).collect();
+    let chunk = cfg.restarts.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (block_idx, block) in slots.chunks_mut(chunk).enumerate() {
+            let once = &once;
+            let per_restart = &per_restart;
+            scope.spawn(move |_| {
+                for (off, slot) in block.iter_mut().enumerate() {
+                    *slot = Some(once(points, per_restart(block_idx * chunk + off)));
+                }
+            });
+        }
+    })
+    .expect("restart worker panicked");
+
+    // Restart-index-ascending fold with a strict `<`: the first restart
+    // reaching the minimum SSE wins, exactly as in the serial loop.
+    let best = slots
+        .into_iter()
+        .map(|slot| slot.expect("every restart slot is filled"))
+        .reduce(|best, run| if run.sse < best.sse { run } else { best })
+        .expect("restarts ≥ 1");
+    Ok(best)
+}
+
+/// The number of worker threads restarts spread over by default.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
 /// Shared Lloyd implementation over weighted points (used by both entry
 /// points; see [`crate::weighted::weighted_kmeans`] for the public API).
 pub(crate) fn lloyd<const D: usize>(
     points: &[WeightedPoint<D>],
     cfg: KMeansConfig,
 ) -> Result<Clustering<D>, ClusterError> {
-    let mut best: Option<Clustering<D>> = None;
-    for r in 0..cfg.restarts.max(1) {
-        let run = lloyd_once(
-            points,
-            KMeansConfig {
-                seed: cfg.seed.wrapping_add(r as u64),
-                restarts: 1,
-                ..cfg
-            },
-        )?;
-        if best.as_ref().is_none_or(|b| run.sse < b.sse) {
-            best = Some(run);
-        }
-    }
-    Ok(best.expect("restarts ≥ 1"))
+    run_restarts(points, cfg, default_threads(), lloyd_once)
 }
 
-fn lloyd_once<const D: usize>(
+/// [`crate::weighted::weighted_kmeans`] with an explicit restart thread
+/// count. Exposed (hidden) so the equivalence suite can assert the result
+/// does not depend on the degree of parallelism.
+#[doc(hidden)]
+pub fn lloyd_with_threads<const D: usize>(
     points: &[WeightedPoint<D>],
     cfg: KMeansConfig,
+    threads: usize,
 ) -> Result<Clustering<D>, ClusterError> {
-    if points.is_empty() {
-        return Err(ClusterError::NoPoints);
-    }
-    if cfg.k == 0 {
-        return Err(ClusterError::ZeroK);
-    }
-    if cfg.k > points.len() {
-        return Err(ClusterError::KTooLarge {
-            k: cfg.k,
-            points: points.len(),
-        });
+    run_restarts(points, cfg, threads, lloyd_once)
+}
+
+// ---- The bounds-pruned Lloyd core. ----
+//
+// Hamerly's observation: if a point's (conservative) upper bound on the
+// distance to its assigned centroid is strictly below a (conservative)
+// lower bound on the distance to every *other* centroid, the assignment
+// cannot change and the k-way scan can be skipped. The bounds are
+// maintained across iterations from per-centroid movement. Because the
+// reproduction demands *bit-identical* results — not merely the same
+// clustering — the bounds carry explicit floating-point safety margins
+// (`GUARD_OPS × ε`, absolute, see below), and a prune only happens when the
+// full scan provably returns the currently assigned index. Everything the
+// naive code computes (weighted sums, movement, SSE, empty-cluster
+// repairs) is replicated operation-for-operation in the same order.
+
+/// Safety-margin scale: distances cost `O(D)` rounded operations and the
+/// bound recurrences a handful more, each contributing at most one ε of
+/// relative error; `4·D + 32` over-covers the worst chain by a wide factor.
+fn fp_guard(d: usize) -> f64 {
+    (4 * d + 32) as f64 * f64::EPSILON
+}
+
+/// Flat structure-of-arrays centroid store, written in place each update
+/// step instead of reallocating `Vec<Coord>` per iteration.
+struct CentroidStore<const D: usize> {
+    pos: Vec<f64>, // k × D, row-major
+    height: Vec<f64>,
+}
+
+impl<const D: usize> CentroidStore<D> {
+    fn new(centroids: &[Coord<D>]) -> Self {
+        let mut store = CentroidStore {
+            pos: Vec::with_capacity(centroids.len() * D),
+            height: Vec::with_capacity(centroids.len()),
+        };
+        for c in centroids {
+            store.pos.extend_from_slice(c.pos());
+            store.height.push(c.height());
+        }
+        store
     }
 
+    fn k(&self) -> usize {
+        self.height.len()
+    }
+
+    /// `centroids[j].distance(&p)` — the assignment-scan orientation.
+    /// Height addition is not associative, so both orientations exist.
+    fn dist_centroid_point(&self, j: usize, p: &Coord<D>) -> f64 {
+        let row = &self.pos[j * D..(j + 1) * D];
+        let pp = p.pos();
+        let mut s = 0.0;
+        for i in 0..D {
+            let d = row[i] - pp[i];
+            s += d * d;
+        }
+        (s.sqrt() + self.height[j]) + p.height()
+    }
+
+    /// `p.distance(&centroids[j])` — the empty-cluster-repair orientation.
+    fn dist_point_centroid(&self, p: &Coord<D>, j: usize) -> f64 {
+        let row = &self.pos[j * D..(j + 1) * D];
+        let pp = p.pos();
+        let mut s = 0.0;
+        for i in 0..D {
+            let d = pp[i] - row[i];
+            s += d * d;
+        }
+        (s.sqrt() + p.height()) + self.height[j]
+    }
+
+    /// First-wins strict-minimum scan, exactly the naive `nearest`.
+    fn nearest(&self, p: &Coord<D>) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for j in 0..self.k() {
+            let d = self.dist_centroid_point(j, p);
+            if d < best.1 {
+                best = (j, d);
+            }
+        }
+        best
+    }
+
+    /// Nearest centroid plus the distance to the closest *other* centroid
+    /// (the lower bound seed). The `d < d1` branch keeps the first minimal
+    /// index, matching [`CentroidStore::nearest`].
+    fn nearest_two(&self, p: &Coord<D>) -> (usize, f64, f64) {
+        let mut a = 0usize;
+        let mut d1 = f64::INFINITY;
+        let mut d2 = f64::INFINITY;
+        for j in 0..self.k() {
+            let d = self.dist_centroid_point(j, p);
+            if d < d1 {
+                d2 = d1;
+                d1 = d;
+                a = j;
+            } else if d < d2 {
+                d2 = d;
+            }
+        }
+        (a, d1, d2)
+    }
+
+    /// Overwrites centroid `c`, returning the Euclidean move (the exact
+    /// `old.euclidean(&new)` the naive code adds to `movement`) and the
+    /// absolute height change (which the distance bounds also need).
+    fn replace(&mut self, c: usize, new: &Coord<D>) -> (f64, f64) {
+        let row = &mut self.pos[c * D..(c + 1) * D];
+        let np = new.pos();
+        let mut s = 0.0;
+        for i in 0..D {
+            let d = row[i] - np[i];
+            s += d * d;
+            row[i] = np[i];
+        }
+        let euclid = s.sqrt();
+        let dh = (self.height[c] - new.height()).abs();
+        self.height[c] = new.height();
+        (euclid, dh)
+    }
+
+    fn get(&self, j: usize) -> Coord<D> {
+        let mut pos = [0.0; D];
+        pos.copy_from_slice(&self.pos[j * D..(j + 1) * D]);
+        Coord::new(pos).with_height(self.height[j])
+    }
+
+    fn to_coords(&self) -> Vec<Coord<D>> {
+        (0..self.k()).map(|j| self.get(j)).collect()
+    }
+}
+
+/// Largest element (first index on ties) and second-largest element of the
+/// per-centroid movement bounds.
+fn top_two(delta: &[f64]) -> (f64, usize, f64) {
+    let mut am = 0usize;
+    let mut m1 = f64::NEG_INFINITY;
+    let mut m2 = f64::NEG_INFINITY;
+    for (j, &d) in delta.iter().enumerate() {
+        if d > m1 {
+            m2 = m1;
+            m1 = d;
+            am = j;
+        } else if d > m2 {
+            m2 = d;
+        }
+    }
+    (m1, am, m2)
+}
+
+/// One seeded Lloyd run. Input is pre-validated by [`run_restarts`].
+fn lloyd_once<const D: usize>(points: &[WeightedPoint<D>], cfg: KMeansConfig) -> Clustering<D> {
+    let guard = fp_guard(D);
+    let up = 1.0 + guard;
+    let k = cfg.k;
+    let n = points.len();
+
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut centroids = seed_plus_plus(points, cfg.k, &mut rng);
-    let mut assignments = vec![0usize; points.len()];
+    let mut store = CentroidStore::new(&seed_plus_plus(points, k, &mut rng));
+
+    let mut assignments = vec![0usize; n];
+    // upper[i] ≥ distance(point i, its centroid); lower[i] ≤ distance to
+    // every other centroid. Conservative with respect to the *computed*
+    // floating-point distances, not just the real ones.
+    let mut upper = vec![f64::INFINITY; n];
+    let mut lower = vec![f64::INFINITY; n];
+    let mut delta = vec![0.0f64; k];
+
+    // Flat accumulators for the update step, reused across iterations.
+    let mut sum_pos = vec![0.0f64; k * D];
+    let mut sum_h = vec![0.0f64; k];
+    let mut sum_w = vec![0.0f64; k];
+
     let mut iterations = 0;
     let mut converged = false;
+    // Whether the previous update step ran an empty-cluster repair; a
+    // repair rewrites a centroid from the store's mid-update state, so the
+    // change-free shortcut below must not fire after one.
+    let mut repaired = false;
 
     while iterations < cfg.max_iters {
         iterations += 1;
+        let mut changed = false;
 
-        // Assignment step.
-        for (p, slot) in points.iter().zip(assignments.iter_mut()) {
-            *slot = nearest(&centroids, &p.coord).0;
+        if iterations == 1 {
+            changed = true;
+            // No movement information yet: full scan, exact bounds.
+            for (i, p) in points.iter().enumerate() {
+                let (a, d1, d2) = store.nearest_two(&p.coord);
+                assignments[i] = a;
+                upper[i] = d1;
+                lower[i] = d2;
+            }
+        } else {
+            let (m1, am, m2) = top_two(&delta);
+            for (i, p) in points.iter().enumerate() {
+                let a = assignments[i];
+                // Inflate by the assigned centroid's movement; deflate the
+                // other-centroid bound by the largest movement among the
+                // *other* centroids. The deflation margin is absolute —
+                // `(|x| + |y|)·guard` — because when the drift nearly
+                // cancels the bound, a relative margin on the difference
+                // would be smaller than the rounding error of the operands
+                // that produced it.
+                let drift = if a == am { m2 } else { m1 };
+                let l = if lower[i].is_finite() {
+                    let deflated = (lower[i] - drift) - (lower[i] + drift) * guard;
+                    if deflated > 0.0 {
+                        deflated
+                    } else {
+                        f64::NEG_INFINITY
+                    }
+                } else {
+                    // k = 1 (no other centroid, bound stays +∞) or a row
+                    // already marked for rescan (−∞): avoid ∞ − ∞.
+                    lower[i]
+                };
+                if l > f64::NEG_INFINITY {
+                    let u = (upper[i] + delta[a]) * up;
+                    if u < l {
+                        upper[i] = u;
+                        lower[i] = l;
+                        continue;
+                    }
+                    // Tighten the upper bound to the exact distance, retry.
+                    let tight = store.dist_centroid_point(a, &p.coord);
+                    if tight < l {
+                        upper[i] = tight;
+                        lower[i] = l;
+                        continue;
+                    }
+                }
+                // A collapsed (−∞) bound can never beat a distance, so the
+                // checks above are skipped — straight to the full scan.
+                // Bounds can't decide: fresh exact bounds.
+                let (a2, d1, d2) = store.nearest_two(&p.coord);
+                if a2 != a {
+                    changed = true;
+                }
+                assignments[i] = a2;
+                upper[i] = d1;
+                lower[i] = d2;
+            }
         }
 
-        // Update step: weighted mean per cluster.
-        let mut sums = vec![Coord::<D>::origin(); cfg.k];
-        let mut weights = vec![0.0; cfg.k];
+        if !changed && !repaired {
+            // The assignment vector is identical to the previous
+            // iteration's and no repair rewrote a centroid, so recomputing
+            // the sums would re-add the exact same terms in the exact same
+            // order: every centroid lands bit-for-bit where it already is,
+            // the movement the naive code would measure is exactly 0.0 and
+            // every delta exactly (0 + 0)·up = 0.0. Skip the O(n·D) update.
+            delta.fill(0.0);
+            if 0.0 <= cfg.tolerance {
+                converged = true;
+                break;
+            }
+            continue;
+        }
+
+        // Update step: the naive weighted-mean update, operation for
+        // operation (accumulate x·w in point order, multiply by the
+        // reciprocal weight), over the flat buffers.
+        sum_pos.fill(0.0);
+        sum_h.fill(0.0);
+        sum_w.fill(0.0);
         for (p, &a) in points.iter().zip(&assignments) {
-            sums[a] = sums[a].add(&p.coord.scale(p.weight));
-            weights[a] += p.weight;
+            let row = &mut sum_pos[a * D..(a + 1) * D];
+            let pp = p.coord.pos();
+            for i in 0..D {
+                row[i] += pp[i] * p.weight;
+            }
+            sum_h[a] += p.coord.height() * p.weight;
+            sum_w[a] += p.weight;
         }
 
         let mut movement = 0.0;
-        for c in 0..cfg.k {
-            let next = if weights[c] > 0.0 {
-                sums[c].scale(1.0 / weights[c])
+        repaired = false;
+        for c in 0..k {
+            let next = if sum_w[c] > 0.0 {
+                let s = 1.0 / sum_w[c];
+                let mut pos = [0.0; D];
+                for i in 0..D {
+                    pos[i] = sum_pos[c * D + i] * s;
+                }
+                Coord::new(pos).with_height(sum_h[c] * s)
             } else {
                 // Empty cluster: restart it at the point currently farthest
                 // from its centroid (a standard repair that keeps k exact).
-                farthest_point(points, &centroids, &assignments)
+                // The store is mid-update here — clusters below `c` already
+                // replaced, the rest not — exactly the mixed state the
+                // naive in-place loop exposed.
+                repaired = true;
+                farthest_point(points, &store, &assignments)
             };
-            movement += centroids[c].euclidean(&next);
-            centroids[c] = next;
+            let (euclid, dh) = store.replace(c, &next);
+            movement += euclid;
+            // Movement bound for the pruning recurrence: a centroid moving
+            // by (euclid, Δh) changes any point's distance by at most
+            // euclid + |Δh| in exact arithmetic; inflate for rounding.
+            delta[c] = (euclid + dh) * up;
         }
 
         if movement <= cfg.tolerance {
@@ -229,33 +592,22 @@ fn lloyd_once<const D: usize>(
         }
     }
 
-    // Final assignment and SSE against the final centroids.
+    // Final assignment and SSE against the final centroids: always the
+    // verbatim full scan (the bounds never touch the reported result).
     let mut sse = 0.0;
     for (p, slot) in points.iter().zip(assignments.iter_mut()) {
-        let (idx, dist) = nearest(&centroids, &p.coord);
+        let (idx, dist) = store.nearest(&p.coord);
         *slot = idx;
         sse += p.weight * dist * dist;
     }
 
-    Ok(Clustering {
-        centroids,
+    Clustering {
+        centroids: store.to_coords(),
         assignments,
         sse,
         iterations,
         converged,
-    })
-}
-
-/// Index and distance of the centroid nearest to `point`.
-fn nearest<const D: usize>(centroids: &[Coord<D>], point: &Coord<D>) -> (usize, f64) {
-    let mut best = (0usize, f64::INFINITY);
-    for (i, c) in centroids.iter().enumerate() {
-        let d = c.distance(point);
-        if d < best.1 {
-            best = (i, d);
-        }
     }
-    best
 }
 
 /// k-means++ seeding: the first centroid is weight-proportional random, each
@@ -322,12 +674,12 @@ pub(crate) fn seed_plus_plus<const D: usize>(
 /// The point with the largest weighted distance to its assigned centroid.
 fn farthest_point<const D: usize>(
     points: &[WeightedPoint<D>],
-    centroids: &[Coord<D>],
+    store: &CentroidStore<D>,
     assignments: &[usize],
 ) -> Coord<D> {
     let mut best = (points[0].coord, -1.0);
     for (p, &a) in points.iter().zip(assignments) {
-        let d = p.weight * p.coord.distance(&centroids[a]);
+        let d = p.weight * store.dist_point_centroid(&p.coord, a);
         if d > best.1 {
             best = (p.coord, d);
         }
@@ -390,6 +742,37 @@ mod tests {
             Err(ClusterError::KTooLarge { k: 4, points: 3 })
         );
         assert!(ClusterError::NoPoints.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn zero_config_fields_are_rejected_not_ignored() {
+        let pts: Vec<Coord<2>> = vec![Coord::origin(); 3];
+        let zero_iters = KMeansConfig {
+            max_iters: 0,
+            ..KMeansConfig::new(2)
+        };
+        assert_eq!(
+            kmeans(&pts, zero_iters),
+            Err(ClusterError::InvalidConfig("max_iters must be at least 1"))
+        );
+        let zero_restarts = KMeansConfig {
+            restarts: 0,
+            ..KMeansConfig::new(2)
+        };
+        assert_eq!(
+            kmeans(&pts, zero_restarts),
+            Err(ClusterError::InvalidConfig("restarts must be at least 1"))
+        );
+        assert!(ClusterError::InvalidConfig("max_iters must be at least 1")
+            .to_string()
+            .contains("max_iters"));
+    }
+
+    #[test]
+    fn builders_clamp_to_one() {
+        let cfg = KMeansConfig::new(2).with_restarts(0).with_max_iters(0);
+        assert_eq!(cfg.restarts, 1);
+        assert_eq!(cfg.max_iters, 1);
     }
 
     #[test]

@@ -51,40 +51,24 @@ pub fn weighted_kmedians<const D: usize>(
     points: &[WeightedPoint<D>],
     cfg: KMeansConfig,
 ) -> Result<Clustering<D>, ClusterError> {
-    let mut best: Option<Clustering<D>> = None;
-    for r in 0..cfg.restarts.max(1) {
-        let run = kmedians_once(
-            points,
-            KMeansConfig {
-                seed: cfg.seed.wrapping_add(r as u64),
-                restarts: 1,
-                ..cfg
-            },
-        )?;
-        if best.as_ref().is_none_or(|b| run.sse < b.sse) {
-            best = Some(run);
-        }
-    }
-    Ok(best.expect("restarts ≥ 1"))
+    crate::kmeans::run_restarts(points, cfg, crate::kmeans::default_threads(), kmedians_once)
 }
 
-fn kmedians_once<const D: usize>(
+/// [`weighted_kmedians`] with an explicit restart thread count. Exposed
+/// (hidden) so the equivalence suite can assert thread-count independence.
+#[doc(hidden)]
+pub fn kmedians_with_threads<const D: usize>(
     points: &[WeightedPoint<D>],
     cfg: KMeansConfig,
+    threads: usize,
 ) -> Result<Clustering<D>, ClusterError> {
-    if points.is_empty() {
-        return Err(ClusterError::NoPoints);
-    }
-    if cfg.k == 0 {
-        return Err(ClusterError::ZeroK);
-    }
-    if cfg.k > points.len() {
-        return Err(ClusterError::KTooLarge {
-            k: cfg.k,
-            points: points.len(),
-        });
-    }
+    crate::kmeans::run_restarts(points, cfg, threads, kmedians_once)
+}
 
+/// One seeded k-medians run. Input is pre-validated by
+/// [`crate::kmeans::run_restarts`]; the body is untouched by the restart
+/// parallelization (it is a pure function of `(points, cfg)`).
+fn kmedians_once<const D: usize>(points: &[WeightedPoint<D>], cfg: KMeansConfig) -> Clustering<D> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut centers = seed_plus_plus(points, cfg.k, &mut rng);
     let mut assignments = vec![0usize; points.len()];
@@ -125,13 +109,13 @@ fn kmedians_once<const D: usize>(
         *slot = nearest(&centers, &p.coord);
         cost += p.weight * centers[*slot].distance(&p.coord);
     }
-    Ok(Clustering {
+    Clustering {
         centroids: centers,
         assignments,
         sse: cost,
         iterations,
         converged,
-    })
+    }
 }
 
 fn nearest<const D: usize>(centers: &[Coord<D>], p: &Coord<D>) -> usize {

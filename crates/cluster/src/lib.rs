@@ -47,6 +47,8 @@ pub mod kmedians;
 pub mod micro;
 pub mod online;
 pub mod point;
+#[doc(hidden)]
+pub mod reference;
 pub mod summary;
 pub mod weighted;
 

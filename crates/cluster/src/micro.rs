@@ -30,12 +30,31 @@ use georep_coord::Coord;
 /// assert_eq!(mc.centroid().component(0), 12.0);
 /// assert_eq!(mc.radius(), 2.0); // std dev of {10, 14}
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct MicroCluster<const D: usize> {
     count: u64,
     weight: f64,
     sum: Coord<D>,
     sum2: [f64; D],
+    // Cached views of the accumulators above, refreshed eagerly on every
+    // mutation. The online clusterer reads the centroid and radius of every
+    // candidate cluster per observed access but mutates at most one cluster,
+    // so recomputing `sum / count` at read time (as `centroid()` originally
+    // did) puts a division and a scale on the hottest path in the system.
+    centroid: Coord<D>,
+    radius: f64,
+}
+
+// The caches are pure functions of the accumulators, so equality is defined
+// on the accumulators alone — exactly the derived equality the struct had
+// before the caches existed.
+impl<const D: usize> PartialEq for MicroCluster<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.weight == other.weight
+            && self.sum == other.sum
+            && self.sum2 == other.sum2
+    }
 }
 
 impl<const D: usize> MicroCluster<D> {
@@ -55,12 +74,16 @@ impl<const D: usize> MicroCluster<D> {
         for (s, &x) in sum2.iter_mut().zip(coord.pos()) {
             *s = x * x;
         }
-        MicroCluster {
+        let mut mc = MicroCluster {
             count: 1,
             weight,
             sum: coord,
             sum2,
-        }
+            centroid: coord,
+            radius: 0.0,
+        };
+        mc.refresh_cache();
+        mc
     }
 
     /// Reconstructs a cluster from raw accumulators (used when decoding a
@@ -77,12 +100,16 @@ impl<const D: usize> MicroCluster<D> {
         );
         assert!(sum.is_finite(), "sum must be finite");
         assert!(sum2.iter().all(|x| x.is_finite()), "sum2 must be finite");
-        MicroCluster {
+        let mut mc = MicroCluster {
             count,
             weight,
             sum,
             sum2,
-        }
+            centroid: sum,
+            radius: 0.0,
+        };
+        mc.refresh_cache();
+        mc
     }
 
     /// Number of accesses summarized.
@@ -105,31 +132,41 @@ impl<const D: usize> MicroCluster<D> {
         &self.sum2
     }
 
-    /// The cluster centroid, `sum / count`.
+    /// The cluster centroid, `sum / count` (cached; O(1)).
     pub fn centroid(&self) -> Coord<D> {
-        self.sum.scale(1.0 / self.count as f64)
+        self.centroid
     }
 
     /// RMS deviation of the summarized coordinates around the centroid:
-    /// `√(Σ_d (E[x_d²] − E[x_d]²))`.
+    /// `√(Σ_d (E[x_d²] − E[x_d]²))` (cached; O(1)).
     ///
     /// This is the "standard deviation" the paper's absorb test uses. A
     /// fresh single-access cluster has radius zero. Floating-point
     /// cancellation can drive individual per-dimension variances slightly
     /// negative; they are clamped at zero.
     pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Distance from the centroid to a coordinate.
+    pub fn distance_to(&self, coord: &Coord<D>) -> f64 {
+        self.centroid.distance(coord)
+    }
+
+    /// Recomputes the cached centroid and radius from the accumulators,
+    /// using the exact arithmetic the read-time computations used before
+    /// the caches existed (`scale` by the reciprocal count for the
+    /// centroid; per-dimension division for the radius), so cached values
+    /// are bit-identical to recomputed ones.
+    fn refresh_cache(&mut self) {
+        self.centroid = self.sum.scale(1.0 / self.count as f64);
         let n = self.count as f64;
         let mut var = 0.0;
         for d in 0..D {
             let mean = self.sum.component(d) / n;
             var += (self.sum2[d] / n - mean * mean).max(0.0);
         }
-        var.sqrt()
-    }
-
-    /// Distance from the centroid to a coordinate.
-    pub fn distance_to(&self, coord: &Coord<D>) -> f64 {
-        self.centroid().distance(coord)
+        self.radius = var.sqrt();
     }
 
     /// Adds one access to the cluster.
@@ -149,6 +186,7 @@ impl<const D: usize> MicroCluster<D> {
         for (s, &x) in self.sum2.iter_mut().zip(coord.pos()) {
             *s += x * x;
         }
+        self.refresh_cache();
     }
 
     /// Merges another cluster into this one. All four accumulators are
@@ -161,6 +199,7 @@ impl<const D: usize> MicroCluster<D> {
         for (s, o) in self.sum2.iter_mut().zip(&other.sum2) {
             *s += o;
         }
+        self.refresh_cache();
     }
 
     /// Ages the cluster by scaling all four accumulators by `factor`, so
@@ -195,6 +234,7 @@ impl<const D: usize> MicroCluster<D> {
         for s in &mut self.sum2 {
             *s *= applied;
         }
+        self.refresh_cache();
         true
     }
 }

@@ -14,6 +14,13 @@
 //! `max(radius_factor × σ, min_radius)`, with a small `min_radius` floor
 //! (5 ms by default — populations closer than that are indistinguishable
 //! for placement purposes anyway).
+//!
+//! This is the hottest path in the system (one call per client access), so
+//! the implementation leans on two caches with *bit-identical* behaviour to
+//! the plain version preserved in [`crate::reference`]: micro-clusters keep
+//! their centroid and radius precomputed (see [`MicroCluster`]), and a
+//! [`PairCache`] keeps per-cluster nearest-forward-neighbor records so the
+//! overflow merge is an amortized update instead of a fresh O(m²) sweep.
 
 use georep_coord::Coord;
 
@@ -47,6 +54,208 @@ impl OnlineConfig {
     }
 }
 
+/// Witness index meaning "no forward neighbor" (only the last row).
+const NO_FORWARD: usize = usize::MAX;
+
+/// Incremental closest-pair bookkeeping over the micro-cluster list.
+///
+/// `rows[i]`, when `Some((j, d))`, records cluster `i`'s nearest *forward*
+/// neighbor: `j > i` minimizing `centroid(i).distance(centroid(j))`, with
+/// ties broken toward the smallest `j` — so folding the rows in ascending
+/// `i` with a strict `<` reproduces exactly the lexicographically-first
+/// minimal pair the original O(m²) double loop selected. Rows are `None`
+/// while stale; `moved[i]` flags clusters whose centroid changed since the
+/// last [`PairCache::refresh`].
+///
+/// Invariant between refreshes: a `Some` row's witness is an unmoved
+/// cluster at its current distance, and `d` is ≤ the current distance from
+/// `i` to every *unmoved* forward cluster (moved ones are reconciled during
+/// refresh).
+#[derive(Debug, Clone)]
+struct PairCache {
+    rows: Vec<Option<(usize, f64)>>,
+    moved: Vec<bool>,
+}
+
+impl PairCache {
+    fn new(capacity: usize) -> Self {
+        PairCache {
+            rows: Vec::with_capacity(capacity.saturating_add(1)),
+            moved: Vec::with_capacity(capacity.saturating_add(1)),
+        }
+    }
+
+    /// Forgets everything; the next refresh rebuilds all `len` rows.
+    fn reset(&mut self, len: usize) {
+        self.rows.clear();
+        self.rows.resize(len, None);
+        self.moved.clear();
+        self.moved.resize(len, false);
+    }
+
+    /// Appends the row for a brand-new last cluster (no forward neighbors).
+    fn push_fresh(&mut self) {
+        self.rows.push(Some((NO_FORWARD, f64::INFINITY)));
+        self.moved.push(false);
+    }
+
+    /// Appends the row for a new last cluster given the distances from
+    /// every existing cluster to it (the `observe` scan buffer, reused: the
+    /// scan distance `centroid(i).distance(coord)` *is* the pair distance,
+    /// because a fresh cluster's centroid is bitwise its founding
+    /// coordinate). Valid rows move to the newcomer only on a strict
+    /// improvement — on a tie the stored smaller-index witness keeps
+    /// winning, as in the full scan.
+    fn push_with_distances(&mut self, dists: &[f64]) {
+        let newcomer = self.rows.len();
+        debug_assert_eq!(dists.len(), newcomer);
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            if self.moved[i] {
+                continue; // stale row, rebuilt wholesale at next refresh
+            }
+            if let Some((_, d)) = row {
+                if dists[i] < *d {
+                    *row = Some((newcomer, dists[i]));
+                }
+            }
+        }
+        self.push_fresh();
+    }
+
+    /// Flags cluster `i`'s centroid as changed.
+    fn mark_moved(&mut self, i: usize) {
+        self.moved[i] = true;
+    }
+
+    /// Brings every row back to exactness. Cost is proportional to the
+    /// number of rows invalidated since the last refresh, not m².
+    fn refresh<const D: usize>(&mut self, clusters: &[MicroCluster<D>]) {
+        let n = clusters.len();
+        debug_assert_eq!(self.rows.len(), n);
+
+        // 1. Rows whose own cluster or witness moved no longer describe a
+        //    current distance: drop them.
+        for r in 0..n {
+            if self.moved[r] {
+                self.rows[r] = None;
+            } else if let Some((j, _)) = self.rows[r] {
+                if j != NO_FORWARD && self.moved[j] {
+                    self.rows[r] = None;
+                }
+            }
+        }
+
+        // 2. A moved cluster may have become the nearest forward neighbor
+        //    of a row that is otherwise still exact. Processing moved
+        //    clusters in ascending index keeps the smallest-index winner on
+        //    exact ties, matching the full scan.
+        for c in 0..n {
+            if !self.moved[c] {
+                continue;
+            }
+            let cc = clusters[c].centroid();
+            for (r, cluster) in clusters.iter().enumerate().take(c) {
+                if let Some((j, d)) = self.rows[r] {
+                    let dm = cluster.centroid().distance(&cc);
+                    if dm < d || (dm == d && c < j) {
+                        self.rows[r] = Some((c, dm));
+                    }
+                }
+            }
+        }
+
+        // 3. Full forward scans only for the dropped rows.
+        for r in 0..n {
+            if self.rows[r].is_none() {
+                self.rows[r] = Some(forward_scan(clusters, r));
+            }
+        }
+        self.moved.fill(false);
+    }
+
+    /// The closest pair `(i, j)`, `i < j`. Requires a preceding
+    /// [`PairCache::refresh`]. The ascending fold with a strict `<` over
+    /// per-row minima returns the lexicographically-first minimal pair,
+    /// exactly like the original double loop (including its `(0, 1)`
+    /// fallback when every distance is infinite).
+    fn closest(&self) -> (usize, usize) {
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some((j, d)) = *row {
+                if j != NO_FORWARD && d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        (best.0, best.1)
+    }
+
+    /// Records that cluster `removed` was swap-removed after merging into
+    /// `target` (which is flagged moved). `clusters` is the list *after*
+    /// the removal. Must be called with the cache exact (right after
+    /// [`PairCache::refresh`]), which is what lets the tie fix below assume
+    /// stored distances are current minima.
+    fn merged<const D: usize>(
+        &mut self,
+        target: usize,
+        removed: usize,
+        clusters: &[MicroCluster<D>],
+    ) {
+        let old_last = self.rows.len() - 1;
+        self.rows.swap_remove(removed);
+        self.moved.swap_remove(removed);
+        // swap_remove relocated the former last cluster to index `removed`
+        // (unless `removed` itself was last).
+        let relocated = removed < old_last;
+
+        for r in 0..self.rows.len() {
+            let Some((j, d)) = self.rows[r] else { continue };
+            if j == removed || j == old_last {
+                // Witness vanished, or changed index; rescan at refresh.
+                self.rows[r] = None;
+            } else if relocated && removed > r && j != NO_FORWARD {
+                // The relocated cluster kept its centroid but now carries a
+                // *smaller* index than before. A row whose stored distance
+                // it exactly ties must switch to it when the new index wins
+                // the tie-break. (It cannot be strictly closer: the cache
+                // was exact, and the relocated cluster was already a
+                // forward neighbor of every row before it.)
+                let dm = clusters[r]
+                    .centroid()
+                    .distance(&clusters[removed].centroid());
+                debug_assert!(dm >= d);
+                if dm == d && removed < j {
+                    self.rows[r] = Some((removed, dm));
+                }
+            }
+        }
+        if relocated {
+            // The relocated cluster inherited the old last row (a
+            // sentinel); it now has forward neighbors, so rescan.
+            self.rows[removed] = None;
+        }
+        if let Some(last) = self.rows.last_mut() {
+            // The new last cluster has no forward neighbors left.
+            *last = Some((NO_FORWARD, f64::INFINITY));
+        }
+        self.mark_moved(target);
+    }
+}
+
+/// Cluster `r`'s nearest forward neighbor by full scan (first-minimal-wins,
+/// i.e. smallest index on ties — the double-loop order).
+fn forward_scan<const D: usize>(clusters: &[MicroCluster<D>], r: usize) -> (usize, f64) {
+    let cr = clusters[r].centroid();
+    let mut best = (NO_FORWARD, f64::INFINITY);
+    for (j, c) in clusters.iter().enumerate().skip(r + 1) {
+        let d = cr.distance(&c.centroid());
+        if d < best.1 {
+            best = (j, d);
+        }
+    }
+    best
+}
+
 /// Streaming summarizer keeping at most `m` micro-clusters.
 ///
 /// # Example
@@ -63,11 +272,26 @@ impl OnlineConfig {
 /// assert!(oc.len() <= 3);
 /// assert_eq!(oc.total_count(), 100);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct OnlineClusterer<const D: usize> {
     config: OnlineConfig,
     clusters: Vec<MicroCluster<D>>,
     observed: u64,
+    pairs: PairCache,
+    /// Scratch buffer for the per-access distance scan, reused so `observe`
+    /// allocates nothing in steady state.
+    scan: Vec<f64>,
+}
+
+// The pair cache and scan buffer are derived state; two summarizers are
+// equal when their summaries are — the equality the struct derived before
+// the caches existed.
+impl<const D: usize> PartialEq for OnlineClusterer<D> {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.clusters == other.clusters
+            && self.observed == other.observed
+    }
 }
 
 impl<const D: usize> OnlineClusterer<D> {
@@ -101,6 +325,8 @@ impl<const D: usize> OnlineClusterer<D> {
         );
         OnlineClusterer {
             clusters: Vec::with_capacity(config.max_clusters),
+            pairs: PairCache::new(config.max_clusters),
+            scan: Vec::with_capacity(config.max_clusters.saturating_add(1)),
             config,
             observed: 0,
         }
@@ -123,6 +349,8 @@ impl<const D: usize> OnlineClusterer<D> {
     }
 
     /// Accesses observed since creation (monotonic; not reset by `clear`).
+    /// [`OnlineClusterer::absorb_cluster`] adds the accepted cluster's
+    /// whole count.
     pub fn observed(&self) -> u64 {
         self.observed
     }
@@ -154,6 +382,7 @@ impl<const D: usize> OnlineClusterer<D> {
     /// Drops all micro-clusters, starting a fresh summarization period.
     pub fn clear(&mut self) {
         self.clusters.clear();
+        self.pairs.reset(0);
     }
 
     /// Ages every micro-cluster by `factor` (see
@@ -167,13 +396,40 @@ impl<const D: usize> OnlineClusterer<D> {
     /// Panics unless `0 < factor ≤ 1`.
     pub fn decay(&mut self, factor: f64) {
         self.clusters.retain_mut(|c| c.decay(factor));
+        // Survivors kept their centroids (decay scales numerator and
+        // denominator together) but indices may have shifted; decay is a
+        // rare period-boundary event, so a lazy full rebuild is fine.
+        self.pairs.reset(self.clusters.len());
     }
 
     /// Inserts a whole micro-cluster (e.g. history handed over from another
     /// replica after a migration), merging the two closest clusters if the
     /// bound would be exceeded.
+    ///
+    /// Clusters whose accumulators have gone non-finite (or non-positive in
+    /// count or weight) are ignored, mirroring the per-sample validation in
+    /// [`OnlineClusterer::observe`]; an accepted cluster's count is folded
+    /// into [`OnlineClusterer::observed`], again mirroring `observe`.
     pub fn absorb_cluster(&mut self, cluster: MicroCluster<D>) {
+        if !(cluster.count() > 0
+            && cluster.weight().is_finite()
+            && cluster.weight() > 0.0
+            && cluster.centroid().is_finite()
+            && cluster.radius().is_finite())
+        {
+            return;
+        }
+        self.observed += cluster.count();
+
+        // Same cache maintenance as the scatter path of `observe`, with the
+        // scan distances computed against the incoming cluster's centroid.
+        let centroid = cluster.centroid();
+        self.scan.clear();
+        for c in &self.clusters {
+            self.scan.push(c.distance_to(&centroid));
+        }
         self.clusters.push(cluster);
+        self.pairs.push_with_distances(&self.scan);
         if self.clusters.len() > self.config.max_clusters {
             self.merge_closest_pair();
         }
@@ -192,25 +448,35 @@ impl<const D: usize> OnlineClusterer<D> {
 
         if self.clusters.is_empty() {
             self.clusters.push(MicroCluster::from_access(coord, weight));
+            self.pairs.push_fresh();
             return;
         }
 
-        // i* = argmin_i ‖sum_i/count_i − u‖.
-        let (nearest_idx, nearest_dist) = self
-            .clusters
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (i, c.distance_to(&coord)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("clusters is non-empty");
+        // i* = argmin_i ‖sum_i/count_i − u‖. First-minimal-wins strict `<`
+        // is exactly `min_by(total_cmp)` over these distances (never NaN
+        // for finite inputs). The distances are kept: if the access opens a
+        // new cluster they double as its pair-cache distances.
+        self.scan.clear();
+        let mut nearest_idx = 0usize;
+        let mut nearest_dist = f64::INFINITY;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let d = c.distance_to(&coord);
+            self.scan.push(d);
+            if d < nearest_dist {
+                nearest_idx = i;
+                nearest_dist = d;
+            }
+        }
 
         let threshold = (self.config.radius_factor * self.clusters[nearest_idx].radius())
             .max(self.config.min_radius);
 
         if nearest_dist <= threshold {
             self.clusters[nearest_idx].absorb(coord, weight);
+            self.pairs.mark_moved(nearest_idx);
         } else {
             self.clusters.push(MicroCluster::from_access(coord, weight));
+            self.pairs.push_with_distances(&self.scan);
             if self.clusters.len() > self.config.max_clusters {
                 self.merge_closest_pair();
             }
@@ -218,22 +484,16 @@ impl<const D: usize> OnlineClusterer<D> {
     }
 
     /// Merges the two clusters whose centroids are closest, reducing the
-    /// cluster count by one.
+    /// cluster count by one. Pair selection comes from the incremental
+    /// cache; the merge itself (swap-remove `j`, fold into `i`) is the
+    /// original arithmetic.
     fn merge_closest_pair(&mut self) {
         debug_assert!(self.clusters.len() >= 2);
-        let mut best = (0usize, 1usize, f64::INFINITY);
-        for i in 0..self.clusters.len() {
-            let ci = self.clusters[i].centroid();
-            for j in (i + 1)..self.clusters.len() {
-                let d = ci.distance(&self.clusters[j].centroid());
-                if d < best.2 {
-                    best = (i, j, d);
-                }
-            }
-        }
-        let (i, j, _) = best;
+        self.pairs.refresh(&self.clusters);
+        let (i, j) = self.pairs.closest();
         let absorbed = self.clusters.swap_remove(j);
         self.clusters[i].merge(&absorbed);
+        self.pairs.merged(i, j, &self.clusters);
     }
 }
 
@@ -359,6 +619,34 @@ mod tests {
     #[should_panic(expected = "at least one micro-cluster")]
     fn zero_m_rejected() {
         let _ = OnlineClusterer::<2>::new(0);
+    }
+
+    #[test]
+    fn absorb_cluster_counts_and_merges() {
+        let mut oc: OnlineClusterer<1> = OnlineClusterer::new(2);
+        oc.observe(Coord::new([0.0]), 1.0);
+        oc.observe(Coord::new([100.0]), 1.0);
+        assert_eq!(oc.observed(), 2);
+        let mut incoming = MicroCluster::from_access(Coord::new([500.0]), 2.0);
+        incoming.absorb(Coord::new([502.0]), 1.0);
+        oc.absorb_cluster(incoming);
+        assert_eq!(oc.len(), 2, "overflow merged down to the bound");
+        assert_eq!(oc.observed(), 4, "the cluster's two accesses count");
+        assert_eq!(oc.total_count(), 4);
+    }
+
+    #[test]
+    fn absorb_cluster_rejects_nonfinite() {
+        let mut oc: OnlineClusterer<1> = OnlineClusterer::new(2);
+        // Drive the accumulators to infinity legitimately: from_raw asserts
+        // finiteness, but repeated absorbs can overflow the coordinate sum.
+        let mut bad = MicroCluster::from_access(Coord::new([f64::MAX / 2.0]), 1.0);
+        bad.absorb(Coord::new([f64::MAX / 2.0]), 1.0);
+        bad.absorb(Coord::new([f64::MAX / 2.0]), 1.0);
+        assert!(!bad.centroid().is_finite());
+        oc.absorb_cluster(bad);
+        assert!(oc.is_empty(), "non-finite cluster ignored");
+        assert_eq!(oc.observed(), 0, "rejected clusters do not count");
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! Each micro-cluster participates as a single point at its centroid,
 //! weighted by the traffic it summarizes, so the macro-centroids land where
 //! the *clients* are — not where the micro-clusters happen to be.
+//!
+//! The solve itself is delegated to the bounds-pruned, parallel-restart
+//! Lloyd core in [`crate::kmeans`]; results are bit-for-bit identical to
+//! the plain full-scan solver preserved in [`crate::reference`], so callers
+//! can treat this as the same algorithm, merely faster. The exactness
+//! argument lives in DESIGN.md ("The streaming layer").
 
 use crate::kmeans::{lloyd, ClusterError, Clustering, KMeansConfig};
 use crate::point::WeightedPoint;

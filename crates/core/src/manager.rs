@@ -257,12 +257,20 @@ impl<const D: usize> ReplicaManager<D> {
     /// Returns the serving replica. Bad samples are ignored by the
     /// underlying clusterer but still routed.
     pub fn record_access(&mut self, coord: Coord<D>, weight: f64) -> usize {
-        let replica = self.route(&coord);
-        let idx = self
-            .placement
-            .iter()
-            .position(|&r| r == replica)
-            .expect("route returns a placement member");
+        // One pass finds both the serving replica and its clusterer slot —
+        // [`ReplicaManager::route`] plus its `position` rescan, folded
+        // together. `total_cmp` with a strict `Less` keeps the first of
+        // ties, exactly like `min_by`.
+        let mut idx = 0usize;
+        let mut best = f64::INFINITY;
+        for (i, &r) in self.placement.iter().enumerate() {
+            let d = self.coords[r].distance(&coord);
+            if d.total_cmp(&best) == std::cmp::Ordering::Less {
+                idx = i;
+                best = d;
+            }
+        }
+        let replica = self.placement[idx];
         self.clusterers[idx].observe(coord, weight);
         self.stats.accesses += 1;
         replica
@@ -357,6 +365,16 @@ impl<const D: usize> ReplicaManager<D> {
         self.config.k
     }
 
+    /// Replaces every per-replica summarizer with a fresh, empty one —
+    /// the start-of-period reset, sized to the current placement.
+    fn reset_clusterers(&mut self) {
+        self.clusterers = self
+            .placement
+            .iter()
+            .map(|_| OnlineClusterer::new(self.config.micro_clusters))
+            .collect();
+    }
+
     /// One periodic round: collect summaries, macro-cluster (Algorithm 1),
     /// decide on migration, and start a fresh summarization period.
     ///
@@ -445,11 +463,7 @@ impl<const D: usize> ReplicaManager<D> {
         // are nearest its centroid), because the pooled demand evidence
         // stays valid even though the serving partition changed.
         if self.config.period_decay <= 0.0 {
-            self.clusterers = self
-                .placement
-                .iter()
-                .map(|_| OnlineClusterer::new(self.config.micro_clusters))
-                .collect();
+            self.reset_clusterers();
         } else {
             let factor = self.config.period_decay.min(1.0);
             for c in &mut self.clusterers {
@@ -461,11 +475,7 @@ impl<const D: usize> ReplicaManager<D> {
                     .iter()
                     .flat_map(|c| c.clusters().iter().copied())
                     .collect();
-                self.clusterers = self
-                    .placement
-                    .iter()
-                    .map(|_| OnlineClusterer::new(self.config.micro_clusters))
-                    .collect();
+                self.reset_clusterers();
                 for mc in retained {
                     let centroid = mc.centroid();
                     let idx = self

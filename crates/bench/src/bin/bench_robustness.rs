@@ -1,0 +1,165 @@
+//! Robustness harness: the five named fault scenarios, with a JSON record.
+//!
+//! Runs every scenario in [`georep_core::scenario::ALL_SCENARIOS`] through
+//! the full stack (gossip coordinates → replica manager → fault-aware
+//! scoring → quorum failure detection → cost-gated re-placement), each at
+//! clustering thread counts 1, 2 and 8, and:
+//!
+//! * asserts the three reports are **bit-identical** (the determinism
+//!   contract of `georep_core::scenario`);
+//! * prints the degraded-delay story per scenario (pre-fault, peak,
+//!   post-recovery mean client delay, re-placements, drops, retries);
+//! * writes `BENCH_robustness.json` with the per-tick timelines, which the
+//!   `bench-sanity` CI job validates for required keys and
+//!   `identical_result: true`.
+//!
+//! Run with `cargo run -p georep-bench --release --bin bench_robustness`
+//! (`--quick` shortens the phases, `--nodes N` and `--out DIR` as usual).
+
+use std::fmt::Write as _;
+
+use georep_bench::{HarnessOptions, ResultTable};
+use georep_core::scenario::{run_scenario, ScenarioConfig, ScenarioReport, ALL_SCENARIOS};
+use georep_net::sim::SimDuration;
+use georep_net::topology::{Topology, TopologyConfig};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+/// Post-recovery delay must return within this fraction of the pre-fault
+/// optimum (same ε as `tests/robustness_scenarios.rs`).
+const EPSILON: f64 = 0.15;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    // The scenario clock dominates wall time, not the seed count; `--quick`
+    // (which lowers `seeds`) selects the short clock used by CI.
+    let quick = opts.seeds <= 5;
+    let nodes = opts.nodes.clamp(12, 32);
+    let cfg = |threads: usize| ScenarioConfig {
+        threads,
+        phase_ticks: if quick { 4 } else { 8 },
+        rebalance_every: 2,
+        embed_duration: SimDuration::from_secs(if quick { 20.0 } else { 30.0 }),
+        detect_duration: SimDuration::from_secs(if quick { 25.0 } else { 30.0 }),
+        ..ScenarioConfig::default()
+    };
+    let matrix = Topology::generate(TopologyConfig {
+        nodes,
+        seed: 11,
+        ..Default::default()
+    })
+    .expect("topology generates for n ≥ 2")
+    .into_matrix();
+
+    println!(
+        "robustness harness: {} scenarios × threads {THREADS:?}, {nodes} nodes, \
+         {} ticks/phase\n",
+        ALL_SCENARIOS.len(),
+        cfg(0).phase_ticks,
+    );
+
+    let mut table = ResultTable::new([
+        "scenario",
+        "pre ms",
+        "peak ms",
+        "final ms",
+        "re-place",
+        "dropped",
+        "retries",
+        "identical",
+        "recovered",
+    ]);
+    let mut reports: Vec<(ScenarioReport, bool)> = Vec::new();
+    let mut all_identical = true;
+    for kind in ALL_SCENARIOS {
+        let base = run_scenario(&matrix, kind, cfg(THREADS[0]))
+            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+        let identical = THREADS[1..].iter().all(|&threads| {
+            run_scenario(&matrix, kind, cfg(threads))
+                .map(|r| r == base)
+                .unwrap_or(false)
+        });
+        all_identical &= identical;
+        let recovered = base.final_delay_ms <= base.pre_fault_delay_ms * (1.0 + EPSILON);
+        table.push_row([
+            base.name.to_string(),
+            format!("{:.2}", base.pre_fault_delay_ms),
+            format!("{:.2}", base.peak_delay_ms),
+            format!("{:.2}", base.final_delay_ms),
+            base.replacements.to_string(),
+            base.messages_dropped.to_string(),
+            base.retries.to_string(),
+            identical.to_string(),
+            recovered.to_string(),
+        ]);
+        reports.push((base, recovered));
+    }
+    println!("{}", table.render());
+    assert!(
+        all_identical,
+        "a scenario report diverged across thread counts {THREADS:?}"
+    );
+    assert!(
+        reports.iter().all(|(_, recovered)| *recovered),
+        "a scenario did not recover within ε = {EPSILON}"
+    );
+
+    // ---- JSON record. ----
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"nodes\": {nodes},");
+    let _ = writeln!(json, "  \"phase_ticks\": {},", cfg(0).phase_ticks);
+    let _ = writeln!(json, "  \"threads_checked\": [1, 2, 8],");
+    let _ = writeln!(json, "  \"epsilon\": {EPSILON},");
+    let _ = writeln!(json, "  \"identical_result\": {all_identical},");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"five named fault scenarios through the full stack; timeline_ms is the \
+         per-tick fault-aware mean client delay (null = no client can reach a replica), \
+         unreachable the clients cut off that tick; identical_result asserts bit-identical \
+         reports across clustering thread counts 1/2/8\","
+    );
+    json.push_str("  \"scenarios\": [\n");
+    for (i, (r, recovered)) in reports.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"pre_fault_delay_ms\": {:.3}, \"peak_delay_ms\": {:.3}, \
+             \"final_delay_ms\": {:.3}, \"replacements\": {}, \"messages_dropped\": {}, \
+             \"retries\": {}, \"trace_hash\": \"{:#018x}\", \"recovered_within_epsilon\": \
+             {recovered}, \"identical_result\": true, \"timeline_ms\": [",
+            r.name,
+            r.pre_fault_delay_ms,
+            r.peak_delay_ms,
+            r.final_delay_ms,
+            r.replacements,
+            r.messages_dropped,
+            r.retries,
+            r.trace_hash,
+        );
+        for (j, point) in r.timeline.iter().enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            match point.mean_delay_ms {
+                Some(ms) => {
+                    let _ = write!(json, "{ms:.3}");
+                }
+                None => json.push_str("null"),
+            }
+        }
+        json.push_str("], \"unreachable\": [");
+        for (j, point) in r.timeline.iter().enumerate() {
+            if j > 0 {
+                json.push_str(", ");
+            }
+            let _ = write!(json, "{}", point.unreachable);
+        }
+        json.push_str("]}");
+        json.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = opts.out_dir.join("BENCH_robustness.json");
+    match std::fs::create_dir_all(&opts.out_dir).and_then(|()| std::fs::write(&path, &json)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

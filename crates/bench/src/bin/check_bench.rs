@@ -1,0 +1,75 @@
+//! Sanity gate for the wall-time emitters' JSON records.
+//!
+//! `check_bench DIR FILE...` verifies that each named `BENCH_*.json` exists
+//! under `DIR`, contains the keys that file is known to need, and nowhere
+//! reports `"identical_result": false` — the bit-identity assertions inside
+//! the emitters must not have been weakened into a warning. Exits non-zero
+//! with a per-file report otherwise.
+//!
+//! Deliberately dependency-free (substring checks, no JSON parser): the
+//! workspace ships no serde_json, and key presence plus the `false` scan is
+//! exactly the contract the `bench-sanity` CI job needs.
+
+use std::path::Path;
+use std::process::exit;
+
+/// Keys each known record must contain. Files not listed here are only
+/// checked for the `identical_result: false` rule.
+fn required_keys(file: &str) -> &'static [&'static str] {
+    match file {
+        "BENCH_streaming.json" => &["\"results\"", "\"identical_result\"", "\"speedup\""],
+        "BENCH_placement.json" => &["\"results\"", "\"identical_result\"", "\"speedup\""],
+        "BENCH_robustness.json" => &[
+            "\"scenarios\"",
+            "\"identical_result\"",
+            "\"timeline_ms\"",
+            "\"unreachable\"",
+            "\"replacements\"",
+            "\"messages_dropped\"",
+            "\"retries\"",
+            "\"recovered_within_epsilon\"",
+        ],
+        _ => &[],
+    }
+}
+
+fn check(dir: &Path, file: &str) -> Result<(), String> {
+    let path = dir.join(file);
+    let content = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    for key in required_keys(file) {
+        if !content.contains(key) {
+            return Err(format!("{file}: required key {key} missing"));
+        }
+    }
+    // Whitespace-tolerant scan for a `false` verdict.
+    let squashed: String = content.chars().filter(|c| !c.is_whitespace()).collect();
+    if squashed.contains("\"identical_result\":false") {
+        return Err(format!("{file}: reports identical_result: false"));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dir, files) = match args.split_first() {
+        Some((dir, files)) if !files.is_empty() => (Path::new(dir), files),
+        _ => {
+            eprintln!("usage: check_bench DIR BENCH_foo.json [BENCH_bar.json ...]");
+            exit(2);
+        }
+    };
+    let mut failed = false;
+    for file in files {
+        match check(dir, file) {
+            Ok(()) => println!("ok      {file}"),
+            Err(why) => {
+                eprintln!("FAILED  {why}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        exit(1);
+    }
+}

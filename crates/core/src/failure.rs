@@ -124,4 +124,124 @@ mod tests {
         let p = PlacementProblem::new(&m, vec![0], vec![1]).unwrap();
         assert!(single_failure_impact(&p, &[0]).unwrap().is_empty());
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A symmetric pseudo-random RTT matrix, entries in [10, 510) ms.
+        fn random_matrix(n: usize, seed: u64) -> RttMatrix {
+            RttMatrix::from_fn(n, |i, j| {
+                if i == j {
+                    0.0
+                } else {
+                    let (lo, hi) = (i.min(j) as u64, i.max(j) as u64);
+                    let mut s = seed ^ (lo * 1001 + hi);
+                    10.0 + (splitmix(&mut s) % 500) as f64
+                }
+            })
+            .expect("symmetric non-negative matrix is valid")
+        }
+
+        /// The mean delay recomputed from scratch: every client walks to
+        /// its nearest *surviving* replica, no cost tables involved.
+        fn brute_force_mean(
+            matrix: &RttMatrix,
+            clients: &[usize],
+            placement: &[usize],
+            failed: &HashSet<usize>,
+        ) -> Option<f64> {
+            let alive: Vec<usize> = placement
+                .iter()
+                .copied()
+                .filter(|r| !failed.contains(r))
+                .collect();
+            if alive.is_empty() {
+                return None;
+            }
+            let total: f64 = clients
+                .iter()
+                .map(|&c| {
+                    alive
+                        .iter()
+                        .map(|&r| matrix.get(c, r))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum();
+            Some(total / clients.len() as f64)
+        }
+
+        proptest! {
+            #[test]
+            fn degraded_mean_delay_matches_brute_force(
+                seed in 0u64..1_000_000,
+                n in 8usize..16,
+                fail_mask in 0u32..16,
+            ) {
+                let m = random_matrix(n, seed);
+                let candidates: Vec<usize> = (0..n).step_by(2).collect();
+                let clients: Vec<usize> = (0..n).collect();
+                let placement: Vec<usize> =
+                    candidates.iter().copied().take(4).collect();
+                let failed: HashSet<usize> = placement
+                    .iter()
+                    .enumerate()
+                    .filter(|(slot, _)| fail_mask & (1 << slot) != 0)
+                    .map(|(_, &r)| r)
+                    .collect();
+                let p = PlacementProblem::new(&m, candidates, clients.clone())
+                    .expect("valid problem");
+                let got = degraded_mean_delay(&p, &placement, &failed)
+                    .expect("valid placement");
+                let want = brute_force_mean(&m, &clients, &placement, &failed);
+                match (got, want) {
+                    (None, None) => {}
+                    (Some(g), Some(w)) => prop_assert!(
+                        (g - w).abs() < 1e-9,
+                        "cost tables {g} vs brute force {w}"
+                    ),
+                    other => prop_assert!(false, "mismatch: {other:?}"),
+                }
+            }
+
+            #[test]
+            fn single_failure_impact_matches_brute_force(
+                seed in 0u64..1_000_000,
+                n in 8usize..16,
+            ) {
+                let m = random_matrix(n, seed);
+                let candidates: Vec<usize> = (0..n).step_by(2).collect();
+                let clients: Vec<usize> = (0..n).collect();
+                let placement: Vec<usize> =
+                    candidates.iter().copied().take(3).collect();
+                let p = PlacementProblem::new(&m, candidates, clients.clone())
+                    .expect("valid problem");
+                let impacts = single_failure_impact(&p, &placement)
+                    .expect("valid placement");
+                prop_assert_eq!(impacts.len(), placement.len());
+                // Sorted worst-first …
+                for pair in impacts.windows(2) {
+                    prop_assert!(pair[0].1 >= pair[1].1);
+                }
+                // … and each entry is exactly the from-scratch recomputation.
+                for &(r, delay) in &impacts {
+                    let failed: HashSet<usize> = [r].into_iter().collect();
+                    let want = brute_force_mean(&m, &clients, &placement, &failed)
+                        .expect("two replicas survive");
+                    prop_assert!(
+                        (delay - want).abs() < 1e-9,
+                        "replica {r}: {delay} vs {want}"
+                    );
+                }
+            }
+        }
+    }
 }

@@ -11,13 +11,25 @@
 //! time — including whatever jitter the network applied — feeds the node's
 //! estimator. No component ever reads the latency matrix directly; RTTs
 //! are observed the way a deployed system observes them.
+//!
+//! # Failure handling
+//!
+//! Under a [`FaultPlan`] messages can be dropped, so every ping carries a
+//! sequence number and arms a timeout with exponential backoff
+//! ([`GossipConfig::timeout`], [`GossipConfig::max_retries`]). A peer that
+//! misses [`GossipConfig::suspicion_threshold`] consecutive probes is
+//! *suspected* and excluded from routine peer selection; any message from
+//! it clears the suspicion, and a probation probe every eighth ping tick
+//! gives suspected peers a path back. [`detected_failures`] turns the
+//! per-node suspicion vectors into a quorum verdict an observer can act on.
+//! All of this state lives in plain `Vec`s — determinism is preserved.
 
 use georep_coord::embedding::{evaluate, EmbeddingReport};
 use georep_coord::rnp::Rnp;
 use georep_coord::{Coord, LatencyEstimator};
 use georep_net::rtt::RttMatrix;
 use georep_net::sim::process::{NetStats, NodeId, Process, ProcessCtx, ProcessNet};
-use georep_net::sim::{Network, SimDuration, SimTime};
+use georep_net::sim::{FaultPlan, Network, SimDuration, SimTime};
 
 use crate::experiment::DIMS;
 
@@ -33,6 +45,16 @@ pub struct GossipConfig {
     pub jitter_sigma: f64,
     /// Seed for both the network jitter and the peer selection.
     pub seed: u64,
+    /// How long to wait for a pong before declaring the probe missed.
+    /// Doubles per retry (exponential backoff). Must exceed the largest
+    /// healthy RTT or healthy peers get suspected.
+    pub timeout: SimDuration,
+    /// How many times a missed probe is retried (with backoff) before the
+    /// node gives up on that exchange.
+    pub max_retries: u32,
+    /// Consecutive missed probes after which a peer is suspected and
+    /// excluded from routine peer selection.
+    pub suspicion_threshold: u32,
 }
 
 impl Default for GossipConfig {
@@ -42,6 +64,9 @@ impl Default for GossipConfig {
             duration: SimDuration::from_secs(60.0),
             jitter_sigma: 0.05,
             seed: 0x605517,
+            timeout: SimDuration::from_ms(900.0),
+            max_retries: 2,
+            suspicion_threshold: 3,
         }
     }
 }
@@ -50,14 +75,25 @@ impl Default for GossipConfig {
 #[derive(Debug, Clone, Copy)]
 enum GossipMsg {
     /// "What are your coordinates?" — carries the send time so the sender
-    /// can measure the RTT from the reply.
-    Ping { sent_at: SimTime },
-    /// The reply: echo of the ping time plus the peer's current state.
+    /// can measure the RTT from the reply, and a sequence number matching
+    /// the reply to the sender's outstanding-probe table.
+    Ping { sent_at: SimTime, seq: u64 },
+    /// The reply: echo of the ping time and sequence plus the peer's
+    /// current state.
     Pong {
         sent_at: SimTime,
+        seq: u64,
         coord: Coord<DIMS>,
         error: f64,
     },
+}
+
+/// A probe awaiting its pong.
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    seq: u64,
+    peer: NodeId,
+    attempt: u32,
 }
 
 /// One gossiping node.
@@ -65,29 +101,102 @@ struct GossipNode {
     estimator: Rnp<DIMS>,
     peers: usize,
     interval: SimDuration,
+    timeout: SimDuration,
+    max_retries: u32,
+    suspicion_threshold: u32,
     /// SplitMix64 state for peer selection (deterministic per node).
     rng_state: u64,
     pings_sent: u64,
+    pings_retried: u64,
+    timeouts: u64,
     pongs_received: u64,
+    next_seq: u64,
+    ticks: u64,
+    outstanding: Vec<Outstanding>,
+    /// Consecutive missed probes per peer.
+    misses: Vec<u32>,
+    /// Peers currently excluded from routine selection.
+    suspected: Vec<bool>,
 }
 
 impl GossipNode {
-    fn next_peer(&mut self, me: NodeId) -> NodeId {
+    fn new(cfg: &GossipConfig, n: usize, i: usize) -> Self {
+        GossipNode {
+            estimator: Rnp::new(),
+            peers: n,
+            interval: cfg.ping_interval,
+            timeout: cfg.timeout,
+            max_retries: cfg.max_retries,
+            suspicion_threshold: cfg.suspicion_threshold,
+            rng_state: cfg.seed ^ (i as u64).wrapping_mul(0xD1B54A32D192ED03),
+            pings_sent: 0,
+            pings_retried: 0,
+            timeouts: 0,
+            pongs_received: 0,
+            next_seq: 0,
+            ticks: 0,
+            outstanding: Vec::new(),
+            misses: vec![0; n],
+            suspected: vec![false; n],
+        }
+    }
+
+    fn draw(&mut self) -> u64 {
+        self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        z
+    }
+
+    /// Picks the next probe target: a uniform non-self peer, skipping
+    /// suspected peers except on every eighth tick (probation — suspected
+    /// peers must keep being probed or a healed peer could never redeem
+    /// itself) or when everyone is suspected (the node is probably the
+    /// isolated one; keep probing so recovery is observed promptly).
+    fn pick_peer(&mut self, me: NodeId) -> NodeId {
+        let probation = self.ticks.is_multiple_of(8);
+        let all_suspected = (0..self.peers).all(|p| p == me || self.suspected[p]);
         loop {
-            self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
-            let mut z = self.rng_state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-            z ^= z >> 31;
-            let peer = (z % self.peers as u64) as usize;
-            if peer != me {
+            let peer = (self.draw() % self.peers as u64) as usize;
+            if peer == me {
+                continue;
+            }
+            if probation || all_suspected || !self.suspected[peer] {
                 return peer;
             }
         }
     }
+
+    fn send_ping(&mut self, peer: NodeId, attempt: u32, ctx: &mut ProcessCtx<GossipMsg>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.outstanding.push(Outstanding { seq, peer, attempt });
+        self.pings_sent += 1;
+        ctx.send(
+            peer,
+            GossipMsg::Ping {
+                sent_at: ctx.now(),
+                seq,
+            },
+        );
+        // Exponential backoff: 1×, 2×, 4×, … the base timeout.
+        let wait = SimDuration::from_micros(self.timeout.as_micros() << attempt.min(16));
+        ctx.set_timer(wait, TIMER_TIMEOUT_BASE + seq);
+    }
+
+    /// Any message from `from` proves it is alive.
+    fn mark_alive(&mut self, from: NodeId) {
+        self.misses[from] = 0;
+        self.suspected[from] = false;
+    }
 }
 
 const TIMER_PING: u64 = 1;
+/// Timeout timer ids are `TIMER_TIMEOUT_BASE + seq`; sequence numbers are
+/// node-local, so ids never collide with `TIMER_PING`.
+const TIMER_TIMEOUT_BASE: u64 = 1 << 32;
 
 impl Process<GossipMsg> for GossipNode {
     fn on_start(&mut self, ctx: &mut ProcessCtx<GossipMsg>) {
@@ -99,12 +208,14 @@ impl Process<GossipMsg> for GossipNode {
     }
 
     fn on_message(&mut self, from: NodeId, msg: GossipMsg, ctx: &mut ProcessCtx<GossipMsg>) {
+        self.mark_alive(from);
         match msg {
-            GossipMsg::Ping { sent_at } => {
+            GossipMsg::Ping { sent_at, seq } => {
                 ctx.send(
                     from,
                     GossipMsg::Pong {
                         sent_at,
+                        seq,
                         coord: self.estimator.coordinate(),
                         error: self.estimator.error(),
                     },
@@ -112,22 +223,68 @@ impl Process<GossipMsg> for GossipNode {
             }
             GossipMsg::Pong {
                 sent_at,
+                seq,
                 coord,
                 error,
             } => {
                 self.pongs_received += 1;
+                if let Some(pos) = self.outstanding.iter().position(|o| o.seq == seq) {
+                    self.outstanding.swap_remove(pos);
+                }
+                // A pong that arrives after its timeout already fired still
+                // carries a valid measurement — feed it to the estimator.
                 let rtt_ms = (ctx.now() - sent_at).as_ms();
                 self.estimator.observe(coord, error, rtt_ms);
             }
         }
     }
 
-    fn on_timer(&mut self, _id: u64, ctx: &mut ProcessCtx<GossipMsg>) {
-        let peer = self.next_peer(ctx.node());
-        self.pings_sent += 1;
-        ctx.send(peer, GossipMsg::Ping { sent_at: ctx.now() });
-        ctx.set_timer(self.interval, TIMER_PING);
+    fn on_timer(&mut self, id: u64, ctx: &mut ProcessCtx<GossipMsg>) {
+        if id == TIMER_PING {
+            self.ticks += 1;
+            let peer = self.pick_peer(ctx.node());
+            self.send_ping(peer, 0, ctx);
+            ctx.set_timer(self.interval, TIMER_PING);
+        } else if id >= TIMER_TIMEOUT_BASE {
+            let seq = id - TIMER_TIMEOUT_BASE;
+            let Some(pos) = self.outstanding.iter().position(|o| o.seq == seq) else {
+                return; // the pong beat the timeout — nothing to do
+            };
+            let probe = self.outstanding.swap_remove(pos);
+            self.timeouts += 1;
+            self.misses[probe.peer] = self.misses[probe.peer].saturating_add(1);
+            if self.misses[probe.peer] >= self.suspicion_threshold {
+                self.suspected[probe.peer] = true;
+            }
+            if probe.attempt < self.max_retries {
+                self.pings_retried += 1;
+                self.send_ping(probe.peer, probe.attempt + 1, ctx);
+            }
+        }
     }
+}
+
+/// Quorum failure detection from per-node suspicion vectors.
+///
+/// `suspicion[i][j]` is whether node `i` currently suspects node `j` (see
+/// [`GossipOutcome::suspicion`]). The verdict is computed *from the
+/// observer's perspective*: the voters are the observer plus every peer the
+/// observer still trusts, and a non-voter is detected as failed when at
+/// least half of the voters suspect it. Under a clean partition each side
+/// therefore detects exactly the other side — neither is fooled into
+/// failing its own reachable peers.
+pub fn detected_failures(suspicion: &[Vec<bool>], observer: NodeId) -> Vec<NodeId> {
+    let n = suspicion.len();
+    assert!(observer < n, "observer out of range");
+    let mut voters: Vec<NodeId> = vec![observer];
+    voters.extend((0..n).filter(|&p| p != observer && !suspicion[observer][p]));
+    (0..n)
+        .filter(|t| !voters.contains(t))
+        .filter(|&t| {
+            let votes = voters.iter().filter(|&&v| suspicion[v][t]).count();
+            2 * votes >= voters.len()
+        })
+        .collect()
 }
 
 /// Outcome of a gossip embedding run.
@@ -139,17 +296,18 @@ pub struct GossipOutcome {
     pub report: EmbeddingReport,
     /// Message/event counts of the protocol run.
     pub net: NetStats,
-    /// Total pings issued across the population.
+    /// Total pings issued across the population (retries included).
     pub pings: u64,
+    /// Probes re-sent after a timeout, across the population.
+    pub retries: u64,
+    /// Probe timeouts that fired before the pong arrived.
+    pub timeouts: u64,
+    /// `suspicion[i][j]`: does node `i` suspect node `j` at the end of the
+    /// run? Feed to [`detected_failures`] for a quorum verdict.
+    pub suspicion: Vec<Vec<bool>>,
 }
 
-/// Runs the RNP gossip protocol over a jittered network built from
-/// `matrix` and returns the resulting embedding.
-///
-/// # Panics
-///
-/// Panics if `ping_interval` or `duration` is zero.
-pub fn embed_via_simulation(matrix: &RttMatrix, cfg: GossipConfig) -> GossipOutcome {
+fn check_config(cfg: &GossipConfig) {
     assert!(
         cfg.ping_interval > SimDuration::ZERO,
         "ping interval must be positive"
@@ -158,33 +316,61 @@ pub fn embed_via_simulation(matrix: &RttMatrix, cfg: GossipConfig) -> GossipOutc
         cfg.duration > SimDuration::ZERO,
         "duration must be positive"
     );
-    let n = matrix.len();
-    let network = Network::with_jitter(matrix.clone(), cfg.jitter_sigma, cfg.seed);
-    let procs: Vec<GossipNode> = (0..n)
-        .map(|i| GossipNode {
-            estimator: Rnp::new(),
-            peers: n,
-            interval: cfg.ping_interval,
-            rng_state: cfg.seed ^ (i as u64).wrapping_mul(0xD1B54A32D192ED03),
-            pings_sent: 0,
-            pongs_received: 0,
-        })
-        .collect();
+    assert!(cfg.timeout > SimDuration::ZERO, "timeout must be positive");
+}
 
-    let mut net = ProcessNet::new(network, procs);
-    net.run_until(SimTime::ZERO + cfg.duration);
+fn finish(net: ProcessNet<GossipNode, GossipMsg>, matrix: &RttMatrix, seed: u64) -> GossipOutcome {
     let stats = net.stats();
     let procs = net.into_processes();
-
     let pings = procs.iter().map(|p| p.pings_sent).sum();
+    let retries = procs.iter().map(|p| p.pings_retried).sum();
+    let timeouts = procs.iter().map(|p| p.timeouts).sum();
+    let suspicion: Vec<Vec<bool>> = procs.iter().map(|p| p.suspected.clone()).collect();
     let coords: Vec<Coord<DIMS>> = procs.iter().map(|p| p.estimator.coordinate()).collect();
-    let report = evaluate(&coords, &|i, j| matrix.get(i, j), cfg.seed);
+    let report = evaluate(&coords, &|i, j| matrix.get(i, j), seed);
     GossipOutcome {
         coords,
         report,
         net: stats,
         pings,
+        retries,
+        timeouts,
+        suspicion,
     }
+}
+
+/// Runs the RNP gossip protocol over a jittered network built from
+/// `matrix` and returns the resulting embedding.
+///
+/// # Panics
+///
+/// Panics if `ping_interval`, `duration` or `timeout` is zero.
+pub fn embed_via_simulation(matrix: &RttMatrix, cfg: GossipConfig) -> GossipOutcome {
+    check_config(&cfg);
+    let n = matrix.len();
+    let network = Network::with_jitter(matrix.clone(), cfg.jitter_sigma, cfg.seed);
+    let procs: Vec<GossipNode> = (0..n).map(|i| GossipNode::new(&cfg, n, i)).collect();
+    let mut net = ProcessNet::new(network, procs);
+    net.run_until(SimTime::ZERO + cfg.duration);
+    finish(net, matrix, cfg.seed)
+}
+
+/// Like [`embed_via_simulation`], but with a [`FaultPlan`] installed: the
+/// protocol rides out drops, partitions and crashes, and the outcome's
+/// [`GossipOutcome::suspicion`] / retry counters report what the failure
+/// detector concluded. Accuracy is still scored against the clean matrix.
+///
+/// # Panics
+///
+/// Panics if `ping_interval`, `duration` or `timeout` is zero.
+pub fn embed_with_faults(matrix: &RttMatrix, cfg: GossipConfig, plan: FaultPlan) -> GossipOutcome {
+    check_config(&cfg);
+    let n = matrix.len();
+    let network = Network::with_faults(matrix.clone(), cfg.jitter_sigma, cfg.seed, plan);
+    let procs: Vec<GossipNode> = (0..n).map(|i| GossipNode::new(&cfg, n, i)).collect();
+    let mut net = ProcessNet::new(network, procs);
+    net.run_until(SimTime::ZERO + cfg.duration);
+    finish(net, matrix, cfg.seed)
 }
 
 /// Runs the gossip protocol for `cfg.duration` on `before`, then swaps the
@@ -208,26 +394,10 @@ pub fn embed_through_shift(
         after.len(),
         "matrices must cover the same nodes"
     );
-    assert!(
-        cfg.ping_interval > SimDuration::ZERO,
-        "ping interval must be positive"
-    );
-    assert!(
-        cfg.duration > SimDuration::ZERO,
-        "duration must be positive"
-    );
+    check_config(&cfg);
     let n = before.len();
     let network = Network::with_jitter(before.clone(), cfg.jitter_sigma, cfg.seed);
-    let procs: Vec<GossipNode> = (0..n)
-        .map(|i| GossipNode {
-            estimator: Rnp::new(),
-            peers: n,
-            interval: cfg.ping_interval,
-            rng_state: cfg.seed ^ (i as u64).wrapping_mul(0xD1B54A32D192ED03),
-            pings_sent: 0,
-            pongs_received: 0,
-        })
-        .collect();
+    let procs: Vec<GossipNode> = (0..n).map(|i| GossipNode::new(&cfg, n, i)).collect();
 
     let mut net = ProcessNet::new(network, procs);
     net.run_until(SimTime::ZERO + cfg.duration);
@@ -253,7 +423,7 @@ mod tests {
             seed: 3,
             ..Default::default()
         })
-        .unwrap()
+        .expect("default topology config with ≥2 nodes always generates")
         .into_matrix()
     }
 
@@ -374,6 +544,107 @@ mod tests {
             end.median_rel_err < 0.35,
             "post-shift accuracy {}",
             end.median_rel_err
+        );
+    }
+
+    #[test]
+    fn crashed_peer_is_suspected_by_the_population() {
+        use georep_net::sim::FaultPlan;
+        let matrix = small_matrix();
+        // Node 5 goes dark at t = 5 s and never returns.
+        let plan = FaultPlan::new(11).crash(5, SimTime::from_ms(5_000.0), SimTime::MAX);
+        let cfg = GossipConfig {
+            ping_interval: SimDuration::from_ms(250.0),
+            duration: SimDuration::from_secs(40.0),
+            ..Default::default()
+        };
+        let outcome = embed_with_faults(&matrix, cfg, plan);
+        assert!(
+            outcome.timeouts > 0,
+            "probes to the dead node must time out"
+        );
+        assert!(outcome.retries > 0, "timed-out probes must be retried");
+        assert!(outcome.net.messages_dropped > 0);
+        let suspecters = (0..matrix.len())
+            .filter(|&i| i != 5 && outcome.suspicion[i][5])
+            .count();
+        assert!(
+            suspecters > matrix.len() / 2,
+            "most nodes should suspect the crashed DC, got {suspecters}"
+        );
+        // The quorum verdict from any healthy observer names exactly node 5.
+        assert_eq!(detected_failures(&outcome.suspicion, 0), vec![5]);
+        // No healthy node is suspected by a healthy observer.
+        for i in 0..matrix.len() {
+            for j in 0..matrix.len() {
+                if i != 5 && j != 5 {
+                    assert!(!outcome.suspicion[i][j], "{i} wrongly suspects {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn suspicion_clears_after_recovery() {
+        use georep_net::sim::FaultPlan;
+        let matrix = small_matrix();
+        // Node 5 is dark from 5 s to 20 s, then heals; the run continues to
+        // 60 s, long enough for probation probes to redeem it everywhere it
+        // matters.
+        let plan =
+            FaultPlan::new(12).crash(5, SimTime::from_ms(5_000.0), SimTime::from_ms(20_000.0));
+        let cfg = GossipConfig {
+            ping_interval: SimDuration::from_ms(250.0),
+            duration: SimDuration::from_secs(60.0),
+            ..Default::default()
+        };
+        let outcome = embed_with_faults(&matrix, cfg, plan);
+        assert!(outcome.timeouts > 0, "the dark window must cause timeouts");
+        assert_eq!(
+            detected_failures(&outcome.suspicion, 0),
+            Vec::<usize>::new(),
+            "after recovery no quorum should fail node 5"
+        );
+    }
+
+    #[test]
+    fn faultless_fault_run_matches_plain_run() {
+        use georep_net::sim::FaultPlan;
+        let matrix = small_matrix();
+        let cfg = GossipConfig {
+            duration: SimDuration::from_secs(10.0),
+            ..Default::default()
+        };
+        let plain = embed_via_simulation(&matrix, cfg);
+        let faulty = embed_with_faults(&matrix, cfg, FaultPlan::new(0));
+        assert_eq!(plain.coords, faulty.coords);
+        assert_eq!(plain.net, faulty.net);
+        // Slow trans-continental links may legitimately time out and retry
+        // even fault-free — but identically in both runs, and nothing drops.
+        assert_eq!(plain.retries, faulty.retries);
+        assert_eq!(faulty.net.messages_dropped, 0);
+    }
+
+    #[test]
+    fn partition_detection_is_perspective_correct() {
+        use georep_net::sim::FaultPlan;
+        let matrix = small_matrix();
+        let side_a: Vec<usize> = (0..16).collect();
+        let plan = FaultPlan::new(13).partition(&side_a, SimTime::from_ms(5_000.0), SimTime::MAX);
+        let cfg = GossipConfig {
+            ping_interval: SimDuration::from_ms(250.0),
+            duration: SimDuration::from_secs(45.0),
+            ..Default::default()
+        };
+        let outcome = embed_with_faults(&matrix, cfg, plan);
+        // An observer inside side A fails exactly side B, and vice versa.
+        assert_eq!(
+            detected_failures(&outcome.suspicion, 0),
+            (16..32).collect::<Vec<usize>>()
+        );
+        assert_eq!(
+            detected_failures(&outcome.suspicion, 20),
+            (0..16).collect::<Vec<usize>>()
         );
     }
 

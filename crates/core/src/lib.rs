@@ -24,6 +24,9 @@
 //!   discrete-event simulator: coordinates assigned by emulated
 //!   communications, and a fully message-passing deployment of the whole
 //!   system;
+//! * [`scenario`] — named fault scenarios (crash, flapping link, partition,
+//!   latency surge, rolling recovery) driving detection, failover and
+//!   cost-gated re-placement on one deterministic clock;
 //! * [`experiment`] — the paper's evaluation methodology (Section IV),
 //!   ready to regenerate every figure;
 //! * [`metrics`], [`combin`] — supporting statistics and combinatorics.
@@ -62,6 +65,7 @@ pub mod objective;
 pub mod problem;
 pub mod quorum;
 pub mod readwrite;
+pub mod scenario;
 pub mod strategy;
 
 pub use experiment::{Experiment, RunSummary, StrategyKind};

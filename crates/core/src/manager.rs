@@ -88,6 +88,12 @@ pub struct ManagerConfig {
     pub period_decay: f64,
     /// Seed for the macro-clustering.
     pub seed: u64,
+    /// Worker threads for the macro-clustering restarts. `0` (the default)
+    /// lets the clustering layer pick; any positive value pins it. The
+    /// restart protocol is thread-count-independent by construction, so
+    /// this only affects wall-clock time — never the placement. The
+    /// robustness suite exercises 1/2/8 to prove it.
+    pub restart_threads: usize,
 }
 
 impl ManagerConfig {
@@ -103,6 +109,7 @@ impl ManagerConfig {
             demand_per_replica: 0.0,
             period_decay: 0.0,
             seed: 0x6E0,
+            restart_threads: 0,
         }
     }
 }
@@ -334,6 +341,31 @@ impl<const D: usize> ReplicaManager<D> {
         Ok(())
     }
 
+    /// Removes a data center from the candidate set without requiring it to
+    /// host a replica — the failure detector concluded the site is dark, so
+    /// no future rebalance may place a replica there. If the node *does*
+    /// currently host a replica, prefer [`ReplicaManager::fail_replica`],
+    /// which also evicts it from the placement. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::InvalidSetup`] when `node` is outside the coordinate
+    /// range, or when removing it would leave the candidate set empty.
+    pub fn quarantine_candidate(&mut self, node: usize) -> Result<(), ManagerError> {
+        if node >= self.coords.len() {
+            return Err(ManagerError::InvalidSetup(
+                "candidate index out of coordinate range",
+            ));
+        }
+        if self.candidates == [node] {
+            return Err(ManagerError::InvalidSetup(
+                "cannot quarantine the last candidate",
+            ));
+        }
+        self.candidates.retain(|&c| c != node);
+        Ok(())
+    }
+
     /// Returns a recovered data center to the candidate set (idempotent).
     ///
     /// # Errors
@@ -414,10 +446,12 @@ impl<const D: usize> ReplicaManager<D> {
         }
 
         let k = self.adapt_k();
-        let clustering = weighted_kmeans(
-            &pseudo,
-            KMeansConfig::new(k.min(pseudo.len())).with_seed(self.config.seed),
-        )?;
+        let kcfg = KMeansConfig::new(k.min(pseudo.len())).with_seed(self.config.seed);
+        let clustering = if self.config.restart_threads > 0 {
+            georep_cluster::kmeans::lloyd_with_threads(&pseudo, kcfg, self.config.restart_threads)?
+        } else {
+            weighted_kmeans(&pseudo, kcfg)?
+        };
         let proposed =
             nearest_distinct_candidates(&clustering.centroids, &self.candidates, &self.coords, k);
 
@@ -668,6 +702,67 @@ mod tests {
             mgr.fail_replica(3),
             Err(ManagerError::InvalidSetup(_))
         ));
+    }
+
+    #[test]
+    fn quarantine_excludes_candidate_from_future_placements() {
+        let mut mgr = manager(2);
+        mgr.quarantine_candidate(5).unwrap();
+        assert_eq!(mgr.candidates(), &[0, 3]);
+        // Idempotent; quarantining a non-candidate is a no-op.
+        mgr.quarantine_candidate(5).unwrap();
+        for _ in 0..100 {
+            mgr.record_access(Coord::new([49.0]), 1.0);
+        }
+        mgr.rebalance().unwrap();
+        assert!(
+            !mgr.placement().contains(&5),
+            "quarantined site must not be chosen: {:?}",
+            mgr.placement()
+        );
+        assert!(matches!(
+            mgr.quarantine_candidate(99),
+            Err(ManagerError::InvalidSetup(_))
+        ));
+        // The site heals: restore, and demand pulls a replica back.
+        mgr.restore_candidate(5).unwrap();
+        for _ in 0..100 {
+            mgr.record_access(Coord::new([49.0]), 1.0);
+        }
+        mgr.rebalance().unwrap();
+        assert!(mgr.placement().contains(&5));
+    }
+
+    #[test]
+    fn last_candidate_cannot_be_quarantined() {
+        let mut mgr =
+            ReplicaManager::new(line_coords(), vec![3], vec![3], ManagerConfig::new(1, 4)).unwrap();
+        assert!(matches!(
+            mgr.quarantine_candidate(3),
+            Err(ManagerError::InvalidSetup(_))
+        ));
+    }
+
+    #[test]
+    fn restart_threads_do_not_change_the_placement() {
+        let run = |threads: usize| {
+            let mut cfg = ManagerConfig::new(2, 4);
+            cfg.restart_threads = threads;
+            let mut mgr =
+                ReplicaManager::new(line_coords(), vec![0, 3, 5], vec![0, 3], cfg).unwrap();
+            for i in 0..200 {
+                let x = if i % 3 == 0 { 49.0 } else { 2.0 };
+                mgr.record_access(Coord::new([x]), 1.0);
+            }
+            let d = mgr.rebalance().unwrap();
+            (mgr.placement().to_vec(), d)
+        };
+        let (p1, d1) = run(1);
+        for threads in [0, 2, 8] {
+            let (p, d) = run(threads);
+            assert_eq!(p, p1, "threads={threads}");
+            assert_eq!(d, d1, "threads={threads}");
+        }
     }
 
     #[test]

@@ -113,4 +113,70 @@ mod tests {
         };
         assert_eq!(no_base.relative_gain(), 0.0);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn shuffled(mut v: Vec<usize>, mut seed: u64) -> Vec<usize> {
+            for i in (1..v.len()).rev() {
+                let j = (splitmix(&mut seed) % (i as u64 + 1)) as usize;
+                v.swap(i, j);
+            }
+            v
+        }
+
+        /// Distinct node ids decoded from a bitmask.
+        fn set_from_mask(mask: u32) -> Vec<usize> {
+            (0..16).filter(|b| mask & (1 << b) != 0).collect()
+        }
+
+        proptest! {
+            #[test]
+            fn moved_is_the_set_difference_under_any_permutation(
+                old_mask in 0u32..65_536,
+                new_mask in 0u32..65_536,
+                old_seed in 0u64..1_000_000,
+                new_seed in 0u64..1_000_000,
+            ) {
+                let old = set_from_mask(old_mask);
+                let new = set_from_mask(new_mask);
+                // Ground truth straight from the mask bits: in new, not old.
+                let want = (new_mask & !old_mask).count_ones() as usize;
+                prop_assert_eq!(moved_replicas(&old, &new), want);
+                // Placements are sets: shuffling either side changes nothing.
+                let old_p = shuffled(old, old_seed);
+                let new_p = shuffled(new, new_seed);
+                prop_assert_eq!(moved_replicas(&old_p, &new_p), want);
+            }
+
+            #[test]
+            fn cost_is_linear_in_moves_size_and_price(
+                moved in 0usize..64,
+                size_tenths in 1u32..500,
+                price_cents in 0u32..100,
+            ) {
+                let model = MigrationCostModel {
+                    object_size_gb: size_tenths as f64 / 10.0,
+                    cost_per_gb: price_cents as f64 / 100.0,
+                };
+                let want =
+                    moved as f64 * model.object_size_gb * model.cost_per_gb;
+                prop_assert!((model.cost_usd(moved) - want).abs() < 1e-12);
+                // Doubling the move count exactly doubles the bill.
+                prop_assert!(
+                    (model.cost_usd(2 * moved) - 2.0 * model.cost_usd(moved)).abs()
+                        < 1e-12
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,759 @@
+//! Named fault scenarios — the robustness harness that closes the loop.
+//!
+//! Each [`ScenarioKind`] drives the *whole* stack through a three-phase
+//! timeline (healthy → fault → recovery) on a single deterministic clock:
+//!
+//! 1. coordinates come from RNP gossip over the simulator
+//!    ([`crate::gossip::embed_via_simulation`]);
+//! 2. a [`ReplicaManager`] routes synthetic client demand and periodically
+//!    rebalances (migration-gated by [`crate::migration`] pricing);
+//! 3. when the fault signature changes, a gossip run *under the fault plan*
+//!    ([`crate::gossip::embed_with_faults`]) feeds the quorum failure
+//!    detector ([`crate::gossip::detected_failures`]); detected DCs are
+//!    failed/quarantined, the surviving placement is scored through the
+//!    objective cost tables ([`crate::failure::degraded_mean_delay`]), and
+//!    an immediate rebalance responds — re-placement, gated by cost;
+//! 4. every tick the *true* (fault-aware) client delay is recorded, so the
+//!    report carries a degraded-delay timeline.
+//!
+//! # Determinism contract
+//!
+//! A scenario run is a pure function of `(matrix, kind, config)`. All
+//! randomness is counter-based and seeded; all collections that influence
+//! decisions are `Vec`s; the manager's macro-clustering is
+//! thread-count-independent by construction ([`ManagerConfig`]'s
+//! `restart_threads` only changes wall-clock time). Two runs with the same
+//! inputs — at *any* two thread counts — produce bit-identical
+//! [`ScenarioReport`]s, which `tests/robustness_scenarios.rs` asserts
+//! across 1/2/8 threads.
+//!
+//! # Serving model
+//!
+//! A replica evicted from the placement (failed or partitioned away from
+//! the coordinator) stops serving: clients that cannot reach any placed,
+//! living, connected replica are counted `unreachable` for that tick and
+//! excluded from the mean. Under a 50/50 partition the mean can therefore
+//! *improve* while the unreachable count spikes — read both columns.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use georep_net::rtt::RttMatrix;
+use georep_net::sim::{FaultPlan, SimDuration, SimTime};
+
+use crate::failure::degraded_mean_delay;
+use crate::gossip::{detected_failures, embed_via_simulation, embed_with_faults, GossipConfig};
+use crate::manager::{ManagerConfig, ManagerError, ReplicaManager};
+use crate::problem::{PlacementProblem, ProblemError};
+
+/// The five named robustness scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// One replica-hosting data center goes dark for the fault phase.
+    SingleDcCrash,
+    /// The link between the two busiest replicas loses most packets.
+    FlappingLink,
+    /// The population splits into two halves that cannot talk.
+    Partition5050,
+    /// Every link touching the upper half of the population slows 3×.
+    RegionalLatencySurge,
+    /// Two replica DCs crash on overlapping windows and recover in turn.
+    RollingRecovery,
+}
+
+impl ScenarioKind {
+    /// Stable machine-readable name (used in `BENCH_robustness.json`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::SingleDcCrash => "single_dc_crash",
+            ScenarioKind::FlappingLink => "flapping_link",
+            ScenarioKind::Partition5050 => "partition_50_50",
+            ScenarioKind::RegionalLatencySurge => "regional_latency_surge",
+            ScenarioKind::RollingRecovery => "rolling_recovery",
+        }
+    }
+}
+
+/// All five scenarios, in reporting order.
+pub const ALL_SCENARIOS: [ScenarioKind; 5] = [
+    ScenarioKind::SingleDcCrash,
+    ScenarioKind::FlappingLink,
+    ScenarioKind::Partition5050,
+    ScenarioKind::RegionalLatencySurge,
+    ScenarioKind::RollingRecovery,
+];
+
+/// Tuning of a scenario run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioConfig {
+    /// Master seed: gossip jitter, peer selection, fault loss draws and
+    /// macro-clustering all derive from it.
+    pub seed: u64,
+    /// Degree of replication.
+    pub k: usize,
+    /// Ticks per phase; the run is `3 × phase_ticks` ticks long.
+    pub phase_ticks: u32,
+    /// Simulated length of one tick.
+    pub tick: SimDuration,
+    /// Rebalance cadence, in ticks (a detection additionally forces one).
+    pub rebalance_every: u32,
+    /// Worker threads for the manager's macro-clustering restarts
+    /// (`0` = library default). Must not change any output.
+    pub threads: usize,
+    /// Simulated duration of the coordinate-embedding gossip run.
+    pub embed_duration: SimDuration,
+    /// Simulated duration of each failure-detection gossip run.
+    pub detect_duration: SimDuration,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 0x0B5E55ED,
+            k: 3,
+            phase_ticks: 8,
+            tick: SimDuration::from_secs(1.0),
+            rebalance_every: 4,
+            threads: 0,
+            embed_duration: SimDuration::from_secs(30.0),
+            detect_duration: SimDuration::from_secs(30.0),
+        }
+    }
+}
+
+/// One entry of the degraded-delay timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelinePoint {
+    /// Tick index (tick × [`ScenarioConfig::tick`] = simulated time).
+    pub tick: u32,
+    /// Demand-weighted mean client delay over *reachable* clients, ms;
+    /// `None` when no client can reach any replica.
+    pub mean_delay_ms: Option<f64>,
+    /// Clients with no placed, living, connected replica this tick.
+    pub unreachable: usize,
+}
+
+/// An event of the deterministic scenario trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A phase boundary ("healthy", "fault", "recovery").
+    PhaseStart { tick: u32, phase: &'static str },
+    /// The failure detector ran; `nodes` is the quorum verdict and
+    /// `degraded_ms` the surviving placement scored through the objective
+    /// cost tables (`None` when nothing was detected or nothing survives).
+    Detected {
+        tick: u32,
+        nodes: Vec<usize>,
+        degraded_ms: Option<f64>,
+    },
+    /// A detected node hosting a replica was evicted from the placement.
+    ReplicaFailed { tick: u32, node: usize },
+    /// A detected non-replica candidate was excluded from future placements.
+    Quarantined { tick: u32, node: usize },
+    /// A previously excluded node returned to the candidate set.
+    Restored { tick: u32, node: usize },
+    /// A rebalance round ran.
+    Rebalance {
+        tick: u32,
+        applied: bool,
+        moved: usize,
+        cost_usd: f64,
+    },
+}
+
+/// The full, comparable outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// [`ScenarioKind::name`] of the scenario.
+    pub name: &'static str,
+    /// Per-tick degraded-delay timeline.
+    pub timeline: Vec<TimelinePoint>,
+    /// Every decision the harness took, in order.
+    pub trace: Vec<TraceEvent>,
+    /// Placement at the end of the healthy phase, sorted.
+    pub pre_fault_placement: Vec<usize>,
+    /// Placement at the end of the run, sorted.
+    pub final_placement: Vec<usize>,
+    /// True mean client delay of the pre-fault placement, ms.
+    pub pre_fault_delay_ms: f64,
+    /// True mean client delay of the final placement, ms (healthy network).
+    pub final_delay_ms: f64,
+    /// Worst mean delay seen on the timeline at or after fault onset, ms
+    /// (the healthy warm-up ticks before the first rebalances would
+    /// otherwise dominate).
+    pub peak_delay_ms: f64,
+    /// Applied rebalances that moved replicas after fault onset.
+    pub replacements: u64,
+    /// Messages dropped across all gossip runs (embedding + detections).
+    pub messages_dropped: u64,
+    /// Probe retries across all gossip runs.
+    pub retries: u64,
+    /// FNV-1a hash of the debug-formatted trace — a compact fingerprint
+    /// for cross-thread-count identity checks.
+    pub trace_hash: u64,
+}
+
+/// Error produced by [`run_scenario`].
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The configuration or matrix was unusable.
+    Setup(&'static str),
+    /// The replica manager failed.
+    Manager(ManagerError),
+    /// Objective scoring failed.
+    Problem(ProblemError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Setup(what) => write!(f, "invalid scenario setup: {what}"),
+            ScenarioError::Manager(e) => write!(f, "manager failed: {e}"),
+            ScenarioError::Problem(e) => write!(f, "objective scoring failed: {e}"),
+        }
+    }
+}
+
+impl Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScenarioError::Manager(e) => Some(e),
+            ScenarioError::Problem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ManagerError> for ScenarioError {
+    fn from(e: ManagerError) -> Self {
+        ScenarioError::Manager(e)
+    }
+}
+
+impl From<ProblemError> for ScenarioError {
+    fn from(e: ProblemError) -> Self {
+        ScenarioError::Problem(e)
+    }
+}
+
+/// FNV-1a over the debug rendering of the trace.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The scenario's faults, expressed twice: absolute windows on the tick
+/// timeline (for truth-scoring), and a builder for detection-time plans.
+struct Faults {
+    /// `(node, from_tick, until_tick)` crash windows.
+    crashes: Vec<(usize, u32, u32)>,
+    /// Partition side A, active during the fault phase (empty = none).
+    partition_a: Vec<usize>,
+    /// `(a, b, probability)` lossy links, active during the fault phase.
+    lossy: Vec<(usize, usize, f64)>,
+    /// `(region, factor)` latency surges, active during the fault phase.
+    surges: Vec<(Vec<usize>, f64)>,
+}
+
+impl Faults {
+    /// Crash-and-partition signature at a tick — the part of the fault
+    /// state the failure detector can distinguish. Loss and surge do not
+    /// change membership, only delay/retry statistics.
+    fn signature(&self, tick: u32, p: u32) -> (Vec<usize>, Vec<usize>) {
+        let mut down: Vec<usize> = self
+            .crashes
+            .iter()
+            .filter(|&&(_, from, until)| from <= tick && tick < until)
+            .map(|&(node, _, _)| node)
+            .collect();
+        down.sort_unstable();
+        let part = if (p..2 * p).contains(&tick) && !self.partition_a.is_empty() {
+            self.partition_a.clone()
+        } else {
+            Vec::new()
+        };
+        (down, part)
+    }
+
+    fn has_noise(&self) -> bool {
+        !self.lossy.is_empty() || !self.surges.is_empty()
+    }
+
+    /// The plan truth-scoring consults, with windows in absolute tick time.
+    fn scoring_plan(&self, seed: u64, cfg: &ScenarioConfig) -> FaultPlan {
+        let p = cfg.phase_ticks;
+        let at = |t: u32| SimTime::ZERO + cfg.tick.mul(t as u64);
+        let mut plan = FaultPlan::new(seed);
+        for &(node, from, until) in &self.crashes {
+            plan = plan.crash(node, at(from), at(until));
+        }
+        if !self.partition_a.is_empty() {
+            plan = plan.partition(&self.partition_a, at(p), at(2 * p));
+        }
+        for &(a, b, prob) in &self.lossy {
+            plan = plan.lossy_link(a, b, prob, at(p), at(2 * p));
+        }
+        for (region, factor) in &self.surges {
+            plan = plan.latency_surge(region, *factor, at(p), at(2 * p));
+        }
+        plan
+    }
+
+    /// A steady-state plan for one detection gossip run: every fault active
+    /// at `tick` is held from `warmup` onward, so the detector converges on
+    /// the *current* network state.
+    fn detection_plan(&self, tick: u32, p: u32, seed: u64) -> FaultPlan {
+        let warmup = SimTime::from_ms(5_000.0);
+        let (down, part) = self.signature(tick, p);
+        let mut plan = FaultPlan::new(seed ^ (tick as u64).wrapping_mul(0x9E37_79B9));
+        for node in down {
+            plan = plan.crash(node, warmup, SimTime::MAX);
+        }
+        if !part.is_empty() {
+            plan = plan.partition(&part, warmup, SimTime::MAX);
+        }
+        if (p..2 * p).contains(&tick) {
+            for &(a, b, prob) in &self.lossy {
+                plan = plan.lossy_link(a, b, prob, warmup, SimTime::MAX);
+            }
+            for (region, factor) in &self.surges {
+                plan = plan.latency_surge(region, *factor, warmup, SimTime::MAX);
+            }
+        }
+        plan
+    }
+}
+
+/// True fault-aware mean client delay at `at`: each client reaches the
+/// nearest placed replica that is alive and connected to it, with surge
+/// factors applied; clients with no such replica (or themselves down) count
+/// as unreachable.
+fn fault_aware_delay(
+    matrix: &RttMatrix,
+    placement: &[usize],
+    plan: &FaultPlan,
+    at: SimTime,
+) -> (Option<f64>, usize) {
+    let mut total = 0.0;
+    let mut served = 0usize;
+    let mut unreachable = 0usize;
+    for c in 0..matrix.len() {
+        if plan.node_down(c, at) {
+            unreachable += 1;
+            continue;
+        }
+        let best = placement
+            .iter()
+            .filter(|&&r| !plan.node_down(r, at) && !plan.partitioned(c, r, at))
+            .map(|&r| matrix.get(c, r) * plan.latency_factor(c, r, at))
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            total += best;
+            served += 1;
+        } else {
+            unreachable += 1;
+        }
+    }
+    if served == 0 {
+        (None, unreachable)
+    } else {
+        (Some(total / served as f64), unreachable)
+    }
+}
+
+/// Runs one scenario over `matrix` and returns its deterministic report.
+///
+/// Candidate data centers are every third node (the coordinator is
+/// candidate 0 — it is never chosen as a fault target); every node is a
+/// client with unit demand per tick.
+///
+/// # Errors
+///
+/// [`ScenarioError`] when the inputs are inconsistent or any layer fails.
+pub fn run_scenario(
+    matrix: &RttMatrix,
+    kind: ScenarioKind,
+    cfg: ScenarioConfig,
+) -> Result<ScenarioReport, ScenarioError> {
+    let n = matrix.len();
+    let p = cfg.phase_ticks;
+    if n < 12 {
+        return Err(ScenarioError::Setup("need at least 12 nodes"));
+    }
+    if cfg.k < 2 {
+        return Err(ScenarioError::Setup("need k ≥ 2 to survive failures"));
+    }
+    if p < 2 || cfg.rebalance_every == 0 {
+        return Err(ScenarioError::Setup(
+            "need ≥ 2 ticks per phase and a positive rebalance cadence",
+        ));
+    }
+    let candidates: Vec<usize> = (0..n).step_by(3).collect();
+    if cfg.k >= candidates.len() {
+        return Err(ScenarioError::Setup("k must be below the candidate count"));
+    }
+    let clients: Vec<usize> = (0..n).collect();
+    let coordinator = candidates[0];
+
+    // 1. Coordinates from gossip over the healthy network.
+    let gossip_cfg = GossipConfig {
+        ping_interval: SimDuration::from_ms(250.0),
+        duration: cfg.embed_duration,
+        seed: cfg.seed,
+        ..GossipConfig::default()
+    };
+    let embed = embed_via_simulation(matrix, gossip_cfg);
+    let mut messages_dropped = embed.net.messages_dropped;
+    let mut retries = embed.retries;
+
+    // 2. The live pipeline: manager + objective scoring.
+    // Generous micro-cluster budget: with summaries this fine the macro
+    // input barely depends on how routing split the clients, so the
+    // optimizer's post-recovery proposal converges back to its pre-fault
+    // fixed point instead of a near-tied alternative.
+    let mut mgr_cfg = ManagerConfig::new(cfg.k, 8);
+    mgr_cfg.seed = cfg.seed;
+    mgr_cfg.gain_per_dollar = 0.02;
+    mgr_cfg.restart_threads = cfg.threads;
+    let initial: Vec<usize> = candidates.iter().copied().take(cfg.k).collect();
+    let mut mgr = ReplicaManager::new(embed.coords.clone(), candidates.clone(), initial, mgr_cfg)?;
+    let problem = PlacementProblem::new(matrix, candidates.clone(), clients.clone())?;
+
+    let mut trace: Vec<TraceEvent> = Vec::new();
+    let mut timeline: Vec<TimelinePoint> = Vec::new();
+    let mut replacements = 0u64;
+    let mut excluded: Vec<usize> = Vec::new();
+    let mut faults: Option<Faults> = None;
+    let mut scoring_plan = FaultPlan::new(cfg.seed);
+    let mut pre_fault_placement: Vec<usize> = Vec::new();
+    let mut pre_fault_delay_ms = 0.0;
+    let mut prev_signature = (Vec::new(), Vec::new());
+
+    for tick in 0..3 * p {
+        let now = SimTime::ZERO + cfg.tick.mul(tick as u64);
+        if tick == 0 {
+            trace.push(TraceEvent::PhaseStart {
+                tick,
+                phase: "healthy",
+            });
+        }
+        // The fault targets depend on the demand-driven placement, so the
+        // plan is built at the fault-phase boundary.
+        if tick == p {
+            trace.push(TraceEvent::PhaseStart {
+                tick,
+                phase: "fault",
+            });
+            let mut placed: Vec<usize> = mgr.placement().to_vec();
+            placed.sort_unstable();
+            pre_fault_placement = placed;
+            pre_fault_delay_ms = problem.mean_delay(mgr.placement())?;
+            let f = build_faults(kind, &pre_fault_placement, coordinator, n, p);
+            scoring_plan = f.scoring_plan(cfg.seed, &cfg);
+            faults = Some(f);
+        }
+        if tick == 2 * p {
+            trace.push(TraceEvent::PhaseStart {
+                tick,
+                phase: "recovery",
+            });
+        }
+
+        // Failure detection: rerun gossip under the current fault state
+        // whenever the crash/partition signature changes, plus once at
+        // fault onset for loss/surge-only scenarios (their signature is
+        // empty, but retry statistics and detector tolerance matter).
+        if let Some(f) = &faults {
+            let signature = f.signature(tick, p);
+            let noise_onset = tick == p && f.has_noise();
+            if signature != prev_signature || noise_onset {
+                let verdict = if signature == (Vec::new(), Vec::new()) && !noise_onset {
+                    Vec::new() // all clear — nothing to probe for
+                } else {
+                    let detect = embed_with_faults(
+                        matrix,
+                        GossipConfig {
+                            ping_interval: SimDuration::from_ms(250.0),
+                            duration: cfg.detect_duration,
+                            seed: cfg.seed ^ 0xDE7EC7,
+                            ..GossipConfig::default()
+                        },
+                        f.detection_plan(tick, p, cfg.seed),
+                    );
+                    messages_dropped += detect.net.messages_dropped;
+                    retries += detect.retries;
+                    detected_failures(&detect.suspicion, coordinator)
+                };
+                prev_signature = signature;
+
+                let failed_set: HashSet<usize> = verdict.iter().copied().collect();
+                let degraded_ms = if verdict.is_empty() {
+                    None
+                } else {
+                    degraded_mean_delay(&problem, mgr.placement(), &failed_set)?
+                };
+                trace.push(TraceEvent::Detected {
+                    tick,
+                    nodes: verdict.clone(),
+                    degraded_ms,
+                });
+
+                // Newly detected nodes leave the pipeline. Only candidate
+                // DCs matter here: a detected non-candidate hosts nothing
+                // and can host nothing (restoring it later would otherwise
+                // smuggle it into the candidate set).
+                for &node in &verdict {
+                    if excluded.contains(&node) || !candidates.contains(&node) {
+                        continue;
+                    }
+                    if mgr.placement().contains(&node) && mgr.fail_replica(node).is_ok() {
+                        trace.push(TraceEvent::ReplicaFailed { tick, node });
+                        excluded.push(node);
+                    } else if mgr.quarantine_candidate(node).is_ok() {
+                        trace.push(TraceEvent::Quarantined { tick, node });
+                        excluded.push(node);
+                    }
+                }
+                // … and nodes no longer detected come back.
+                let healed: Vec<usize> = excluded
+                    .iter()
+                    .copied()
+                    .filter(|node| !verdict.contains(node))
+                    .collect();
+                for node in healed {
+                    mgr.restore_candidate(node)?;
+                    excluded.retain(|&e| e != node);
+                    trace.push(TraceEvent::Restored { tick, node });
+                }
+                // The degradation loop responds immediately: re-placement,
+                // still gated by migration cost.
+                rebalance(&mut mgr, tick, &mut trace, &mut replacements, tick >= p)?;
+            }
+        }
+
+        // Demand: every client the coordinator can currently hear from.
+        for &c in &clients {
+            if !scoring_plan.node_down(c, now) && !scoring_plan.partitioned(c, coordinator, now) {
+                mgr.record_access(embed.coords[c], 1.0);
+            }
+        }
+
+        // Truth-score this tick.
+        let (mean, unreachable) = fault_aware_delay(matrix, mgr.placement(), &scoring_plan, now);
+        timeline.push(TimelinePoint {
+            tick,
+            mean_delay_ms: mean,
+            unreachable,
+        });
+
+        if (tick + 1) % cfg.rebalance_every == 0 {
+            rebalance(&mut mgr, tick, &mut trace, &mut replacements, tick >= p)?;
+        }
+    }
+
+    let mut final_placement: Vec<usize> = mgr.placement().to_vec();
+    final_placement.sort_unstable();
+    let final_delay_ms = problem.mean_delay(mgr.placement())?;
+    let peak_delay_ms = timeline
+        .iter()
+        .filter(|t| t.tick >= p)
+        .filter_map(|t| t.mean_delay_ms)
+        .fold(0.0, f64::max);
+    let trace_hash = fnv1a(format!("{trace:?}").as_bytes());
+
+    Ok(ScenarioReport {
+        name: kind.name(),
+        timeline,
+        trace,
+        pre_fault_placement,
+        final_placement,
+        pre_fault_delay_ms,
+        final_delay_ms,
+        peak_delay_ms,
+        replacements,
+        messages_dropped,
+        retries,
+        trace_hash,
+    })
+}
+
+fn rebalance<const D: usize>(
+    mgr: &mut ReplicaManager<D>,
+    tick: u32,
+    trace: &mut Vec<TraceEvent>,
+    replacements: &mut u64,
+    after_fault_onset: bool,
+) -> Result<(), ScenarioError> {
+    let d = mgr.rebalance()?;
+    if d.applied && d.moved > 0 && after_fault_onset {
+        *replacements += 1;
+    }
+    trace.push(TraceEvent::Rebalance {
+        tick,
+        applied: d.applied,
+        moved: d.moved,
+        cost_usd: d.cost_usd,
+    });
+    Ok(())
+}
+
+/// Chooses fault targets from the pre-fault placement. The coordinator is
+/// never a target — it is the observer whose verdicts drive the loop.
+fn build_faults(
+    kind: ScenarioKind,
+    pre_fault_placement: &[usize],
+    coordinator: usize,
+    n: usize,
+    p: u32,
+) -> Faults {
+    // Replica-hosting DCs other than the coordinator, largest first so
+    // targets stay stable when the placement grows at the front.
+    let mut targets: Vec<usize> = pre_fault_placement
+        .iter()
+        .copied()
+        .filter(|&r| r != coordinator)
+        .collect();
+    targets.sort_unstable_by(|a, b| b.cmp(a));
+    let primary = targets.first().copied().unwrap_or(n - 1);
+    let secondary = targets.get(1).copied().unwrap_or(n - 2);
+    let empty = Faults {
+        crashes: Vec::new(),
+        partition_a: Vec::new(),
+        lossy: Vec::new(),
+        surges: Vec::new(),
+    };
+    match kind {
+        ScenarioKind::SingleDcCrash => Faults {
+            crashes: vec![(primary, p, 2 * p)],
+            ..empty
+        },
+        ScenarioKind::FlappingLink => Faults {
+            lossy: vec![(primary, secondary, 0.5)],
+            ..empty
+        },
+        ScenarioKind::Partition5050 => Faults {
+            // The coordinator's side is the lower half.
+            partition_a: (0..n / 2).collect(),
+            ..empty
+        },
+        ScenarioKind::RegionalLatencySurge => Faults {
+            surges: vec![((n / 2..n).collect(), 3.0)],
+            ..empty
+        },
+        ScenarioKind::RollingRecovery => Faults {
+            // Overlapping windows: primary dies first and recovers while
+            // secondary is still dark.
+            crashes: vec![(primary, p, p + (3 * p) / 4), (secondary, p + p / 4, 2 * p)],
+            ..empty
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use georep_net::topology::{Topology, TopologyConfig};
+
+    fn matrix(n: usize) -> RttMatrix {
+        Topology::generate(TopologyConfig {
+            nodes: n,
+            seed: 7,
+            ..Default::default()
+        })
+        .expect("topology generates for n ≥ 2")
+        .into_matrix()
+    }
+
+    fn quick_cfg() -> ScenarioConfig {
+        ScenarioConfig {
+            phase_ticks: 4,
+            embed_duration: SimDuration::from_secs(20.0),
+            detect_duration: SimDuration::from_secs(25.0),
+            rebalance_every: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_crash_detects_fails_over_and_recovers() {
+        let m = matrix(24);
+        let report = run_scenario(&m, ScenarioKind::SingleDcCrash, quick_cfg()).unwrap();
+        assert!(
+            report
+                .trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::ReplicaFailed { .. })),
+            "the crashed replica must be evicted: {:?}",
+            report.trace
+        );
+        assert!(
+            report
+                .trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Restored { .. })),
+            "the healed DC must return: {:?}",
+            report.trace
+        );
+        assert!(report.replacements >= 1, "failover must re-place");
+        assert!(report.messages_dropped > 0);
+        assert_eq!(report.timeline.len(), 12);
+        // The degradation loop scored the survivors through the cost tables.
+        assert!(report.trace.iter().any(|e| matches!(
+            e,
+            TraceEvent::Detected {
+                degraded_ms: Some(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn flapping_link_retries_without_failover() {
+        let m = matrix(24);
+        let report = run_scenario(&m, ScenarioKind::FlappingLink, quick_cfg()).unwrap();
+        assert!(report.messages_dropped > 0, "the lossy link must drop");
+        assert!(
+            !report
+                .trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::ReplicaFailed { .. })),
+            "loss alone must not evict a replica: {:?}",
+            report.trace
+        );
+    }
+
+    #[test]
+    fn scenario_is_deterministic_and_thread_count_invariant() {
+        let m = matrix(24);
+        let base = run_scenario(&m, ScenarioKind::SingleDcCrash, quick_cfg()).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = ScenarioConfig {
+                threads,
+                ..quick_cfg()
+            };
+            let run = run_scenario(&m, ScenarioKind::SingleDcCrash, cfg).unwrap();
+            assert_eq!(run, base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn too_small_inputs_rejected() {
+        let m = matrix(12);
+        assert!(matches!(
+            run_scenario(
+                &m,
+                ScenarioKind::SingleDcCrash,
+                ScenarioConfig {
+                    k: 1,
+                    ..quick_cfg()
+                }
+            ),
+            Err(ScenarioError::Setup(_))
+        ));
+    }
+}

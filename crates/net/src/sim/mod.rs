@@ -9,7 +9,10 @@
 //! * [`engine`] — the event loop: a priority queue of closures executed in
 //!   timestamp order against a user-supplied world state;
 //! * [`network`] — message-delay sampling backed by an
-//!   [`crate::rtt::RttMatrix`], with optional per-message jitter.
+//!   [`crate::rtt::RttMatrix`], with optional per-message jitter;
+//! * [`fault`] — seeded, time-scheduled fault injection ([`FaultPlan`]):
+//!   packet loss, latency surges, partitions and DC crashes that the
+//!   network consults for every delivery.
 //!
 //! # Example: ping-pong
 //!
@@ -32,11 +35,13 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod network;
 pub mod process;
 pub mod time;
 
 pub use engine::{Context, Simulation};
+pub use fault::{Delivery, DropCause, FaultPlan};
 pub use network::Network;
-pub use process::{NodeId, Process, ProcessCtx, ProcessNet};
+pub use process::{NetStats, NodeId, Process, ProcessCtx, ProcessNet};
 pub use time::{SimDuration, SimTime};

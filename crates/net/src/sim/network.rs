@@ -11,7 +11,8 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use super::time::SimDuration;
+use super::fault::{Delivery, FaultPlan};
+use super::time::{SimDuration, SimTime};
 use crate::rtt::RttMatrix;
 
 /// A latency sampler bound to an RTT matrix.
@@ -20,6 +21,7 @@ pub struct Network {
     matrix: RttMatrix,
     jitter_sigma: f64,
     rng: StdRng,
+    faults: Option<FaultPlan>,
 }
 
 impl Network {
@@ -29,6 +31,7 @@ impl Network {
             matrix,
             jitter_sigma: 0.0,
             rng: StdRng::seed_from_u64(0),
+            faults: None,
         }
     }
 
@@ -47,7 +50,26 @@ impl Network {
             matrix,
             jitter_sigma,
             rng: StdRng::seed_from_u64(seed),
+            faults: None,
         }
+    }
+
+    /// Like [`Network::with_jitter`], but with a [`FaultPlan`] installed so
+    /// deliveries can be dropped, partitioned, or surge-delayed.
+    pub fn with_faults(matrix: RttMatrix, jitter_sigma: f64, seed: u64, plan: FaultPlan) -> Self {
+        let mut net = Network::with_jitter(matrix, jitter_sigma, seed);
+        net.faults = Some(plan);
+        net
+    }
+
+    /// Installs (or replaces) the fault plan mid-simulation.
+    pub fn set_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The underlying matrix.
@@ -97,6 +119,18 @@ impl Network {
     /// Samples a one-way message delay (half a jittered RTT).
     pub fn sample_delay(&mut self, from: usize, to: usize) -> SimDuration {
         SimDuration::from_ms(self.sample_rtt_ms(from, to) / 2.0)
+    }
+
+    /// Decides the fate of a message sent at `at`: the jittered delay is
+    /// sampled first (so the RNG stream is identical whether or not a fault
+    /// plan is installed), then the plan — if any — may drop the message or
+    /// stretch the delay.
+    pub fn deliver(&mut self, from: usize, to: usize, at: SimTime) -> Delivery {
+        let base = self.sample_delay(from, to);
+        match &mut self.faults {
+            None => Delivery::Deliver(base),
+            Some(plan) => plan.delivery(from, to, at, base),
+        }
     }
 }
 
@@ -161,5 +195,45 @@ mod tests {
     fn set_matrix_rejects_size_mismatch() {
         let mut net = Network::new(matrix());
         net.set_matrix(RttMatrix::from_fn(5, |_, _| 1.0).unwrap());
+    }
+
+    #[test]
+    fn deliver_without_plan_matches_sample_delay() {
+        let mut plain = Network::with_jitter(matrix(), 0.2, 11);
+        let mut faulty = Network::with_faults(matrix(), 0.2, 11, FaultPlan::new(0));
+        for _ in 0..50 {
+            let expect = plain.sample_delay(1, 3);
+            assert_eq!(
+                faulty.deliver(1, 3, SimTime::ZERO),
+                Delivery::Deliver(expect),
+                "an empty fault plan must not perturb the delay stream"
+            );
+        }
+    }
+
+    #[test]
+    fn deliver_consults_the_plan() {
+        let plan = FaultPlan::new(5).crash(2, SimTime::ZERO, SimTime::from_ms(100.0));
+        let mut net = Network::with_faults(matrix(), 0.0, 0, plan);
+        assert!(matches!(
+            net.deliver(0, 2, SimTime::from_ms(5.0)),
+            Delivery::Dropped(super::super::fault::DropCause::NodeDown)
+        ));
+        // Sent after the window heals: delivered with the clean delay.
+        assert_eq!(
+            net.deliver(0, 2, SimTime::from_ms(100.0)),
+            Delivery::Deliver(SimDuration::from_ms(20.0))
+        );
+    }
+
+    #[test]
+    fn set_faults_installs_mid_simulation() {
+        let mut net = Network::new(matrix());
+        assert!(net.faults().is_none());
+        net.set_faults(FaultPlan::new(1).with_default_loss(1.0));
+        assert!(matches!(
+            net.deliver(0, 1, SimTime::ZERO),
+            Delivery::Dropped(_)
+        ));
     }
 }

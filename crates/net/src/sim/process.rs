@@ -75,6 +75,7 @@ struct World<P, M> {
     procs: Vec<P>,
     network: Network,
     messages_delivered: u64,
+    messages_dropped: u64,
     _marker: std::marker::PhantomData<M>,
 }
 
@@ -83,6 +84,8 @@ struct World<P, M> {
 pub struct NetStats {
     /// Messages delivered so far.
     pub messages_delivered: u64,
+    /// Messages dropped by the fault layer (zero without a fault plan).
+    pub messages_dropped: u64,
     /// Events executed by the underlying engine.
     pub events_executed: u64,
 }
@@ -142,6 +145,7 @@ impl<P: Process<M>, M: 'static> ProcessNet<P, M> {
             procs,
             network,
             messages_delivered: 0,
+            messages_dropped: 0,
             _marker: std::marker::PhantomData,
         };
         let mut sim = Simulation::new(world);
@@ -200,6 +204,7 @@ impl<P: Process<M>, M: 'static> ProcessNet<P, M> {
     pub fn stats(&self) -> NetStats {
         NetStats {
             messages_delivered: self.sim.world().messages_delivered,
+            messages_dropped: self.sim.world().messages_dropped,
             events_executed: self.sim.executed(),
         }
     }
@@ -221,9 +226,17 @@ fn apply_actions<P: Process<M>, M: 'static>(
         match action {
             Action::Send { to, msg } => {
                 let delay = if to == node {
+                    // Self-sends bypass the network — and the fault layer: a
+                    // DC can always talk to itself.
                     SimDuration::from_micros(1)
                 } else {
-                    w.network.sample_delay(node, to)
+                    match w.network.deliver(node, to, ctx.now()) {
+                        super::fault::Delivery::Deliver(d) => d,
+                        super::fault::Delivery::Dropped(_) => {
+                            w.messages_dropped += 1;
+                            continue;
+                        }
+                    }
                 };
                 ctx.schedule_in(delay, move |w: &mut World<P, M>, ctx| {
                     w.messages_delivered += 1;
@@ -393,6 +406,32 @@ mod tests {
     #[should_panic(expected = "one process per network node")]
     fn process_count_must_match() {
         let _ = ProcessNet::new(Network::new(matrix(3)), vec![Ticker { ticks: 0 }]);
+    }
+
+    #[test]
+    fn fault_plan_drops_are_counted_not_delivered() {
+        use super::super::fault::FaultPlan;
+        use super::super::network::Network as Net;
+        let n = 4;
+        // Node 3 is dark for the whole run: every message to or from it is
+        // dropped; the other 3 nodes flood normally.
+        let plan = FaultPlan::new(9).crash(3, SimTime::ZERO, SimTime::from_ms(3_600_000.0));
+        let procs: Vec<Flooder> = (0..n)
+            .map(|_| Flooder {
+                received: 0,
+                peers: n,
+            })
+            .collect();
+        let mut net = ProcessNet::new(Net::with_faults(matrix(n), 0.0, 0, plan), procs);
+        net.run_to_completion(None);
+        for (i, p) in net.processes().enumerate() {
+            let expect = if i == 3 { 0 } else { (n - 2) as u32 };
+            assert_eq!(p.received, expect, "node {i}");
+        }
+        let stats = net.stats();
+        assert_eq!(stats.messages_delivered, (3 * 2) as u64);
+        // 3 sends from node 3 + 3 sends to node 3.
+        assert_eq!(stats.messages_dropped, 6);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! CI-gated robustness suite over the named fault scenarios.
+//!
+//! Two invariants hold for every scenario in
+//! [`georep_core::scenario::ALL_SCENARIOS`]:
+//!
+//! 1. **Determinism across thread counts** — a scenario run is a pure
+//!    function of `(matrix, kind, config)`; the manager's clustering
+//!    restart threads (1, 2 and 8 here) must not change a single bit of
+//!    the report: trace, timeline, placements, hash.
+//! 2. **Recovery** — once every fault window closes and quarantined data
+//!    centers are restored, the cost-gated re-placement loop must bring
+//!    the true mean client delay back within ε of the pre-fault optimum.
+//!
+//! The same scenarios back `bench_robustness`, which emits the
+//! `BENCH_robustness.json` timelines checked by the `bench-sanity` CI job;
+//! this suite is the pinned, pass/fail half of that story.
+
+use georep_core::scenario::{run_scenario, ScenarioConfig, ScenarioKind, ALL_SCENARIOS};
+use georep_net::sim::SimDuration;
+use georep_net::topology::{Topology, TopologyConfig};
+
+/// Post-recovery mean delay may exceed the pre-fault optimum by this
+/// fraction. The placement is re-derived from post-fault demand summaries,
+/// so exact equality is not guaranteed — closeness is.
+const EPSILON: f64 = 0.15;
+
+fn matrix(nodes: usize) -> georep_net::rtt::RttMatrix {
+    Topology::generate(TopologyConfig {
+        nodes,
+        seed: 11,
+        ..Default::default()
+    })
+    .expect("topology generates for n ≥ 2")
+    .into_matrix()
+}
+
+fn suite_cfg(threads: usize) -> ScenarioConfig {
+    ScenarioConfig {
+        threads,
+        phase_ticks: 4,
+        rebalance_every: 2,
+        embed_duration: SimDuration::from_secs(20.0),
+        detect_duration: SimDuration::from_secs(25.0),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn reports_are_bit_identical_across_1_2_and_8_threads() {
+    let m = matrix(24);
+    for kind in ALL_SCENARIOS {
+        let base = run_scenario(&m, kind, suite_cfg(1))
+            .unwrap_or_else(|e| panic!("{} does not run: {e:?}", kind.name()));
+        for threads in [2, 8] {
+            let run = run_scenario(&m, kind, suite_cfg(threads)).expect("scenario runs");
+            assert_eq!(
+                run,
+                base,
+                "{}: report diverged at threads={threads}",
+                kind.name()
+            );
+            assert_eq!(
+                run.trace_hash,
+                base.trace_hash,
+                "{}: trace hash diverged at threads={threads}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn post_recovery_delay_returns_within_epsilon_of_the_pre_fault_optimum() {
+    let m = matrix(24);
+    for kind in ALL_SCENARIOS {
+        let report = run_scenario(&m, kind, suite_cfg(0)).expect("scenario runs");
+        assert!(
+            report.pre_fault_delay_ms > 0.0,
+            "{}: pre-fault baseline must be positive",
+            kind.name()
+        );
+        assert!(
+            report.final_delay_ms <= report.pre_fault_delay_ms * (1.0 + EPSILON),
+            "{}: final {:.2} ms vs pre-fault {:.2} ms exceeds ε = {EPSILON}",
+            kind.name(),
+            report.final_delay_ms,
+            report.pre_fault_delay_ms
+        );
+        // The last timeline tick happens on a healthy network again: every
+        // client must be reachable.
+        let last = report.timeline.last().expect("timeline is non-empty");
+        assert_eq!(
+            last.unreachable,
+            0,
+            "{}: clients still unreachable after recovery",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn crash_scenarios_fail_over_and_restore() {
+    use georep_core::scenario::TraceEvent;
+    let m = matrix(24);
+    for kind in [ScenarioKind::SingleDcCrash, ScenarioKind::RollingRecovery] {
+        let report = run_scenario(&m, kind, suite_cfg(0)).expect("scenario runs");
+        let failed = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ReplicaFailed { .. }))
+            .count();
+        let restored = report
+            .trace
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Restored { .. }))
+            .count();
+        assert!(failed >= 1, "{}: no replica was evicted", kind.name());
+        assert_eq!(
+            failed,
+            restored,
+            "{}: every evicted DC must eventually be restored",
+            kind.name()
+        );
+        assert!(
+            report.replacements >= 1,
+            "{}: failover must trigger a re-placement",
+            kind.name()
+        );
+    }
+}

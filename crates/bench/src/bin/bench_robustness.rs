@@ -6,12 +6,16 @@
 //! clustering thread counts 1, 2 and 8, and:
 //!
 //! * asserts the three reports are **bit-identical** (the determinism
-//!   contract of `georep_core::scenario`);
+//!   contract of `georep_core::scenario`) — the base run additionally
+//!   carries an `InMemoryRecorder` teed into a JSONL trace, so the
+//!   assertion also proves instrumentation does not perturb results;
 //! * prints the degraded-delay story per scenario (pre-fault, peak,
 //!   post-recovery mean client delay, re-placements, drops, retries);
-//! * writes `BENCH_robustness.json` with the per-tick timelines, which the
-//!   `bench-sanity` CI job validates for required keys and
-//!   `identical_result: true`.
+//! * writes `BENCH_robustness.json` with the per-tick timelines, plus the
+//!   telemetry [`RunReport`] (`RUNREPORT_robustness.json`) and the raw
+//!   trace (`TRACE_robustness.jsonl`, path overridable via
+//!   `GEOREP_TRACE`), which the `bench-sanity` CI job validates for
+//!   required keys and `identical_result: true`.
 //!
 //! Run with `cargo run -p georep-bench --release --bin bench_robustness`
 //! (`--quick` shortens the phases, `--nodes N` and `--out DIR` as usual).
@@ -19,7 +23,10 @@
 use std::fmt::Write as _;
 
 use georep_bench::{HarnessOptions, ResultTable};
-use georep_core::scenario::{run_scenario, ScenarioConfig, ScenarioReport, ALL_SCENARIOS};
+use georep_core::scenario::{
+    run_scenario, run_scenario_with_recorder, ScenarioConfig, ScenarioReport, ALL_SCENARIOS,
+};
+use georep_core::telemetry::{InMemoryRecorder, RunReport, Tee, TraceWriter};
 use georep_net::sim::SimDuration;
 use georep_net::topology::{Topology, TopologyConfig};
 
@@ -68,11 +75,30 @@ fn main() {
         "identical",
         "recovered",
     ]);
+    // The base run of every scenario records into one aggregate recorder,
+    // teed into a JSONL trace. `GEOREP_TRACE` overrides the trace path.
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("warning: cannot create {}: {e}", opts.out_dir.display());
+    }
+    let recorder = InMemoryRecorder::new();
+    let trace_path = match std::env::var("GEOREP_TRACE") {
+        Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => opts.out_dir.join("TRACE_robustness.jsonl"),
+    };
+    let trace = TraceWriter::create(&trace_path)
+        .map_err(|e| eprintln!("warning: cannot create {}: {e}", trace_path.display()))
+        .ok();
+
     let mut reports: Vec<(ScenarioReport, bool)> = Vec::new();
     let mut all_identical = true;
     for kind in ALL_SCENARIOS {
-        let base = run_scenario(&matrix, kind, cfg(THREADS[0]))
-            .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
+        let base = match &trace {
+            Some(w) => {
+                run_scenario_with_recorder(&matrix, kind, cfg(THREADS[0]), &Tee(&recorder, w))
+            }
+            None => run_scenario_with_recorder(&matrix, kind, cfg(THREADS[0]), &recorder),
+        }
+        .unwrap_or_else(|e| panic!("{} failed: {e}", kind.name()));
         let identical = THREADS[1..].iter().all(|&threads| {
             run_scenario(&matrix, kind, cfg(threads))
                 .map(|r| r == base)
@@ -161,5 +187,21 @@ fn main() {
     match std::fs::create_dir_all(&opts.out_dir).and_then(|()| std::fs::write(&path, &json)) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+
+    // ---- Telemetry record: the aggregate of every base run. ----
+    let report = RunReport::from_recorder("bench_robustness", &recorder);
+    assert!(
+        report.counter("gossip.pings") > 0 && report.counter("manager.rounds") > 0,
+        "base runs recorded no telemetry — the recorder is not threaded through"
+    );
+    let report_path = opts.out_dir.join("RUNREPORT_robustness.json");
+    match std::fs::write(&report_path, report.to_json()) {
+        Ok(()) => println!("wrote {}", report_path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", report_path.display()),
+    }
+    if let Some(w) = &trace {
+        w.flush();
+        println!("wrote {}", trace_path.display());
     }
 }

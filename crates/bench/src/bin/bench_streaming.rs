@@ -38,6 +38,7 @@ use georep_coord::{Coord, EmbeddingRunner};
 use georep_core::experiment::DIMS;
 use georep_core::manager::{ManagerConfig, ReplicaManager};
 use georep_core::migration::moved_replicas;
+use georep_core::telemetry::{NullRecorder, Recorder};
 use georep_net::topology::{Topology, TopologyConfig};
 use georep_workload::population::Population;
 use georep_workload::stream::{PhasedWorkload, StreamConfig};
@@ -51,6 +52,7 @@ const PERIOD_MS: f64 = 4_000.0;
 const PHASES: usize = 8;
 const REPEATS_STREAM: usize = 10;
 const REPEATS_KMEANS: usize = 25;
+const REPEATS_OVERHEAD: usize = 40;
 
 // ---- The naive end-to-end manager, assembled from the originals. ----
 
@@ -215,6 +217,30 @@ impl NaiveManager {
     }
 }
 
+/// The ingest loop as the instrumented drivers run it: per-event observe
+/// (whose `StreamStats` u64 bumps are part of the measured path either
+/// way) plus the once-per-run flush of those tallies into a [`Recorder`].
+/// Monomorphized over `R`, so with [`NullRecorder`] the whole
+/// instrumentation compiles away — the overhead measured against the
+/// plain loop is the telemetry layer's ≤ 1 % contract.
+fn ingest_with_recorder<R: Recorder>(
+    events: &[(Coord<DIMS>, f64)],
+    cfg: OnlineConfig,
+    rec: &R,
+) -> OnlineClusterer<DIMS> {
+    let mut c = OnlineClusterer::<DIMS>::with_config(cfg);
+    for &(coord, w) in events {
+        c.observe(coord, w);
+    }
+    if rec.enabled() {
+        let s = c.stream_stats();
+        rec.counter("stream.absorbed", s.absorbed);
+        rec.counter("stream.created", s.created);
+        rec.counter("stream.merged", s.merged);
+    }
+    c
+}
+
 // ---- Harness. ----
 
 /// Best-of-N wall time in milliseconds, plus the last returned value.
@@ -338,6 +364,65 @@ fn main() {
         naive_ms,
         refactored_ms,
         identical,
+    );
+
+    // Telemetry overhead contract: the same ingest with a NullRecorder
+    // attached must cost ≤ 1 % over the plain loop (and produce identical
+    // clusters). The two sides alternate within one loop, each round
+    // yields one recorder/plain ratio, and the verdict is the *median*
+    // ratio: paired rounds share one cache/frequency state, and the
+    // median shrugs off the scheduler spikes that make a
+    // ratio-of-best-times comparison flaky at a ~2 % machine noise floor.
+    let mut plain_ms = f64::INFINITY;
+    let mut recorder_ms = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(REPEATS_OVERHEAD);
+    let mut plain_ingest = None;
+    let mut recorder_ingest = None;
+    for _ in 0..REPEATS_OVERHEAD {
+        let start = Instant::now();
+        plain_ingest = Some({
+            let mut c = OnlineClusterer::<DIMS>::with_config(ingest_cfg);
+            for &(coord, w) in &ingest_events {
+                c.observe(coord, w);
+            }
+            c
+        });
+        let round_plain = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        recorder_ingest = Some(ingest_with_recorder(
+            &ingest_events,
+            ingest_cfg,
+            &NullRecorder,
+        ));
+        let round_recorder = start.elapsed().as_secs_f64() * 1e3;
+        plain_ms = plain_ms.min(round_plain);
+        recorder_ms = recorder_ms.min(round_recorder);
+        ratios.push(round_recorder / round_plain);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let median_ratio = ratios[ratios.len() / 2];
+    let (plain_ingest, recorder_ingest) = (
+        plain_ingest.expect("REPEATS_OVERHEAD ≥ 1"),
+        recorder_ingest.expect("REPEATS_OVERHEAD ≥ 1"),
+    );
+    assert!(
+        plain_ingest.clusters().len() == recorder_ingest.clusters().len()
+            && plain_ingest
+                .clusters()
+                .iter()
+                .zip(recorder_ingest.clusters())
+                .all(|(a, b)| a.count() == b.count() && a.sum() == b.sum() && a.sum2() == b.sum2()),
+        "NullRecorder ingest diverged from the plain loop"
+    );
+    let recorder_overhead_pct = (median_ratio - 1.0) * 100.0;
+    let recorder_overhead_ok = recorder_overhead_pct <= 1.0;
+    println!(
+        "{:<14} {plain_ms:>12.3} {recorder_ms:>14.3} {recorder_overhead_pct:>+8.2}%  {recorder_overhead_ok}",
+        "null recorder"
+    );
+    assert!(
+        recorder_overhead_ok,
+        "NullRecorder ingest overhead {recorder_overhead_pct:.2}% exceeds the 1% budget"
     );
 
     // ---- Stage 2: weighted k-means macro-clustering. ----
@@ -498,6 +583,12 @@ fn main() {
         json,
         "  \"available_parallelism\": {},",
         std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+    let _ = writeln!(
+        json,
+        "  \"recorder_plain_ms\": {plain_ms:.3},\n  \"recorder_ingest_ms\": {recorder_ms:.3},\n  \
+         \"recorder_overhead_pct\": {recorder_overhead_pct:.3},\n  \"recorder_overhead_ok\": \
+         {recorder_overhead_ok},"
     );
     let _ = writeln!(
         json,

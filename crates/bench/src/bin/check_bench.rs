@@ -1,10 +1,12 @@
 //! Sanity gate for the wall-time emitters' JSON records.
 //!
-//! `check_bench DIR FILE...` verifies that each named `BENCH_*.json` exists
-//! under `DIR`, contains the keys that file is known to need, and nowhere
-//! reports `"identical_result": false` — the bit-identity assertions inside
-//! the emitters must not have been weakened into a warning. Exits non-zero
-//! with a per-file report otherwise.
+//! `check_bench DIR FILE...` verifies that each named `BENCH_*.json` or
+//! `RUNREPORT_*.json` exists under `DIR`, contains the keys that file is
+//! known to need, carries no `NaN`/`inf` value, reports no negative
+//! speedup, and nowhere reports `"identical_result": false` — the
+//! bit-identity assertions inside the emitters must not have been
+//! weakened into a warning. Exits non-zero with a per-file report
+//! otherwise.
 //!
 //! Deliberately dependency-free (substring checks, no JSON parser): the
 //! workspace ships no serde_json, and key presence plus the `false` scan is
@@ -14,11 +16,16 @@ use std::path::Path;
 use std::process::exit;
 
 /// Keys each known record must contain. Files not listed here are only
-/// checked for the `identical_result: false` rule.
+/// checked for the value-level rules.
 fn required_keys(file: &str) -> &'static [&'static str] {
     match file {
-        "BENCH_streaming.json" => &["\"results\"", "\"identical_result\"", "\"speedup\""],
-        "BENCH_placement.json" => &["\"results\"", "\"identical_result\"", "\"speedup\""],
+        "BENCH_streaming.json" => &[
+            "\"results\"",
+            "\"identical_result\"",
+            "\"speedup\"",
+            "\"recorder_overhead_pct\"",
+        ],
+        "BENCH_placement.json" => &["\"results\"", "\"identical_placement\"", "\"speedup\""],
         "BENCH_robustness.json" => &[
             "\"scenarios\"",
             "\"identical_result\"",
@@ -29,25 +36,59 @@ fn required_keys(file: &str) -> &'static [&'static str] {
             "\"retries\"",
             "\"recovered_within_epsilon\"",
         ],
+        // The telemetry aggregate bench_robustness emits: the RunReport
+        // frame plus the counters no base run can avoid touching.
+        "RUNREPORT_robustness.json" => &[
+            "\"run\"",
+            "\"events\"",
+            "\"counters\"",
+            "\"histograms\"",
+            "\"gossip.pings\"",
+            "\"net.messages_dropped\"",
+            "\"manager.rounds\"",
+        ],
         _ => &[],
     }
+}
+
+/// Validates one record's content against the rules for `file`.
+fn check_content(file: &str, content: &str) -> Result<(), String> {
+    for key in required_keys(file) {
+        if !content.contains(key) {
+            return Err(format!("{file}: required key {key} missing"));
+        }
+    }
+    // Whitespace-tolerant scans for value-level rules.
+    let squashed: String = content.chars().filter(|c| !c.is_whitespace()).collect();
+    for key in ["identical_result", "identical_placement"] {
+        if squashed.contains(&format!("\"{key}\":false")) {
+            return Err(format!("{file}: reports {key}: false"));
+        }
+    }
+    // Our hand-rolled emitters print non-finite f64 via `{}`: NaN / inf.
+    for bad in [":NaN", ":-NaN", ":inf", ":-inf"] {
+        if squashed.contains(bad) {
+            return Err(format!("{file}: contains a non-finite value ({bad})"));
+        }
+    }
+    if squashed.contains("\"speedup\":-") {
+        return Err(format!("{file}: reports a negative speedup"));
+    }
+    if squashed.contains("\"recorder_overhead_pct\":")
+        && !squashed.contains("\"recorder_overhead_ok\":true")
+    {
+        return Err(format!(
+            "{file}: recorder overhead exceeded the ≤ 1% budget"
+        ));
+    }
+    Ok(())
 }
 
 fn check(dir: &Path, file: &str) -> Result<(), String> {
     let path = dir.join(file);
     let content = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    for key in required_keys(file) {
-        if !content.contains(key) {
-            return Err(format!("{file}: required key {key} missing"));
-        }
-    }
-    // Whitespace-tolerant scan for a `false` verdict.
-    let squashed: String = content.chars().filter(|c| !c.is_whitespace()).collect();
-    if squashed.contains("\"identical_result\":false") {
-        return Err(format!("{file}: reports identical_result: false"));
-    }
-    Ok(())
+    check_content(file, &content)
 }
 
 fn main() {
@@ -71,5 +112,94 @@ fn main() {
     }
     if failed {
         exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use georep_core::telemetry::{InMemoryRecorder, Recorder, RunReport};
+
+    /// The records checked into the repository root must satisfy the gate
+    /// (they are the reference output of the three emitters).
+    #[test]
+    fn accepts_the_checked_in_bench_records() {
+        let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        for file in [
+            "BENCH_streaming.json",
+            "BENCH_placement.json",
+            "BENCH_robustness.json",
+        ] {
+            check(root, file).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_a_missing_required_key() {
+        let err = check_content("BENCH_streaming.json", "{\"results\": []}").unwrap_err();
+        assert!(err.contains("required key"), "{err}");
+    }
+
+    #[test]
+    fn rejects_an_identical_result_false() {
+        let content = r#"{"results": [{"speedup": 2.0, "identical_result": false}],
+                          "recorder_overhead_pct": 0.1, "recorder_overhead_ok": true}"#;
+        let err = check_content("BENCH_streaming.json", content).unwrap_err();
+        assert!(err.contains("identical_result"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        let content = r#"{"results": [{"speedup": NaN, "identical_result": true}],
+                          "recorder_overhead_pct": 0.1, "recorder_overhead_ok": true}"#;
+        let err = check_content("BENCH_streaming.json", content).unwrap_err();
+        assert!(err.contains("non-finite"), "{err}");
+        let content = r#"{"results": [{"speedup": inf, "identical_result": true}]}"#;
+        assert!(check_content("other.json", content).is_err());
+    }
+
+    #[test]
+    fn rejects_a_negative_speedup() {
+        let content = r#"{"results": [{"speedup": -0.52, "identical_result": true}],
+                          "recorder_overhead_pct": 0.1, "recorder_overhead_ok": true}"#;
+        let err = check_content("BENCH_streaming.json", content).unwrap_err();
+        assert!(err.contains("negative speedup"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_blown_recorder_overhead_budget() {
+        let content = r#"{"results": [{"speedup": 2.0, "identical_result": true}],
+                          "recorder_overhead_pct": 4.20, "recorder_overhead_ok": false}"#;
+        let err = check_content("BENCH_streaming.json", content).unwrap_err();
+        assert!(err.contains("overhead"), "{err}");
+    }
+
+    /// A RunReport rendered by the telemetry layer itself passes the gate.
+    #[test]
+    fn accepts_a_rendered_run_report() {
+        let rec = InMemoryRecorder::new();
+        rec.counter("gossip.pings", 123);
+        rec.counter("net.messages_dropped", 4);
+        rec.counter("manager.rounds", 8);
+        rec.observe("tick.mean_delay_ms", 91.5);
+        rec.event("scenario.start", &[]);
+        let report = RunReport::from_recorder("bench_robustness", &rec);
+        check_content("RUNREPORT_robustness.json", &report.to_json())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn rejects_a_run_report_missing_its_counters() {
+        let rec = InMemoryRecorder::new();
+        rec.counter("gossip.pings", 123);
+        let report = RunReport::from_recorder("bench_robustness", &rec);
+        let err = check_content("RUNREPORT_robustness.json", &report.to_json()).unwrap_err();
+        assert!(err.contains("required key"), "{err}");
+    }
+
+    #[test]
+    fn unknown_files_still_get_the_value_rules() {
+        assert!(check_content("whatever.json", "{\"a\": 1}").is_ok());
+        assert!(check_content("whatever.json", "{\"identical_result\": false}").is_err());
     }
 }

@@ -5,45 +5,35 @@
 //! offline k-means clustering, online clustering, optimal); results
 //! averaged over 30 runs with different candidate locations.
 //!
+//! The sweep itself lives in [`georep_bench::figures::figure1_series`]
+//! (where the golden-file suite snapshots it); this binary renders the
+//! table, writes the CSV and checks the paper's qualitative shapes.
+//!
 //! Run with `cargo run -p georep-bench --release --bin figure1`
 //! (`--quick` for a 5-seed smoke run).
 
+use georep_bench::figures::{figure1_series, Figure1Config};
 use georep_bench::{report_checks, HarnessOptions, ResultTable, ShapeCheck};
-use georep_core::experiment::{Experiment, StrategyKind};
-use georep_net::topology::{Topology, TopologyConfig};
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    let dc_counts = [4usize, 8, 12, 16, 20, 24, 28];
-    let k = 3;
+    let cfg = Figure1Config {
+        nodes: opts.nodes,
+        seeds: opts.seeds,
+        ..Figure1Config::default()
+    };
+    let k = cfg.replicas;
 
     println!(
         "figure 1: average access delay vs number of data centers ({} replicas, {} nodes, {} seeds)",
         k, opts.nodes, opts.seeds
     );
 
-    let matrix = Topology::generate(TopologyConfig {
-        nodes: opts.nodes,
-        seed: georep_net::planetlab::PLANETLAB_SEED,
-        ..Default::default()
-    })
-    .expect("valid topology config")
-    .into_matrix();
-
-    // One embedding for the whole sweep: coordinates depend on the matrix,
-    // not on which nodes later become data centers.
-    let base = Experiment::builder(matrix.clone())
-        .data_centers(dc_counts[0])
-        .replicas(k)
-        .seeds(opts.seed_range())
-        .build()
-        .expect("base experiment");
-    let coords = base.coords().to_vec();
-    let report = base.embedding_report().clone();
+    let data = figure1_series(&cfg);
     println!(
         "embedding: median error {:.1} ms, {:.0}% of pairs within 10 ms",
-        report.median_abs_err,
-        report.frac_within_10ms * 100.0
+        data.median_abs_err,
+        data.frac_within_10ms * 100.0
     );
 
     let mut table = ResultTable::new([
@@ -53,22 +43,10 @@ fn main() {
         "online clustering",
         "optimal",
     ]);
-    // series[strategy][dc index] = mean delay.
-    let mut series = vec![Vec::new(); StrategyKind::PAPER.len()];
-
-    for &dcs in &dc_counts {
-        let exp = Experiment::builder(matrix.clone())
-            .data_centers(dcs)
-            .replicas(k)
-            .seeds(opts.seed_range())
-            .with_embedding(coords.clone(), report.clone())
-            .build()
-            .expect("sweep experiment");
+    for (di, &dcs) in data.dc_counts.iter().enumerate() {
         let mut row = vec![dcs.to_string()];
-        for (si, &kind) in StrategyKind::PAPER.iter().enumerate() {
-            let run = exp.run(kind).expect("strategy runs");
-            row.push(format!("{:.1}", run.mean_delay_ms));
-            series[si].push(run.mean_delay_ms);
+        for series in &data.series {
+            row.push(format!("{:.1}", series[di]));
         }
         table.push_row(row);
     }
@@ -78,7 +56,13 @@ fn main() {
         println!("csv written to {}", path.display());
     }
 
-    let (random, offline, online, optimal) = (&series[0], &series[1], &series[2], &series[3]);
+    let (random, offline, online, optimal) = (
+        &data.series[0],
+        &data.series[1],
+        &data.series[2],
+        &data.series[3],
+    );
+    let dc_counts = &data.dc_counts;
     let last = dc_counts.len() - 1;
     let drop_pct = |v: &[f64]| (v[0] - v[last]) / v[0] * 100.0;
     let max_gap = online

@@ -12,39 +12,16 @@
 //! whereas offline clustering of 1 million accesses would ship tens of
 //! megabytes. This binary *measures* both sides: actual wire bytes of the
 //! summaries versus a raw coordinate log, and actual clustering wall-time.
+//! The byte accounting (the deterministic half) lives in
+//! [`georep_bench::figures::table2_stream`], where the golden-file suite
+//! snapshots it; the wall-clock measurements stay here.
 //!
 //! Run with `cargo run -p georep-bench --release --bin table2`.
 
 use std::time::Instant;
 
+use georep_bench::figures::{table2_kmeans_config, table2_stream, TABLE2_K as K, TABLE2_M as M};
 use georep_bench::{report_checks, HarnessOptions, ResultTable, ShapeCheck};
-use georep_cluster::kmeans::KMeansConfig;
-use georep_cluster::online::OnlineClusterer;
-use georep_cluster::summary::AccessSummary;
-use georep_cluster::weighted::weighted_kmeans;
-use georep_cluster::WeightedPoint;
-use georep_coord::Coord;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
-const D: usize = 3;
-const K: usize = 3; // replicas
-const M: usize = 100; // micro-clusters per replica, as in the paper's example
-
-/// Bytes to record one raw access for offline clustering: D coordinate
-/// components plus a weight, as f64.
-const OFFLINE_RECORD_BYTES: usize = (D + 1) * 8;
-
-fn synth_coord(rng: &mut StdRng) -> Coord<D> {
-    // Three client populations, mimicking continents in coordinate space.
-    let centers = [[0.0, 0.0, 0.0], [140.0, 40.0, 0.0], [80.0, -110.0, 20.0]];
-    let c = centers[rng.random_range(0..centers.len())];
-    let mut pos = [0.0; D];
-    for (p, base) in pos.iter_mut().zip(&c) {
-        *p = base + rng.random_range(-25.0..25.0);
-    }
-    Coord::new(pos)
-}
 
 fn main() {
     let opts = HarnessOptions::from_args();
@@ -73,40 +50,22 @@ fn main() {
     let mut per_cluster_bytes = 0usize;
 
     for &n in ns {
-        let mut rng = StdRng::seed_from_u64(0x7AB1E2);
-
-        // --- Online side: K replicas summarize n accesses. -------------
-        let mut clusterers: Vec<OnlineClusterer<D>> =
-            (0..K).map(|_| OnlineClusterer::new(M)).collect();
-        let mut raw_points: Vec<Coord<D>> = Vec::with_capacity(n);
-        for i in 0..n {
-            let c = synth_coord(&mut rng);
-            clusterers[i % K].observe(c, 1.0);
-            raw_points.push(c);
-        }
-        let summaries: Vec<AccessSummary> = clusterers
-            .iter()
-            .enumerate()
-            .map(|(r, c)| AccessSummary::from_clusterer(r as u32, c))
-            .collect();
-        let online_bytes: usize = summaries.iter().map(|s| s.encoded_len()).sum();
-        let clusters: usize = summaries.iter().map(|s| s.clusters.len()).sum();
-        per_cluster_bytes = online_bytes / clusters.max(1);
+        let stream = table2_stream(n);
+        per_cluster_bytes = stream.row.per_cluster_bytes();
 
         // Macro-clustering time over the k·m pseudo-points.
-        let pseudo: Vec<WeightedPoint<D>> =
-            clusterers.iter().flat_map(|c| c.pseudo_points()).collect();
         let t = Instant::now();
-        let _ = weighted_kmeans(&pseudo, KMeansConfig::new(K)).expect("pseudo-points cluster");
+        let _ = georep_cluster::weighted::weighted_kmeans(&stream.pseudo, table2_kmeans_config())
+            .expect("pseudo-points cluster");
         let online_ms = t.elapsed().as_secs_f64() * 1_000.0;
 
-        // --- Offline side: raw log shipped and clustered. ---------------
-        let offline_bytes = n * OFFLINE_RECORD_BYTES;
+        // Offline side: the raw log is shipped and clustered whole.
         let t = Instant::now();
-        let _ = georep_cluster::kmeans::kmeans(&raw_points, KMeansConfig::new(K))
+        let _ = georep_cluster::kmeans::kmeans(&stream.raw_points, table2_kmeans_config())
             .expect("raw points cluster");
         let offline_ms = t.elapsed().as_secs_f64() * 1_000.0;
 
+        let (online_bytes, offline_bytes) = (stream.row.online_bytes, stream.row.offline_bytes);
         online_kb_series.push(online_bytes as f64 / 1024.0);
         offline_kb_series.push(offline_bytes as f64 / 1024.0);
         online_ms_series.push(online_ms);

@@ -1,0 +1,358 @@
+//! The deterministic computation behind the figure/table emitters.
+//!
+//! The `figure1` and `table2` binaries mix two kinds of output: the
+//! numbers themselves (mean delays, wire bytes — fully deterministic given
+//! the seeds) and wall-clock timings (not deterministic, reported for
+//! color). This module owns the deterministic half as plain library calls
+//! so the golden-file suite (`tests/golden_figures.rs`) can snapshot a
+//! small-seed run, while the binaries layer the timing measurements and
+//! shape checks on top.
+//!
+//! Every `to_json` here renders with fixed float precision, so a golden
+//! file compares as an exact string.
+
+use std::fmt::Write as _;
+
+use georep_cluster::kmeans::KMeansConfig;
+use georep_cluster::online::OnlineClusterer;
+use georep_cluster::summary::AccessSummary;
+use georep_cluster::WeightedPoint;
+use georep_coord::Coord;
+use georep_core::experiment::{Experiment, StrategyKind};
+use georep_net::topology::{Topology, TopologyConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+// ---- Figure 1: delay vs number of data centers. ------------------------
+
+/// Inputs of the Figure 1 sweep. `Default` matches the paper's setup
+/// (226 PlanetLab nodes, 30 seeds, 3 replicas).
+#[derive(Debug, Clone)]
+pub struct Figure1Config {
+    /// Topology nodes.
+    pub nodes: usize,
+    /// Seeds averaged per point.
+    pub seeds: u64,
+    /// Degree of replication.
+    pub replicas: usize,
+    /// The sweep over candidate data-center counts.
+    pub dc_counts: Vec<usize>,
+    /// Topology generation seed.
+    pub topology_seed: u64,
+}
+
+impl Default for Figure1Config {
+    fn default() -> Self {
+        Figure1Config {
+            nodes: 226,
+            seeds: 30,
+            replicas: 3,
+            dc_counts: vec![4, 8, 12, 16, 20, 24, 28],
+            topology_seed: georep_net::planetlab::PLANETLAB_SEED,
+        }
+    }
+}
+
+/// The deterministic output of the Figure 1 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1Data {
+    /// The data-center counts swept.
+    pub dc_counts: Vec<usize>,
+    /// Strategy names, in [`StrategyKind::PAPER`] order.
+    pub strategies: Vec<&'static str>,
+    /// `series[strategy][dc index]` = mean delay in ms.
+    pub series: Vec<Vec<f64>>,
+    /// Median absolute embedding error (ms) of the shared embedding.
+    pub median_abs_err: f64,
+    /// Fraction of sampled pairs predicted within 10 ms.
+    pub frac_within_10ms: f64,
+}
+
+impl Figure1Data {
+    /// The series for one strategy, by name.
+    pub fn series_for(&self, name: &str) -> Option<&[f64]> {
+        self.strategies
+            .iter()
+            .position(|&s| s == name)
+            .map(|i| self.series[i].as_slice())
+    }
+
+    /// Renders the sweep as a JSON document with fixed (3-decimal) float
+    /// precision — the golden-file representation.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"figure\": \"figure1\",\n");
+        let _ = writeln!(
+            out,
+            "  \"median_abs_err\": {:.3},\n  \"frac_within_10ms\": {:.3},",
+            self.median_abs_err, self.frac_within_10ms
+        );
+        let _ = write!(out, "  \"dc_counts\": [");
+        for (i, dc) in self.dc_counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{dc}");
+        }
+        out.push_str("],\n  \"series\": {\n");
+        for (si, name) in self.strategies.iter().enumerate() {
+            let _ = write!(out, "    \"{name}\": [");
+            for (i, ms) in self.series[si].iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{ms:.3}");
+            }
+            out.push(']');
+            out.push_str(if si + 1 < self.strategies.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Runs the Figure 1 sweep: one shared embedding (coordinates depend on
+/// the latency matrix, not on which nodes later become data centers),
+/// then every [`StrategyKind::PAPER`] strategy at every data-center
+/// count.
+///
+/// # Panics
+///
+/// Panics when the configuration is rejected by the topology or
+/// experiment builders (e.g. `dc_counts` exceeding `nodes`).
+pub fn figure1_series(cfg: &Figure1Config) -> Figure1Data {
+    assert!(!cfg.dc_counts.is_empty(), "dc_counts must be non-empty");
+    let matrix = Topology::generate(TopologyConfig {
+        nodes: cfg.nodes,
+        seed: cfg.topology_seed,
+        ..Default::default()
+    })
+    .expect("valid topology config")
+    .into_matrix();
+
+    let base = Experiment::builder(matrix.clone())
+        .data_centers(cfg.dc_counts[0])
+        .replicas(cfg.replicas)
+        .seeds(0..cfg.seeds)
+        .build()
+        .expect("base experiment");
+    let coords = base.coords().to_vec();
+    let report = base.embedding_report().clone();
+
+    let mut series = vec![Vec::new(); StrategyKind::PAPER.len()];
+    for &dcs in &cfg.dc_counts {
+        let exp = Experiment::builder(matrix.clone())
+            .data_centers(dcs)
+            .replicas(cfg.replicas)
+            .seeds(0..cfg.seeds)
+            .with_embedding(coords.clone(), report.clone())
+            .build()
+            .expect("sweep experiment");
+        for (si, &kind) in StrategyKind::PAPER.iter().enumerate() {
+            let run = exp.run(kind).expect("strategy runs");
+            series[si].push(run.mean_delay_ms);
+        }
+    }
+
+    Figure1Data {
+        dc_counts: cfg.dc_counts.clone(),
+        strategies: StrategyKind::PAPER.iter().map(|k| k.name()).collect(),
+        series,
+        median_abs_err: report.median_abs_err,
+        frac_within_10ms: report.frac_within_10ms,
+    }
+}
+
+// ---- Table II: online vs offline bandwidth. ----------------------------
+
+/// Coordinate dimensionality of the Table II synthetic stream.
+pub const TABLE2_D: usize = 3;
+/// Replicas (`k` in the paper's worked example).
+pub const TABLE2_K: usize = 3;
+/// Micro-clusters per replica (`m` in the paper's worked example).
+pub const TABLE2_M: usize = 100;
+/// RNG seed of the synthetic access stream.
+pub const TABLE2_SEED: u64 = 0x7AB1E2;
+/// Bytes to record one raw access for offline clustering: `D` coordinate
+/// components plus a weight, as f64.
+pub const OFFLINE_RECORD_BYTES: usize = (TABLE2_D + 1) * 8;
+
+/// The deterministic byte accounting for one stream length `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Number of accesses summarized.
+    pub n: usize,
+    /// Wire bytes of the `k` encoded summaries.
+    pub online_bytes: usize,
+    /// Wire bytes of the raw access log (`n ×` [`OFFLINE_RECORD_BYTES`]).
+    pub offline_bytes: usize,
+    /// Micro-clusters across all `k` summaries.
+    pub clusters: usize,
+}
+
+impl Table2Row {
+    /// Bytes per shipped micro-cluster.
+    pub fn per_cluster_bytes(&self) -> usize {
+        self.online_bytes / self.clusters.max(1)
+    }
+}
+
+/// One fully ingested Table II stream: the byte accounting plus the state
+/// the timing measurements in the `table2` binary run over.
+#[derive(Debug)]
+pub struct Table2Stream {
+    /// The deterministic byte accounting.
+    pub row: Table2Row,
+    /// The `k·m` pseudo-points the online side macro-clusters.
+    pub pseudo: Vec<WeightedPoint<TABLE2_D>>,
+    /// The raw access log the offline side clusters.
+    pub raw_points: Vec<Coord<TABLE2_D>>,
+}
+
+fn synth_coord(rng: &mut StdRng) -> Coord<TABLE2_D> {
+    // Three client populations, mimicking continents in coordinate space.
+    let centers = [[0.0, 0.0, 0.0], [140.0, 40.0, 0.0], [80.0, -110.0, 20.0]];
+    let c = centers[rng.random_range(0..centers.len())];
+    let mut pos = [0.0; TABLE2_D];
+    for (p, base) in pos.iter_mut().zip(&c) {
+        *p = base + rng.random_range(-25.0..25.0);
+    }
+    Coord::new(pos)
+}
+
+/// Ingests `n` synthetic accesses round-robin into [`TABLE2_K`] online
+/// clusterers (seeded with [`TABLE2_SEED`]) and returns the byte
+/// accounting plus the clustering inputs.
+pub fn table2_stream(n: usize) -> Table2Stream {
+    let mut rng = StdRng::seed_from_u64(TABLE2_SEED);
+    let mut clusterers: Vec<OnlineClusterer<TABLE2_D>> = (0..TABLE2_K)
+        .map(|_| OnlineClusterer::new(TABLE2_M))
+        .collect();
+    let mut raw_points: Vec<Coord<TABLE2_D>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = synth_coord(&mut rng);
+        clusterers[i % TABLE2_K].observe(c, 1.0);
+        raw_points.push(c);
+    }
+    let summaries: Vec<AccessSummary> = clusterers
+        .iter()
+        .enumerate()
+        .map(|(r, c)| AccessSummary::from_clusterer(r as u32, c))
+        .collect();
+    let online_bytes: usize = summaries.iter().map(|s| s.encoded_len()).sum();
+    let clusters: usize = summaries.iter().map(|s| s.clusters.len()).sum();
+    let pseudo: Vec<WeightedPoint<TABLE2_D>> =
+        clusterers.iter().flat_map(|c| c.pseudo_points()).collect();
+    Table2Stream {
+        row: Table2Row {
+            n,
+            online_bytes,
+            offline_bytes: n * OFFLINE_RECORD_BYTES,
+            clusters,
+        },
+        pseudo,
+        raw_points,
+    }
+}
+
+/// The [`KMeansConfig`] both Table II timing measurements cluster with.
+pub fn table2_kmeans_config() -> KMeansConfig {
+    KMeansConfig::new(TABLE2_K)
+}
+
+/// The deterministic half of Table II over a sweep of stream lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Data {
+    /// One row per stream length.
+    pub rows: Vec<Table2Row>,
+}
+
+impl Table2Data {
+    /// Bytes per shipped micro-cluster at the largest `n` (the figure the
+    /// paper's "< 1 KB per micro-cluster" claim is checked against).
+    pub fn per_cluster_bytes(&self) -> usize {
+        self.rows.last().map_or(0, Table2Row::per_cluster_bytes)
+    }
+
+    /// Renders the sweep as a JSON document — the golden-file
+    /// representation. Byte counts are integers, so no float formatting is
+    /// involved at all.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"table\": \"table2\",\n");
+        let _ = writeln!(
+            out,
+            "  \"k\": {TABLE2_K},\n  \"m\": {TABLE2_M},\n  \"offline_record_bytes\": \
+             {OFFLINE_RECORD_BYTES},\n  \"per_cluster_bytes\": {},",
+            self.per_cluster_bytes()
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"n\": {}, \"online_bytes\": {}, \"offline_bytes\": {}, \"clusters\": {}}}",
+                r.n, r.online_bytes, r.offline_bytes, r.clusters
+            );
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the Table II byte accounting for every stream length in `ns`.
+pub fn table2_bandwidth(ns: &[usize]) -> Table2Data {
+    Table2Data {
+        rows: ns.iter().map(|&n| table2_stream(n).row).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_are_deterministic_and_bounded() {
+        let a = table2_stream(2_000);
+        let b = table2_stream(2_000);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.raw_points, b.raw_points);
+        assert_eq!(a.row.offline_bytes, 2_000 * OFFLINE_RECORD_BYTES);
+        assert!(a.row.clusters <= TABLE2_K * TABLE2_M);
+        assert!(a.row.per_cluster_bytes() < 1024);
+        assert_eq!(a.pseudo.len(), a.row.clusters);
+    }
+
+    #[test]
+    fn table2_json_has_one_row_per_n() {
+        let data = table2_bandwidth(&[100, 400]);
+        assert_eq!(data.rows.len(), 2);
+        let json = data.to_json();
+        assert_eq!(json.matches("\"n\": ").count(), 2);
+        assert!(json.contains("\"per_cluster_bytes\""));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn figure1_small_sweep_orders_strategies() {
+        let data = figure1_series(&Figure1Config {
+            nodes: 24,
+            seeds: 2,
+            replicas: 2,
+            dc_counts: vec![4, 8],
+            topology_seed: 7,
+        });
+        assert_eq!(data.strategies.len(), StrategyKind::PAPER.len());
+        assert_eq!(data.series.len(), data.strategies.len());
+        let online = data.series_for("online clustering").unwrap();
+        let random = data.series_for("random").unwrap();
+        assert_eq!(online.len(), 2);
+        // The paper's headline ordering holds even at toy scale.
+        assert!(online.iter().zip(random).all(|(on, r)| on <= r));
+        let json = data.to_json();
+        assert!(json.contains("\"online clustering\": ["));
+        assert!(json.contains("\"dc_counts\": [4, 8]"));
+    }
+}

@@ -11,6 +11,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
+pub mod figures;
+
 /// Options shared by all figure binaries.
 #[derive(Debug, Clone)]
 pub struct HarnessOptions {

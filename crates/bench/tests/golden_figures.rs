@@ -1,0 +1,98 @@
+//! Golden-file tests for the figure emitters.
+//!
+//! Runs the `figure1` / `table2` computation as library calls on a small
+//! fixed seed and compares the rendered JSON against the checked-in
+//! snapshots under `tests/golden/`. The computation is deterministic (no
+//! wall-clock fields are rendered), so the comparison is an exact string
+//! match.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! GEOREP_UPDATE_GOLDEN=1 cargo test -p georep-bench --test golden_figures
+//! ```
+//!
+//! and commit the updated files with the change that motivated them.
+
+use std::path::PathBuf;
+
+use georep_bench::figures::{figure1_series, table2_bandwidth, Figure1Config};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).join(name)
+}
+
+/// Compares `actual` against the checked-in snapshot, or rewrites the
+/// snapshot when `GEOREP_UPDATE_GOLDEN` is set.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GEOREP_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); regenerate with \
+             GEOREP_UPDATE_GOLDEN=1 cargo test -p georep-bench --test golden_figures",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the change is intentional, \
+         regenerate with GEOREP_UPDATE_GOLDEN=1 and commit the diff"
+    );
+}
+
+/// The small fixed configuration the figure-1 snapshot is taken at: big
+/// enough to exercise all four strategies and two sweep points, small
+/// enough to run in seconds.
+fn small_figure1_config() -> Figure1Config {
+    Figure1Config {
+        nodes: 28,
+        seeds: 2,
+        replicas: 2,
+        dc_counts: vec![4, 8],
+        topology_seed: 11,
+    }
+}
+
+#[test]
+fn figure1_small_seed_matches_golden() {
+    let data = figure1_series(&small_figure1_config());
+    assert_matches_golden("figure1_small.json", &data.to_json());
+}
+
+#[test]
+fn figure1_small_seed_is_reproducible() {
+    let a = figure1_series(&small_figure1_config());
+    let b = figure1_series(&small_figure1_config());
+    assert_eq!(a, b, "figure1 sweep must be deterministic run-to-run");
+}
+
+#[test]
+fn table2_small_seed_matches_golden() {
+    let data = table2_bandwidth(&[200, 2_000]);
+    assert_matches_golden("table2_small.json", &data.to_json());
+}
+
+#[test]
+fn golden_snapshots_are_valid_json_shapes() {
+    // Cheap structural guards on the checked-in files themselves, so a
+    // bad hand edit fails even before the recompute comparison.
+    for (name, key) in [
+        ("figure1_small.json", "\"series\""),
+        ("table2_small.json", "\"rows\""),
+    ] {
+        let text = std::fs::read_to_string(golden_path(name))
+            .unwrap_or_else(|e| panic!("missing golden file {name}: {e}"));
+        assert!(text.starts_with("{\n"), "{name} must be a JSON object");
+        assert!(text.ends_with("}\n"), "{name} must end with a newline");
+        assert!(text.contains(key), "{name} lost its {key} key");
+        assert!(
+            !text.to_ascii_lowercase().contains("nan"),
+            "{name} contains a NaN"
+        );
+    }
+}

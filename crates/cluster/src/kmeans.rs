@@ -138,6 +138,49 @@ impl<const D: usize> Clustering<D> {
     }
 }
 
+/// Solver-effort counters aggregated across every restart of a run.
+///
+/// A side channel next to [`Clustering`] — the clustering itself is
+/// compared bit-for-bit by the equivalence suites and must not grow
+/// fields. All counters are plain `u64` sums, so they are independent of
+/// the restart execution order and therefore of the thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KMeansStats {
+    /// Restarts executed (`cfg.restarts`).
+    pub restarts: u64,
+    /// Lloyd iterations summed over all restarts.
+    pub iterations: u64,
+    /// Per-point assignment decisions resolved by the Hamerly upper-bound
+    /// check alone (no distance computed).
+    pub pruned_upper: u64,
+    /// Decisions resolved after tightening the upper bound with one exact
+    /// distance (one distance computed instead of `k`).
+    pub pruned_tightened: u64,
+    /// Decisions that fell through to the full `k`-way centroid scan.
+    pub full_scans: u64,
+    /// Index of the winning restart (lowest SSE, ties to the lowest index).
+    pub winner_restart: u64,
+}
+
+impl KMeansStats {
+    /// Total per-point assignment decisions: every iteration of every
+    /// restart touches every point exactly once, so this always equals
+    /// `iterations × n`.
+    pub fn point_updates(&self) -> u64 {
+        self.pruned_upper + self.pruned_tightened + self.full_scans
+    }
+
+    /// Fraction of assignment decisions the Hamerly bounds resolved without
+    /// a full scan, in `[0, 1]`. Returns 0 when nothing ran.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.point_updates();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.pruned_upper + self.pruned_tightened) as f64 / total as f64
+    }
+}
+
 /// Clusters unweighted coordinates into `cfg.k` groups.
 ///
 /// This is the paper's offline baseline: it requires *every* client
@@ -171,6 +214,23 @@ pub fn kmeans<const D: usize>(
 ) -> Result<Clustering<D>, ClusterError> {
     let weighted: Vec<WeightedPoint<D>> = points.iter().map(|&c| WeightedPoint::unit(c)).collect();
     crate::weighted::weighted_kmeans(&weighted, cfg)
+}
+
+/// [`kmeans`] plus the solver-effort counters ([`KMeansStats`]).
+///
+/// The clustering is bit-for-bit the one [`kmeans`] returns; the stats are
+/// a pure side channel (integer counters only, no extra float or RNG work
+/// on the solver path).
+///
+/// # Errors
+///
+/// See [`ClusterError`].
+pub fn kmeans_with_stats<const D: usize>(
+    points: &[Coord<D>],
+    cfg: KMeansConfig,
+) -> Result<(Clustering<D>, KMeansStats), ClusterError> {
+    let weighted: Vec<WeightedPoint<D>> = points.iter().map(|&c| WeightedPoint::unit(c)).collect();
+    run_restarts_stats(&weighted, cfg, default_threads())
 }
 
 /// Rejects inputs the solvers cannot run on. The first three checks (and
@@ -258,6 +318,73 @@ where
     Ok(best)
 }
 
+/// [`run_restarts`] with per-restart effort counters. Runs every restart,
+/// keeps the same winner (lowest SSE, first index on ties — the serial and
+/// parallel folds above implement exactly this rule), and sums the
+/// counters over *all* restarts so the stats, like the clustering, do not
+/// depend on the thread count.
+pub(crate) fn run_restarts_stats<const D: usize>(
+    points: &[WeightedPoint<D>],
+    cfg: KMeansConfig,
+    threads: usize,
+) -> Result<(Clustering<D>, KMeansStats), ClusterError> {
+    validate(points.len(), &cfg)?;
+    let per_restart = |r: usize| KMeansConfig {
+        seed: cfg.seed.wrapping_add(r as u64),
+        restarts: 1,
+        ..cfg
+    };
+
+    let threads = threads.max(1).min(cfg.restarts);
+    let mut slots: Vec<Option<(Clustering<D>, LloydCounters)>> =
+        (0..cfg.restarts).map(|_| None).collect();
+    if threads == 1 {
+        for (r, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(lloyd_once_counted(points, per_restart(r)));
+        }
+    } else {
+        let chunk = cfg.restarts.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (block_idx, block) in slots.chunks_mut(chunk).enumerate() {
+                let per_restart = &per_restart;
+                scope.spawn(move |_| {
+                    for (off, slot) in block.iter_mut().enumerate() {
+                        *slot = Some(lloyd_once_counted(
+                            points,
+                            per_restart(block_idx * chunk + off),
+                        ));
+                    }
+                });
+            }
+        })
+        .expect("restart worker panicked");
+    }
+
+    let mut runs: Vec<(Clustering<D>, LloydCounters)> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every restart slot is filled"))
+        .collect();
+    let mut winner = 0usize;
+    for r in 1..runs.len() {
+        if runs[r].0.sse < runs[winner].0.sse {
+            winner = r;
+        }
+    }
+
+    let mut stats = KMeansStats {
+        restarts: cfg.restarts as u64,
+        winner_restart: winner as u64,
+        ..KMeansStats::default()
+    };
+    for (run, counters) in &runs {
+        stats.iterations += run.iterations as u64;
+        stats.pruned_upper += counters.pruned_upper;
+        stats.pruned_tightened += counters.pruned_tightened;
+        stats.full_scans += counters.full_scans;
+    }
+    Ok((runs.swap_remove(winner).0, stats))
+}
+
 /// The number of worker threads restarts spread over by default.
 pub(crate) fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -282,6 +409,18 @@ pub fn lloyd_with_threads<const D: usize>(
     threads: usize,
 ) -> Result<Clustering<D>, ClusterError> {
     run_restarts(points, cfg, threads, lloyd_once)
+}
+
+/// [`lloyd_with_threads`] plus [`KMeansStats`]. Exposed (hidden) so the
+/// equivalence suite can assert that neither the clustering nor the stats
+/// depend on the degree of parallelism.
+#[doc(hidden)]
+pub fn lloyd_with_threads_stats<const D: usize>(
+    points: &[WeightedPoint<D>],
+    cfg: KMeansConfig,
+    threads: usize,
+) -> Result<(Clustering<D>, KMeansStats), ClusterError> {
+    run_restarts_stats(points, cfg, threads)
 }
 
 // ---- The bounds-pruned Lloyd core. ----
@@ -433,8 +572,29 @@ fn top_two(delta: &[f64]) -> (f64, usize, f64) {
     (m1, am, m2)
 }
 
+/// Per-restart tallies of how each point's assignment was decided. The
+/// three fields partition the per-point decisions, so their sum is always
+/// `iterations × n` for the restart.
+#[derive(Debug, Clone, Copy, Default)]
+struct LloydCounters {
+    pruned_upper: u64,
+    pruned_tightened: u64,
+    full_scans: u64,
+}
+
 /// One seeded Lloyd run. Input is pre-validated by [`run_restarts`].
 fn lloyd_once<const D: usize>(points: &[WeightedPoint<D>], cfg: KMeansConfig) -> Clustering<D> {
+    lloyd_once_counted(points, cfg).0
+}
+
+/// [`lloyd_once`] plus the prune/scan tallies. The counters are integer
+/// increments on paths the solver already takes — no extra float
+/// arithmetic, no RNG draws — so the clustering is unchanged.
+fn lloyd_once_counted<const D: usize>(
+    points: &[WeightedPoint<D>],
+    cfg: KMeansConfig,
+) -> (Clustering<D>, LloydCounters) {
+    let mut counters = LloydCounters::default();
     let guard = fp_guard(D);
     let up = 1.0 + guard;
     let k = cfg.k;
@@ -470,6 +630,7 @@ fn lloyd_once<const D: usize>(points: &[WeightedPoint<D>], cfg: KMeansConfig) ->
         if iterations == 1 {
             changed = true;
             // No movement information yet: full scan, exact bounds.
+            counters.full_scans += n as u64;
             for (i, p) in points.iter().enumerate() {
                 let (a, d1, d2) = store.nearest_two(&p.coord);
                 assignments[i] = a;
@@ -503,6 +664,7 @@ fn lloyd_once<const D: usize>(points: &[WeightedPoint<D>], cfg: KMeansConfig) ->
                 if l > f64::NEG_INFINITY {
                     let u = (upper[i] + delta[a]) * up;
                     if u < l {
+                        counters.pruned_upper += 1;
                         upper[i] = u;
                         lower[i] = l;
                         continue;
@@ -510,6 +672,7 @@ fn lloyd_once<const D: usize>(points: &[WeightedPoint<D>], cfg: KMeansConfig) ->
                     // Tighten the upper bound to the exact distance, retry.
                     let tight = store.dist_centroid_point(a, &p.coord);
                     if tight < l {
+                        counters.pruned_tightened += 1;
                         upper[i] = tight;
                         lower[i] = l;
                         continue;
@@ -518,6 +681,7 @@ fn lloyd_once<const D: usize>(points: &[WeightedPoint<D>], cfg: KMeansConfig) ->
                 // A collapsed (−∞) bound can never beat a distance, so the
                 // checks above are skipped — straight to the full scan.
                 // Bounds can't decide: fresh exact bounds.
+                counters.full_scans += 1;
                 let (a2, d1, d2) = store.nearest_two(&p.coord);
                 if a2 != a {
                     changed = true;
@@ -601,13 +765,16 @@ fn lloyd_once<const D: usize>(points: &[WeightedPoint<D>], cfg: KMeansConfig) ->
         sse += p.weight * dist * dist;
     }
 
-    Clustering {
-        centroids: store.to_coords(),
-        assignments,
-        sse,
-        iterations,
-        converged,
-    }
+    (
+        Clustering {
+            centroids: store.to_coords(),
+            assignments,
+            sse,
+            iterations,
+            converged,
+        },
+        counters,
+    )
 }
 
 /// k-means++ seeding: the first centroid is weight-proportional random, each
@@ -801,7 +968,74 @@ mod tests {
         assert!((w.iter().sum::<f64>() - 100.0).abs() < 1e-9);
     }
 
+    #[test]
+    fn stats_ride_along_without_changing_the_clustering() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig::new(3).with_seed(7);
+        let plain = kmeans(&pts, cfg).unwrap();
+        let (counted, stats) = kmeans_with_stats(&pts, cfg).unwrap();
+        assert_eq!(plain, counted);
+        assert_eq!(stats.restarts, cfg.restarts as u64);
+        assert!(stats.iterations >= stats.restarts, "every restart iterates");
+        assert!((0.0..=1.0).contains(&stats.prune_rate()));
+    }
+
+    #[test]
+    fn stats_partition_every_point_decision() {
+        // Each Lloyd iteration decides every point exactly once, through
+        // exactly one of the three counted paths.
+        let pts = two_blobs();
+        let (_, stats) = kmeans_with_stats(&pts, KMeansConfig::new(2)).unwrap();
+        assert_eq!(stats.point_updates(), stats.iterations * pts.len() as u64);
+        // Iteration 1 of every restart is always a full scan.
+        assert!(stats.full_scans >= stats.restarts * pts.len() as u64);
+    }
+
+    #[test]
+    fn stats_are_thread_count_invariant() {
+        let pts: Vec<WeightedPoint<2>> = two_blobs().into_iter().map(WeightedPoint::unit).collect();
+        let cfg = KMeansConfig::new(3).with_seed(41).with_restarts(6);
+        let serial = lloyd_with_threads_stats(&pts, cfg, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = lloyd_with_threads_stats(&pts, cfg, threads).unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn winner_restart_reruns_to_the_same_clustering() {
+        let pts = two_blobs();
+        let cfg = KMeansConfig::new(3).with_seed(123).with_restarts(5);
+        let (best, stats) = kmeans_with_stats(&pts, cfg).unwrap();
+        assert!(stats.winner_restart < stats.restarts);
+        // Restart r runs with seed `cfg.seed + r` and a single restart, so
+        // replaying the winner alone reproduces the winning clustering.
+        let replay = kmeans(
+            &pts,
+            cfg.with_seed(cfg.seed.wrapping_add(stats.winner_restart))
+                .with_restarts(1),
+        )
+        .unwrap();
+        assert_eq!(best, replay);
+    }
+
+    #[test]
+    fn empty_stats_have_a_zero_prune_rate() {
+        assert_eq!(KMeansStats::default().prune_rate(), 0.0);
+        assert_eq!(KMeansStats::default().point_updates(), 0);
+    }
+
     proptest! {
+        #[test]
+        fn prop_stats_clustering_matches_plain(seed in 0u64..30, k in 1usize..5) {
+            let pts = two_blobs();
+            let cfg = KMeansConfig::new(k).with_seed(seed);
+            let plain = kmeans(&pts, cfg).unwrap();
+            let (counted, stats) = kmeans_with_stats(&pts, cfg).unwrap();
+            prop_assert_eq!(plain, counted);
+            prop_assert_eq!(stats.point_updates(), stats.iterations * pts.len() as u64);
+        }
+
         #[test]
         fn prop_assignments_are_nearest(
             seed in 0u64..50,

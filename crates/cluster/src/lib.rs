@@ -52,10 +52,10 @@ pub mod reference;
 pub mod summary;
 pub mod weighted;
 
-pub use kmeans::{kmeans, ClusterError, Clustering, KMeansConfig};
+pub use kmeans::{kmeans, kmeans_with_stats, ClusterError, Clustering, KMeansConfig, KMeansStats};
 pub use kmedians::weighted_kmedians;
 pub use micro::MicroCluster;
-pub use online::OnlineClusterer;
+pub use online::{OnlineClusterer, StreamStats};
 pub use point::WeightedPoint;
 pub use summary::AccessSummary;
-pub use weighted::weighted_kmeans;
+pub use weighted::{weighted_kmeans, weighted_kmeans_with_stats};

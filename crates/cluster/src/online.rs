@@ -54,6 +54,33 @@ impl OnlineConfig {
     }
 }
 
+/// Lifetime accounting of the summarizer's structural decisions: how many
+/// accesses were absorbed into an existing micro-cluster, how many opened a
+/// new one, and how many overflow merges ran. Plain `u64`s incremented on
+/// the hot path (no recorder dispatch there); drivers flush them into a
+/// `Recorder` once per period. Monotonic — neither `clear` nor `decay`
+/// resets them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Accesses absorbed into an existing micro-cluster.
+    pub absorbed: u64,
+    /// Micro-clusters opened (first access, scatter path, or an accepted
+    /// [`OnlineClusterer::absorb_cluster`]).
+    pub created: u64,
+    /// Closest-pair overflow merges performed.
+    pub merged: u64,
+}
+
+impl StreamStats {
+    /// Folds another summarizer's tallies into this one (used by drivers
+    /// aggregating across replicas and across summarization periods).
+    pub fn merge(&mut self, other: StreamStats) {
+        self.absorbed += other.absorbed;
+        self.created += other.created;
+        self.merged += other.merged;
+    }
+}
+
 /// Witness index meaning "no forward neighbor" (only the last row).
 const NO_FORWARD: usize = usize::MAX;
 
@@ -277,15 +304,16 @@ pub struct OnlineClusterer<const D: usize> {
     config: OnlineConfig,
     clusters: Vec<MicroCluster<D>>,
     observed: u64,
+    stats: StreamStats,
     pairs: PairCache,
     /// Scratch buffer for the per-access distance scan, reused so `observe`
     /// allocates nothing in steady state.
     scan: Vec<f64>,
 }
 
-// The pair cache and scan buffer are derived state; two summarizers are
-// equal when their summaries are — the equality the struct derived before
-// the caches existed.
+// The pair cache, scan buffer and stream stats are derived state; two
+// summarizers are equal when their summaries are — the equality the struct
+// derived before the caches existed.
 impl<const D: usize> PartialEq for OnlineClusterer<D> {
     fn eq(&self, other: &Self) -> bool {
         self.config == other.config
@@ -329,6 +357,7 @@ impl<const D: usize> OnlineClusterer<D> {
             scan: Vec::with_capacity(config.max_clusters.saturating_add(1)),
             config,
             observed: 0,
+            stats: StreamStats::default(),
         }
     }
 
@@ -353,6 +382,12 @@ impl<const D: usize> OnlineClusterer<D> {
     /// whole count.
     pub fn observed(&self) -> u64 {
         self.observed
+    }
+
+    /// Lifetime absorb / create / merge accounting (monotonic, like
+    /// [`OnlineClusterer::observed`]; excluded from equality).
+    pub fn stream_stats(&self) -> StreamStats {
+        self.stats
     }
 
     /// Sum of the counts of all current micro-clusters.
@@ -420,6 +455,7 @@ impl<const D: usize> OnlineClusterer<D> {
             return;
         }
         self.observed += cluster.count();
+        self.stats.created += 1;
 
         // Same cache maintenance as the scatter path of `observe`, with the
         // scan distances computed against the incoming cluster's centroid.
@@ -447,6 +483,7 @@ impl<const D: usize> OnlineClusterer<D> {
         self.observed += 1;
 
         if self.clusters.is_empty() {
+            self.stats.created += 1;
             self.clusters.push(MicroCluster::from_access(coord, weight));
             self.pairs.push_fresh();
             return;
@@ -472,9 +509,11 @@ impl<const D: usize> OnlineClusterer<D> {
             .max(self.config.min_radius);
 
         if nearest_dist <= threshold {
+            self.stats.absorbed += 1;
             self.clusters[nearest_idx].absorb(coord, weight);
             self.pairs.mark_moved(nearest_idx);
         } else {
+            self.stats.created += 1;
             self.clusters.push(MicroCluster::from_access(coord, weight));
             self.pairs.push_with_distances(&self.scan);
             if self.clusters.len() > self.config.max_clusters {
@@ -489,6 +528,7 @@ impl<const D: usize> OnlineClusterer<D> {
     /// original arithmetic.
     fn merge_closest_pair(&mut self) {
         debug_assert!(self.clusters.len() >= 2);
+        self.stats.merged += 1;
         self.pairs.refresh(&self.clusters);
         let (i, j) = self.pairs.closest();
         let absorbed = self.clusters.swap_remove(j);
@@ -619,6 +659,44 @@ mod tests {
     #[should_panic(expected = "at least one micro-cluster")]
     fn zero_m_rejected() {
         let _ = OnlineClusterer::<2>::new(0);
+    }
+
+    #[test]
+    fn stream_stats_count_absorbs_creates_and_merges() {
+        let mut oc: OnlineClusterer<1> = OnlineClusterer::new(2);
+        assert_eq!(oc.stream_stats(), StreamStats::default());
+        oc.observe(Coord::new([0.0]), 1.0); // creates cluster 1
+        oc.observe(Coord::new([1.0]), 1.0); // absorbed (within min_radius 5)
+        oc.observe(Coord::new([500.0]), 1.0); // creates cluster 2
+        oc.observe(Coord::new([900.0]), 1.0); // creates cluster 3 → overflow merge
+        let s = oc.stream_stats();
+        assert_eq!(s.created, 3);
+        assert_eq!(s.absorbed, 1);
+        assert_eq!(s.merged, 1);
+        assert_eq!(s.created + s.absorbed, oc.observed());
+
+        // Bad samples and rejected clusters do not count.
+        oc.observe(Coord::new([f64::NAN]), 1.0);
+        assert_eq!(oc.stream_stats(), s);
+
+        // Stats are excluded from equality and survive clear.
+        let fresh: OnlineClusterer<1> = OnlineClusterer::new(2);
+        oc.clear();
+        assert_eq!(oc.stream_stats(), s, "clear keeps lifetime stats");
+        assert_ne!(oc.stream_stats(), fresh.stream_stats());
+    }
+
+    #[test]
+    fn stream_stats_count_absorbed_clusters_as_created() {
+        let mut oc: OnlineClusterer<1> = OnlineClusterer::new(4);
+        oc.absorb_cluster(MicroCluster::from_access(Coord::new([7.0]), 1.0));
+        assert_eq!(oc.stream_stats().created, 1);
+        // A rejected (non-finite) cluster leaves the stats untouched.
+        let mut bad = MicroCluster::from_access(Coord::new([f64::MAX / 2.0]), 1.0);
+        bad.absorb(Coord::new([f64::MAX / 2.0]), 1.0);
+        bad.absorb(Coord::new([f64::MAX / 2.0]), 1.0);
+        oc.absorb_cluster(bad);
+        assert_eq!(oc.stream_stats().created, 1);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! can treat this as the same algorithm, merely faster. The exactness
 //! argument lives in DESIGN.md ("The streaming layer").
 
-use crate::kmeans::{lloyd, ClusterError, Clustering, KMeansConfig};
+use crate::kmeans::{
+    default_threads, lloyd, run_restarts_stats, ClusterError, Clustering, KMeansConfig, KMeansStats,
+};
 use crate::point::WeightedPoint;
 
 /// Clusters weighted pseudo-points into `cfg.k` groups.
@@ -47,6 +49,22 @@ pub fn weighted_kmeans<const D: usize>(
     cfg: KMeansConfig,
 ) -> Result<Clustering<D>, ClusterError> {
     lloyd(points, cfg)
+}
+
+/// [`weighted_kmeans`] plus the solver-effort counters ([`KMeansStats`]).
+///
+/// The clustering is bit-for-bit the one [`weighted_kmeans`] returns; the
+/// stats are integer tallies of work the solver performed anyway (prune
+/// hits, full scans, iterations, the winning restart).
+///
+/// # Errors
+///
+/// See [`ClusterError`].
+pub fn weighted_kmeans_with_stats<const D: usize>(
+    points: &[WeightedPoint<D>],
+    cfg: KMeansConfig,
+) -> Result<(Clustering<D>, KMeansStats), ClusterError> {
+    run_restarts_stats(points, cfg, default_threads())
 }
 
 #[cfg(test)]
@@ -104,6 +122,27 @@ mod tests {
             weighted_kmeans::<2>(&[], KMeansConfig::new(1)),
             Err(ClusterError::NoPoints)
         );
+        assert_eq!(
+            weighted_kmeans_with_stats::<2>(&[], KMeansConfig::new(1)),
+            Err(ClusterError::NoPoints)
+        );
+    }
+
+    #[test]
+    fn stats_variant_returns_the_same_clustering() {
+        let pts: Vec<WeightedPoint<2>> = (0..30)
+            .map(|i| {
+                WeightedPoint::new(
+                    Coord::new([(i % 6) as f64 * 7.0, (i / 6) as f64 * 5.0]),
+                    1.0 + (i % 3) as f64,
+                )
+            })
+            .collect();
+        let cfg = KMeansConfig::new(3).with_seed(17);
+        let plain = weighted_kmeans(&pts, cfg).unwrap();
+        let (counted, stats) = weighted_kmeans_with_stats(&pts, cfg).unwrap();
+        assert_eq!(plain, counted);
+        assert_eq!(stats.point_updates(), stats.iterations * pts.len() as u64);
     }
 
     #[test]

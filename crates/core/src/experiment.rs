@@ -432,6 +432,24 @@ impl Experiment {
     ///
     /// See [`ExperimentError`]. The first per-seed error aborts the run.
     pub fn run(&self, kind: StrategyKind) -> Result<RunSummary, ExperimentError> {
+        self.run_with_recorder(kind, &crate::telemetry::NullRecorder)
+    }
+
+    /// [`Experiment::run`] with a [`telemetry::Recorder`](crate::telemetry::Recorder)
+    /// attached. Per-seed work still runs in parallel; recording happens
+    /// after the join, over the seed-sorted outcomes, so the emitted
+    /// counters and events are deterministic and the summary is bit-identical
+    /// to [`Experiment::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExperimentError`]. The first per-seed error aborts the run.
+    pub fn run_with_recorder<R: crate::telemetry::Recorder>(
+        &self,
+        kind: StrategyKind,
+        rec: &R,
+    ) -> Result<RunSummary, ExperimentError> {
+        let _span = crate::span!("experiment.run");
         let results: Mutex<Vec<Result<SeedOutcome, ExperimentError>>> =
             Mutex::new(Vec::with_capacity(self.seeds.len()));
         let threads = std::thread::available_parallelism()
@@ -463,6 +481,25 @@ impl Experiment {
             DelayStats::from_samples(&delays).expect("per-seed delays are finite and non-empty");
         let mean_summary_bytes =
             outcomes.iter().map(|o| o.summary_bytes as f64).sum::<f64>() / outcomes.len() as f64;
+
+        if rec.enabled() {
+            for o in &outcomes {
+                rec.counter("experiment.seeds", 1);
+                rec.counter("experiment.summary_bytes", o.summary_bytes);
+                rec.observe("seed.mean_delay_ms", o.mean_delay_ms);
+            }
+            rec.event(
+                "experiment.run",
+                &[
+                    ("strategy", kind.name().into()),
+                    ("seeds", outcomes.len().into()),
+                    ("mean_delay_ms", stats.mean_ms.into()),
+                    ("p99_delay_ms", stats.p99_ms.into()),
+                    ("mean_summary_bytes", mean_summary_bytes.into()),
+                ],
+            );
+        }
+
         Ok(RunSummary {
             kind,
             mean_delay_ms: stats.mean_ms,
@@ -678,6 +715,22 @@ mod tests {
             .accesses_per_client(5.0)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn recorder_does_not_perturb_the_run() {
+        let exp = small_experiment();
+        let rec = crate::telemetry::InMemoryRecorder::default();
+        let plain = exp.run(StrategyKind::OnlineClustering).unwrap();
+        let recorded = exp
+            .run_with_recorder(StrategyKind::OnlineClustering, &rec)
+            .unwrap();
+        assert_eq!(plain, recorded);
+        assert_eq!(rec.counter_value("experiment.seeds"), 4);
+        let hist = rec.histogram("seed.mean_delay_ms").expect("observed");
+        assert_eq!(hist.count, 4);
+        assert!((hist.mean() - recorded.mean_delay_ms).abs() < 1e-9);
+        assert_eq!(rec.events_len(), 1);
     }
 
     #[test]

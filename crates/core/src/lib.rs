@@ -29,6 +29,9 @@
 //!   cost-gated re-placement on one deterministic clock;
 //! * [`experiment`] — the paper's evaluation methodology (Section IV),
 //!   ready to regenerate every figure;
+//! * [`telemetry`] — zero-cost-when-disabled run instrumentation: the
+//!   [`telemetry::Recorder`] trait, in-memory aggregation, JSONL traces and
+//!   the [`telemetry::RunReport`] the bench binaries emit;
 //! * [`metrics`], [`combin`] — supporting statistics and combinatorics.
 //!
 //! # Example: one evaluation point of Figure 2
@@ -67,9 +70,12 @@ pub mod quorum;
 pub mod readwrite;
 pub mod scenario;
 pub mod strategy;
+pub mod telemetry;
 
 pub use experiment::{Experiment, RunSummary, StrategyKind};
 pub use manager::{ManagerConfig, ReplicaManager};
 pub use objective::{CostTable, DelayOracle, IncrementalEval};
 pub use problem::{PlacementProblem, ProblemError};
+pub use scenario::{run_scenario, run_scenario_with_recorder, ScenarioKind, ScenarioReport};
 pub use strategy::{PlaceError, PlacementContext, Placer};
+pub use telemetry::{InMemoryRecorder, NullRecorder, Recorder, RunReport, TraceWriter};

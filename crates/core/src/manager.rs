@@ -14,11 +14,11 @@
 use std::error::Error;
 use std::fmt;
 
-use georep_cluster::kmeans::{ClusterError, KMeansConfig};
-use georep_cluster::online::OnlineClusterer;
+use georep_cluster::kmeans::{ClusterError, KMeansConfig, KMeansStats};
+use georep_cluster::online::{OnlineClusterer, StreamStats};
 use georep_cluster::point::WeightedPoint;
 use georep_cluster::summary::AccessSummary;
-use georep_cluster::weighted::weighted_kmeans;
+use georep_cluster::weighted::weighted_kmeans_with_stats;
 use georep_coord::Coord;
 use serde::{Deserialize, Serialize};
 
@@ -160,6 +160,12 @@ pub struct ReplicaManager<const D: usize> {
     /// One summarizer per replica, aligned with `placement`.
     clusterers: Vec<OnlineClusterer<D>>,
     stats: ManagerStats,
+    /// Stream tallies of summarizers already retired by a period reset;
+    /// [`ReplicaManager::stream_stats`] adds the live ones on top.
+    retired_stream: StreamStats,
+    /// Macro-clustering effort accumulated across rebalance rounds
+    /// (`winner_restart` is the most recent round's).
+    kmeans: KMeansStats,
 }
 
 impl<const D: usize> ReplicaManager<D> {
@@ -211,6 +217,8 @@ impl<const D: usize> ReplicaManager<D> {
             placement: initial_placement,
             clusterers,
             stats: ManagerStats::default(),
+            retired_stream: StreamStats::default(),
+            kmeans: KMeansStats::default(),
         })
     }
 
@@ -241,6 +249,24 @@ impl<const D: usize> ReplicaManager<D> {
     /// Cumulative statistics.
     pub fn stats(&self) -> ManagerStats {
         self.stats
+    }
+
+    /// Lifetime summarizer tallies (absorbs / new micro-clusters / merges),
+    /// aggregated across every replica's clusterer including ones already
+    /// retired by period resets. Monotone over the manager's life.
+    pub fn stream_stats(&self) -> StreamStats {
+        let mut total = self.retired_stream;
+        for c in &self.clusterers {
+            total.merge(c.stream_stats());
+        }
+        total
+    }
+
+    /// Macro-clustering effort accumulated across all rebalance rounds
+    /// (restarts, iterations, Hamerly prune tallies). `winner_restart` is
+    /// the most recent round's winner, not a sum.
+    pub fn kmeans_stats(&self) -> KMeansStats {
+        self.kmeans
     }
 
     /// The replica that will serve a client at `coord` — the one with the
@@ -335,7 +361,8 @@ impl<const D: usize> ReplicaManager<D> {
             return Err(ManagerError::InvalidSetup("cannot fail the last replica"));
         }
         self.placement.remove(idx);
-        self.clusterers.remove(idx);
+        let gone = self.clusterers.remove(idx);
+        self.retired_stream.merge(gone.stream_stats());
         self.candidates.retain(|&c| c != node);
         self.stats.failures += 1;
         Ok(())
@@ -398,8 +425,13 @@ impl<const D: usize> ReplicaManager<D> {
     }
 
     /// Replaces every per-replica summarizer with a fresh, empty one —
-    /// the start-of-period reset, sized to the current placement.
+    /// the start-of-period reset, sized to the current placement. The
+    /// outgoing summarizers' stream tallies are banked first so
+    /// [`ReplicaManager::stream_stats`] stays monotone across periods.
     fn reset_clusterers(&mut self) {
+        for c in &self.clusterers {
+            self.retired_stream.merge(c.stream_stats());
+        }
         self.clusterers = self
             .placement
             .iter()
@@ -447,11 +479,23 @@ impl<const D: usize> ReplicaManager<D> {
 
         let k = self.adapt_k();
         let kcfg = KMeansConfig::new(k.min(pseudo.len())).with_seed(self.config.seed);
-        let clustering = if self.config.restart_threads > 0 {
-            georep_cluster::kmeans::lloyd_with_threads(&pseudo, kcfg, self.config.restart_threads)?
+        // The `_with_stats` variants return bit-for-bit the same clustering
+        // as their plain counterparts; the counters are a pure side channel.
+        let (clustering, kstats) = if self.config.restart_threads > 0 {
+            georep_cluster::kmeans::lloyd_with_threads_stats(
+                &pseudo,
+                kcfg,
+                self.config.restart_threads,
+            )?
         } else {
-            weighted_kmeans(&pseudo, kcfg)?
+            weighted_kmeans_with_stats(&pseudo, kcfg)?
         };
+        self.kmeans.restarts += kstats.restarts;
+        self.kmeans.iterations += kstats.iterations;
+        self.kmeans.pruned_upper += kstats.pruned_upper;
+        self.kmeans.pruned_tightened += kstats.pruned_tightened;
+        self.kmeans.full_scans += kstats.full_scans;
+        self.kmeans.winner_restart = kstats.winner_restart;
         let proposed =
             nearest_distinct_candidates(&clustering.centroids, &self.candidates, &self.coords, k);
 
@@ -827,6 +871,54 @@ mod tests {
             .position(|&r| r == 5)
             .expect("5 is placed");
         assert!(mgr.summaries()[five_idx].clusters.len() as u64 == retained);
+    }
+
+    #[test]
+    fn stream_stats_survive_period_resets_and_failures() {
+        let mut mgr = manager(2);
+        for _ in 0..50 {
+            mgr.record_access(Coord::new([1.0]), 1.0);
+            mgr.record_access(Coord::new([31.0]), 1.0);
+        }
+        let before = mgr.stream_stats();
+        assert_eq!(before.absorbed + before.created, 100);
+        // The period reset retires the clusterers but banks their tallies.
+        mgr.rebalance().unwrap();
+        assert_eq!(mgr.stream_stats(), before);
+        // A replica failure retires one clusterer mid-period; its tallies
+        // are banked too.
+        for _ in 0..10 {
+            mgr.record_access(Coord::new([1.0]), 1.0);
+        }
+        let mid = mgr.stream_stats();
+        mgr.fail_replica(mgr.placement()[0]).unwrap();
+        assert_eq!(mgr.stream_stats(), mid);
+    }
+
+    #[test]
+    fn kmeans_stats_accumulate_across_rounds() {
+        let mut mgr = manager(2);
+        assert_eq!(mgr.kmeans_stats(), georep_cluster::KMeansStats::default());
+        for round in 1..=3u64 {
+            for _ in 0..20 {
+                mgr.record_access(Coord::new([1.0]), 1.0);
+                mgr.record_access(Coord::new([31.0]), 1.0);
+            }
+            mgr.rebalance().unwrap();
+            let ks = mgr.kmeans_stats();
+            // KMeansConfig::new defaults to 4 restarts per round.
+            assert_eq!(ks.restarts, 4 * round, "round {round}");
+            assert!(ks.iterations >= ks.restarts);
+            assert_eq!(
+                ks.point_updates(),
+                ks.pruned_upper + ks.pruned_tightened + ks.full_scans
+            );
+            assert!(ks.winner_restart < 4);
+        }
+        // An empty period skips the macro-clustering entirely.
+        let before = mgr.kmeans_stats();
+        mgr.rebalance().unwrap();
+        assert_eq!(mgr.kmeans_stats(), before);
     }
 
     #[test]

@@ -46,6 +46,7 @@ use crate::failure::degraded_mean_delay;
 use crate::gossip::{detected_failures, embed_via_simulation, embed_with_faults, GossipConfig};
 use crate::manager::{ManagerConfig, ManagerError, ReplicaManager};
 use crate::problem::{PlacementProblem, ProblemError};
+use crate::telemetry::{NullRecorder, Recorder};
 
 /// The five named robustness scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -380,6 +381,25 @@ pub fn run_scenario(
     kind: ScenarioKind,
     cfg: ScenarioConfig,
 ) -> Result<ScenarioReport, ScenarioError> {
+    run_scenario_with_recorder(matrix, kind, cfg, &NullRecorder)
+}
+
+/// [`run_scenario`] with a [`Recorder`] attached. Every recorder call is a
+/// read-only side channel over values the run computes anyway — integer
+/// counters and already-computed floats — so the [`ScenarioReport`] is
+/// bit-identical whichever recorder is installed (asserted by
+/// `tests/robustness_scenarios.rs`).
+///
+/// # Errors
+///
+/// [`ScenarioError`] when the inputs are inconsistent or any layer fails.
+pub fn run_scenario_with_recorder<R: Recorder>(
+    matrix: &RttMatrix,
+    kind: ScenarioKind,
+    cfg: ScenarioConfig,
+    rec: &R,
+) -> Result<ScenarioReport, ScenarioError> {
+    let _span = crate::span!("scenario.run");
     let n = matrix.len();
     let p = cfg.phase_ticks;
     if n < 12 {
@@ -407,9 +427,28 @@ pub fn run_scenario(
         seed: cfg.seed,
         ..GossipConfig::default()
     };
-    let embed = embed_via_simulation(matrix, gossip_cfg);
+    let embed = {
+        let _span = crate::span!("scenario.embed");
+        embed_via_simulation(matrix, gossip_cfg)
+    };
     let mut messages_dropped = embed.net.messages_dropped;
     let mut retries = embed.retries;
+    if rec.enabled() {
+        rec.event(
+            "scenario.start",
+            &[
+                ("scenario", kind.name().into()),
+                ("nodes", n.into()),
+                ("k", cfg.k.into()),
+                ("seed", cfg.seed.into()),
+            ],
+        );
+        rec.counter("gossip.pings", embed.pings);
+        rec.counter("gossip.retries", embed.retries);
+        rec.counter("gossip.timeouts", embed.timeouts);
+        rec.counter("net.messages_dropped", embed.net.messages_dropped);
+        rec.observe("embed.median_rel_err", embed.report.median_rel_err);
+    }
 
     // 2. The live pipeline: manager + objective scoring.
     // Generous micro-cluster budget: with summaries this fine the macro
@@ -441,6 +480,10 @@ pub fn run_scenario(
                 tick,
                 phase: "healthy",
             });
+            rec.event(
+                "phase",
+                &[("tick", tick.into()), ("phase", "healthy".into())],
+            );
         }
         // The fault targets depend on the demand-driven placement, so the
         // plan is built at the fault-phase boundary.
@@ -449,6 +492,7 @@ pub fn run_scenario(
                 tick,
                 phase: "fault",
             });
+            rec.event("phase", &[("tick", tick.into()), ("phase", "fault".into())]);
             let mut placed: Vec<usize> = mgr.placement().to_vec();
             placed.sort_unstable();
             pre_fault_placement = placed;
@@ -462,6 +506,10 @@ pub fn run_scenario(
                 tick,
                 phase: "recovery",
             });
+            rec.event(
+                "phase",
+                &[("tick", tick.into()), ("phase", "recovery".into())],
+            );
         }
 
         // Failure detection: rerun gossip under the current fault state
@@ -475,6 +523,7 @@ pub fn run_scenario(
                 let verdict = if signature == (Vec::new(), Vec::new()) && !noise_onset {
                     Vec::new() // all clear — nothing to probe for
                 } else {
+                    let _span = crate::span!("scenario.detect");
                     let detect = embed_with_faults(
                         matrix,
                         GossipConfig {
@@ -487,6 +536,13 @@ pub fn run_scenario(
                     );
                     messages_dropped += detect.net.messages_dropped;
                     retries += detect.retries;
+                    if rec.enabled() {
+                        rec.counter("gossip.detect_runs", 1);
+                        rec.counter("gossip.pings", detect.pings);
+                        rec.counter("gossip.retries", detect.retries);
+                        rec.counter("gossip.timeouts", detect.timeouts);
+                        rec.counter("net.messages_dropped", detect.net.messages_dropped);
+                    }
                     detected_failures(&detect.suspicion, coordinator)
                 };
                 prev_signature = signature;
@@ -502,6 +558,16 @@ pub fn run_scenario(
                     nodes: verdict.clone(),
                     degraded_ms,
                 });
+                if rec.enabled() {
+                    rec.event(
+                        "detected",
+                        &[
+                            ("tick", tick.into()),
+                            ("nodes", verdict.len().into()),
+                            ("degraded_ms", degraded_ms.unwrap_or(f64::NAN).into()),
+                        ],
+                    );
+                }
 
                 // Newly detected nodes leave the pipeline. Only candidate
                 // DCs matter here: a detected non-candidate hosts nothing
@@ -513,9 +579,19 @@ pub fn run_scenario(
                     }
                     if mgr.placement().contains(&node) && mgr.fail_replica(node).is_ok() {
                         trace.push(TraceEvent::ReplicaFailed { tick, node });
+                        rec.counter("scenario.replica_failures", 1);
+                        rec.event(
+                            "replica_failed",
+                            &[("tick", tick.into()), ("node", node.into())],
+                        );
                         excluded.push(node);
                     } else if mgr.quarantine_candidate(node).is_ok() {
                         trace.push(TraceEvent::Quarantined { tick, node });
+                        rec.counter("scenario.quarantines", 1);
+                        rec.event(
+                            "quarantined",
+                            &[("tick", tick.into()), ("node", node.into())],
+                        );
                         excluded.push(node);
                     }
                 }
@@ -529,10 +605,19 @@ pub fn run_scenario(
                     mgr.restore_candidate(node)?;
                     excluded.retain(|&e| e != node);
                     trace.push(TraceEvent::Restored { tick, node });
+                    rec.counter("scenario.restores", 1);
+                    rec.event("restored", &[("tick", tick.into()), ("node", node.into())]);
                 }
                 // The degradation loop responds immediately: re-placement,
                 // still gated by migration cost.
-                rebalance(&mut mgr, tick, &mut trace, &mut replacements, tick >= p)?;
+                rebalance(
+                    &mut mgr,
+                    tick,
+                    &mut trace,
+                    &mut replacements,
+                    tick >= p,
+                    rec,
+                )?;
             }
         }
 
@@ -550,9 +635,22 @@ pub fn run_scenario(
             mean_delay_ms: mean,
             unreachable,
         });
+        if rec.enabled() {
+            if let Some(ms) = mean {
+                rec.observe("tick.mean_delay_ms", ms);
+            }
+            rec.counter("tick.unreachable", unreachable as u64);
+        }
 
         if (tick + 1) % cfg.rebalance_every == 0 {
-            rebalance(&mut mgr, tick, &mut trace, &mut replacements, tick >= p)?;
+            rebalance(
+                &mut mgr,
+                tick,
+                &mut trace,
+                &mut replacements,
+                tick >= p,
+                rec,
+            )?;
         }
     }
 
@@ -565,6 +663,36 @@ pub fn run_scenario(
         .filter_map(|t| t.mean_delay_ms)
         .fold(0.0, f64::max);
     let trace_hash = fnv1a(format!("{trace:?}").as_bytes());
+
+    // Flush the lower layers' always-on tallies into the recorder once per
+    // run (the hot paths themselves never pay recorder dispatch).
+    if rec.enabled() {
+        let ms = mgr.stats();
+        rec.counter("manager.accesses", ms.accesses);
+        rec.counter("manager.rounds", ms.rounds);
+        rec.counter("manager.replicas_moved", ms.replicas_moved);
+        rec.counter("manager.summary_bytes", ms.summary_bytes);
+        let ss = mgr.stream_stats();
+        rec.counter("stream.absorbed", ss.absorbed);
+        rec.counter("stream.created", ss.created);
+        rec.counter("stream.merged", ss.merged);
+        let ks = mgr.kmeans_stats();
+        rec.counter("kmeans.restarts", ks.restarts);
+        rec.counter("kmeans.iterations", ks.iterations);
+        rec.counter("kmeans.pruned_upper", ks.pruned_upper);
+        rec.counter("kmeans.pruned_tightened", ks.pruned_tightened);
+        rec.counter("kmeans.full_scans", ks.full_scans);
+        rec.event(
+            "scenario.end",
+            &[
+                ("scenario", kind.name().into()),
+                ("replacements", replacements.into()),
+                ("messages_dropped", messages_dropped.into()),
+                ("retries", retries.into()),
+                ("peak_delay_ms", peak_delay_ms.into()),
+            ],
+        );
+    }
 
     Ok(ScenarioReport {
         name: kind.name(),
@@ -582,12 +710,13 @@ pub fn run_scenario(
     })
 }
 
-fn rebalance<const D: usize>(
+fn rebalance<const D: usize, R: Recorder>(
     mgr: &mut ReplicaManager<D>,
     tick: u32,
     trace: &mut Vec<TraceEvent>,
     replacements: &mut u64,
     after_fault_onset: bool,
+    rec: &R,
 ) -> Result<(), ScenarioError> {
     let d = mgr.rebalance()?;
     if d.applied && d.moved > 0 && after_fault_onset {
@@ -599,6 +728,23 @@ fn rebalance<const D: usize>(
         moved: d.moved,
         cost_usd: d.cost_usd,
     });
+    if rec.enabled() {
+        rec.counter("manager.rebalances", 1);
+        if d.applied {
+            rec.counter("manager.migrations_applied", 1);
+        } else if d.moved > 0 {
+            rec.counter("manager.migrations_gated", 1);
+        }
+        rec.event(
+            "rebalance",
+            &[
+                ("tick", tick.into()),
+                ("applied", d.applied.into()),
+                ("moved", d.moved.into()),
+                ("cost_usd", d.cost_usd.into()),
+            ],
+        );
+    }
     Ok(())
 }
 

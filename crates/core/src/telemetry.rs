@@ -1,0 +1,761 @@
+//! Zero-cost-when-disabled run instrumentation.
+//!
+//! The placement pipeline is driven by *observed* behavior — pruning
+//! hit-rates, gossip retries, merge churn, per-phase placement decisions —
+//! yet none of that was visible at runtime before this module. A
+//! [`Recorder`] is the sink for that signal:
+//!
+//! * [`NullRecorder`] — the default. Every method is an empty `#[inline]`
+//!   body; call sites are monomorphized, so with the null recorder the
+//!   instrumentation compiles to nothing. The hot paths (`Network::deliver`,
+//!   `OnlineClusterer::observe`, the pruned Lloyd inner loop) additionally
+//!   keep their own plain-`u64` counters (see `DeliveryStats`,
+//!   `StreamStats`, `KMeansStats` in the lower crates) that driver layers
+//!   flush into a recorder once per run, so per-message virtual dispatch
+//!   never happens at all.
+//! * [`InMemoryRecorder`] — internally synchronized aggregation: named
+//!   counters, histogram summaries and structured events, readable while
+//!   the run is in flight. This is what the equivalence suites attach to
+//!   prove instrumentation does not perturb results.
+//! * [`TraceWriter`] — a JSONL sink (one object per line). Lines carry a
+//!   sequence number but **no wall-clock timestamp**, so a deterministic
+//!   caller produces a bit-identical trace file on every run.
+//! * [`Tee`] — fans one stream out to two recorders (e.g. aggregate in
+//!   memory *and* stream to a trace file).
+//!
+//! A finished [`InMemoryRecorder`] collapses into a [`RunReport`] — the
+//! aggregate the bench binaries emit next to their JSON output and which
+//! `check_bench` validates in CI.
+//!
+//! # Overhead contract
+//!
+//! Instrumented code must stay bit-identical with any recorder attached:
+//! recorder calls never touch an RNG stream, never feed back into `f64`
+//! arithmetic that reaches a report, and only ever *read* the values they
+//! record. With [`NullRecorder`] the measured overhead on the streaming
+//! ingest path is ≤ 1 % (recorded in `BENCH_streaming.json`).
+//!
+//! # Trace schema
+//!
+//! Every line of a [`TraceWriter`] file is one JSON object:
+//!
+//! ```json
+//! {"seq":0,"kind":"counter","name":"net.delivered","delta":412}
+//! {"seq":1,"kind":"observe","name":"tick.delay_ms","value":83.25}
+//! {"seq":2,"kind":"event","name":"phase.start","fields":{"phase":"fault","tick":4}}
+//! ```
+//!
+//! Set `GEOREP_TRACE=out.jsonl` to make [`TraceWriter::from_env`] return a
+//! writer; the scenario/bench drivers check that variable.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// One field value of a structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl FieldValue {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            FieldValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+        }
+    }
+}
+
+/// A sink for counters, histogram observations, timers and structured
+/// events.
+///
+/// Implementations must be internally synchronized (`Sync` is a
+/// supertrait): instrumented code is free to record from scoped worker
+/// threads.
+pub trait Recorder: Sync {
+    /// Whether this recorder keeps anything at all. Call sites gate
+    /// *payload construction* (not the record call itself) on this, so a
+    /// [`NullRecorder`] never pays for string formatting or field vectors.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the named counter.
+    fn counter(&self, name: &'static str, delta: u64);
+
+    /// Records one sample of the named distribution.
+    fn observe(&self, name: &'static str, value: f64);
+
+    /// Records a structured event.
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]);
+
+    /// Times `f` and records the elapsed wall-clock milliseconds as an
+    /// observation of `name`. With a disabled recorder `f` runs untimed.
+    fn time<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T
+    where
+        Self: Sized,
+    {
+        if self.enabled() {
+            let start = Instant::now();
+            let out = f();
+            self.observe(name, start.elapsed().as_secs_f64() * 1e3);
+            out
+        } else {
+            f()
+        }
+    }
+}
+
+/// Forwarding impl so `&R` can be handed to generic drivers.
+impl<R: Recorder> Recorder for &R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    fn counter(&self, name: &'static str, delta: u64) {
+        (**self).counter(name, delta);
+    }
+    fn observe(&self, name: &'static str, value: f64) {
+        (**self).observe(name, value);
+    }
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        (**self).event(name, fields);
+    }
+}
+
+/// The disabled recorder: every method is an empty inlined body, so
+/// monomorphized call sites vanish entirely.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn counter(&self, _name: &'static str, _delta: u64) {}
+    #[inline(always)]
+    fn observe(&self, _name: &'static str, _value: f64) {}
+    #[inline(always)]
+    fn event(&self, _name: &'static str, _fields: &[(&'static str, FieldValue)]) {}
+}
+
+/// Count / sum / min / max summary of an observed distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn absorb(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One recorded structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name.
+    pub name: &'static str,
+    /// Field name/value pairs, in call order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Thread-safe in-memory aggregation of everything recorded.
+#[derive(Debug, Default)]
+pub struct InMemoryRecorder {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    histograms: Mutex<BTreeMap<&'static str, HistogramSummary>>,
+    events: Mutex<Vec<EventRecord>>,
+}
+
+impl InMemoryRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of a counter (0 when never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    /// Summary of a distribution, if any sample was observed.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        self.histograms.lock().get(name).copied()
+    }
+
+    /// Snapshot of every histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSummary)> {
+        self.histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    /// All structured events recorded so far, in order.
+    pub fn events(&self) -> Vec<EventRecord> {
+        self.events.lock().clone()
+    }
+
+    /// Number of structured events recorded so far.
+    pub fn events_len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Drops everything recorded so far.
+    pub fn reset(&self) {
+        self.counters.lock().clear();
+        self.histograms.lock().clear();
+        self.events.lock().clear();
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn counter(&self, name: &'static str, delta: u64) {
+        *self.counters.lock().entry(name).or_insert(0) += delta;
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.histograms
+            .lock()
+            .entry(name)
+            .or_insert(HistogramSummary {
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            })
+            .absorb(value);
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        self.events.lock().push(EventRecord {
+            name,
+            fields: fields.to_vec(),
+        });
+    }
+}
+
+/// A JSONL trace sink: one JSON object per recorded call.
+///
+/// Lines are sequence-numbered but carry no timestamps, so deterministic
+/// callers produce bit-identical trace files.
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: Mutex<BufWriter<File>>,
+    seq: AtomicU64,
+}
+
+impl TraceWriter {
+    /// Creates (truncates) the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(TraceWriter {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// A writer for the file named by the `GEOREP_TRACE` environment
+    /// variable, or `None` when the variable is unset/empty or the file
+    /// cannot be created.
+    pub fn from_env() -> Option<Self> {
+        let path = std::env::var("GEOREP_TRACE").ok()?;
+        if path.is_empty() {
+            return None;
+        }
+        Self::create(path).ok()
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+
+    fn emit(&self, body: &str) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut out = self.out.lock();
+        let _ = writeln!(out, "{{\"seq\":{seq},{body}}}");
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+impl Recorder for TraceWriter {
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.emit(&format!(
+            "\"kind\":\"counter\",\"name\":\"{name}\",\"delta\":{delta}"
+        ));
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        let mut body = format!("\"kind\":\"observe\",\"name\":\"{name}\",\"value\":");
+        FieldValue::F64(value).write_json(&mut body);
+        self.emit(&body);
+    }
+
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        let mut body = format!("\"kind\":\"event\",\"name\":\"{name}\",\"fields\":{{");
+        for (i, (key, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "\"{key}\":");
+            value.write_json(&mut body);
+        }
+        body.push('}');
+        self.emit(&body);
+    }
+}
+
+/// Fans one instrumentation stream out to two recorders.
+#[derive(Debug, Clone, Copy)]
+pub struct Tee<'a, A: Recorder, B: Recorder>(pub &'a A, pub &'a B);
+
+impl<A: Recorder, B: Recorder> Recorder for Tee<'_, A, B> {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.0.counter(name, delta);
+        self.1.counter(name, delta);
+    }
+    fn observe(&self, name: &'static str, value: f64) {
+        self.0.observe(name, value);
+        self.1.observe(name, value);
+    }
+    fn event(&self, name: &'static str, fields: &[(&'static str, FieldValue)]) {
+        self.0.event(name, fields);
+        self.1.event(name, fields);
+    }
+}
+
+/// Aggregate of one run: the counters and histogram summaries of an
+/// [`InMemoryRecorder`], serializable as the JSON document the bench
+/// binaries emit next to their results (and `check_bench` validates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Name of the run (e.g. the emitting binary).
+    pub run: String,
+    /// Number of structured events recorded.
+    pub events: u64,
+    /// Counter name → value, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram name → summary, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl RunReport {
+    /// Collapses a recorder into a report.
+    pub fn from_recorder(run: &str, recorder: &InMemoryRecorder) -> Self {
+        RunReport {
+            run: run.to_owned(),
+            events: recorder.events_len() as u64,
+            counters: recorder.counters(),
+            histograms: recorder.histograms(),
+        }
+    }
+
+    /// Value of a counter in this report (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Renders the report as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = write!(out, "  \"run\": ");
+        FieldValue::Str(self.run.clone()).write_json(&mut out);
+        let _ = write!(out, ",\n  \"events\": {},\n  \"counters\": {{", self.events);
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{name}\": {value}");
+        }
+        if !self.counters.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{name}\": {{\"count\": {}, \"sum\": {:.6}, \"min\": {:.6}, \"max\": {:.6}, \"mean\": {:.6}}}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean()
+            );
+        }
+        if !self.histograms.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// A lightweight scope marker. With the `spans` feature disabled (the
+/// default) this is a zero-sized no-op; with it enabled, entering and
+/// leaving a span prints nesting-indented lines with elapsed wall-clock
+/// time to stderr — enough to see where a scenario or bench run spends its
+/// time without adding a dependency.
+#[must_use = "a span ends when its guard is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    #[cfg(feature = "spans")]
+    name: &'static str,
+    #[cfg(feature = "spans")]
+    start: Instant,
+}
+
+#[cfg(feature = "spans")]
+thread_local! {
+    static SPAN_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+impl SpanGuard {
+    /// Enters a named span; the span closes when the guard drops.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        #[cfg(feature = "spans")]
+        {
+            let depth = SPAN_DEPTH.with(|d| {
+                let depth = d.get();
+                d.set(depth + 1);
+                depth
+            });
+            eprintln!("[span] {:indent$}> {name}", "", indent = depth * 2);
+            SpanGuard {
+                name,
+                start: Instant::now(),
+            }
+        }
+        #[cfg(not(feature = "spans"))]
+        {
+            let _ = name;
+            SpanGuard {}
+        }
+    }
+}
+
+#[cfg(feature = "spans")]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let depth = SPAN_DEPTH.with(|d| {
+            let depth = d.get().saturating_sub(1);
+            d.set(depth);
+            depth
+        });
+        eprintln!(
+            "[span] {:indent$}< {} {:.3} ms",
+            "",
+            self.name,
+            self.start.elapsed().as_secs_f64() * 1e3,
+            indent = depth * 2
+        );
+    }
+}
+
+/// Enters a [`SpanGuard`] scope: `let _span = georep_core::span!("name");`.
+/// Compiles to a zero-sized no-op unless the `spans` feature is enabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::telemetry::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled_and_inert() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.counter("x", 5);
+        r.observe("y", 1.0);
+        r.event("z", &[("k", FieldValue::U64(1))]);
+        let out = r.time("t", || 42);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn in_memory_counters_accumulate() {
+        let r = InMemoryRecorder::new();
+        r.counter("net.delivered", 3);
+        r.counter("net.delivered", 4);
+        r.counter("net.dropped", 1);
+        assert_eq!(r.counter_value("net.delivered"), 7);
+        assert_eq!(r.counter_value("net.dropped"), 1);
+        assert_eq!(r.counter_value("missing"), 0);
+        assert_eq!(
+            r.counters(),
+            vec![
+                ("net.delivered".to_string(), 7),
+                ("net.dropped".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn in_memory_histograms_summarize() {
+        let r = InMemoryRecorder::new();
+        for v in [2.0, 8.0, 5.0] {
+            r.observe("delay", v);
+        }
+        r.observe("delay", f64::NAN); // ignored
+        let h = r.histogram("delay").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 15.0);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 8.0);
+        assert_eq!(h.mean(), 5.0);
+        assert!(r.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn in_memory_events_and_reset() {
+        let r = InMemoryRecorder::new();
+        r.event(
+            "phase.start",
+            &[("tick", 4u64.into()), ("name", "fault".into())],
+        );
+        assert_eq!(r.events_len(), 1);
+        let ev = &r.events()[0];
+        assert_eq!(ev.name, "phase.start");
+        assert_eq!(ev.fields[0], ("tick", FieldValue::U64(4)));
+        r.reset();
+        assert_eq!(r.events_len(), 0);
+        assert_eq!(r.counters().len(), 0);
+    }
+
+    #[test]
+    fn timer_records_an_observation() {
+        let r = InMemoryRecorder::new();
+        let out = r.time("work_ms", || 7);
+        assert_eq!(out, 7);
+        let h = r.histogram("work_ms").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn tee_duplicates_to_both_sinks() {
+        let a = InMemoryRecorder::new();
+        let b = InMemoryRecorder::new();
+        let tee = Tee(&a, &b);
+        assert!(tee.enabled());
+        tee.counter("c", 2);
+        tee.observe("h", 1.5);
+        tee.event("e", &[]);
+        for r in [&a, &b] {
+            assert_eq!(r.counter_value("c"), 2);
+            assert_eq!(r.histogram("h").unwrap().count, 1);
+            assert_eq!(r.events_len(), 1);
+        }
+    }
+
+    #[test]
+    fn trace_writer_emits_one_json_object_per_line() {
+        let path = std::env::temp_dir().join("georep_trace_writer_test.jsonl");
+        {
+            let w = TraceWriter::create(&path).unwrap();
+            w.counter("net.delivered", 3);
+            w.observe("delay_ms", 12.5);
+            w.event(
+                "phase.start",
+                &[("tick", 4u64.into()), ("name", "fault \"q\"".into())],
+            );
+            w.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"kind\":\"counter\",\"name\":\"net.delivered\",\"delta\":3}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"seq\":1,\"kind\":\"observe\",\"name\":\"delay_ms\",\"value\":12.5}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"seq\":2,\"kind\":\"event\",\"name\":\"phase.start\",\
+             \"fields\":{\"tick\":4,\"name\":\"fault \\\"q\\\"\"}}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_report_renders_counters_and_histograms() {
+        let r = InMemoryRecorder::new();
+        r.counter("gossip.pings", 10);
+        r.counter("net.delivered", 40);
+        r.observe("tick.delay_ms", 80.0);
+        r.observe("tick.delay_ms", 120.0);
+        r.event("done", &[]);
+        let report = RunReport::from_recorder("unit_test", &r);
+        assert_eq!(report.counter("gossip.pings"), 10);
+        assert_eq!(report.counter("absent"), 0);
+        assert_eq!(report.events, 1);
+        let json = report.to_json();
+        assert!(json.contains("\"run\": \"unit_test\""));
+        assert!(json.contains("\"gossip.pings\": 10"));
+        assert!(json.contains("\"net.delivered\": 40"));
+        assert!(json.contains("\"tick.delay_ms\": {\"count\": 2"));
+        assert!(json.contains("\"mean\": 100.000000"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn span_guard_is_a_noop_without_the_feature() {
+        let _guard = SpanGuard::enter("test.span");
+        #[cfg(not(feature = "spans"))]
+        assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+    }
+
+    #[test]
+    fn trace_from_env_requires_the_variable() {
+        // The suite does not set GEOREP_TRACE; reading it here keeps the
+        // test independent of environment mutation (which is unsafe under
+        // threads).
+        if std::env::var("GEOREP_TRACE").is_err() {
+            assert!(TraceWriter::from_env().is_none());
+        }
+    }
+}

@@ -42,6 +42,6 @@ pub mod time;
 
 pub use engine::{Context, Simulation};
 pub use fault::{Delivery, DropCause, FaultPlan};
-pub use network::Network;
+pub use network::{DeliveryStats, Network};
 pub use process::{NetStats, NodeId, Process, ProcessCtx, ProcessNet};
 pub use time::{SimDuration, SimTime};

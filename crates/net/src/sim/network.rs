@@ -11,9 +11,43 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use super::fault::{Delivery, FaultPlan};
+use super::fault::{Delivery, DropCause, FaultPlan};
 use super::time::{SimDuration, SimTime};
 use crate::rtt::RttMatrix;
+
+/// Plain-`u64` accounting of every [`Network::deliver`] decision.
+///
+/// The counters are always on: incrementing a `u64` costs nothing next to
+/// the jitter sampling, never touches the RNG stream, and spares the hot
+/// path any recorder dispatch. Driver layers read the struct once per run
+/// and flush it into a `Recorder`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Messages that arrived.
+    pub delivered: u64,
+    /// Messages dropped by a packet-loss draw.
+    pub dropped_loss: u64,
+    /// Messages dropped by an active partition.
+    pub dropped_partition: u64,
+    /// Messages dropped because an endpoint was down.
+    pub dropped_node_down: u64,
+    /// Deliveries decided while a fault window applied to the link: the
+    /// message was dropped, surge-delayed, or exposed to a positive loss
+    /// probability.
+    pub fault_window_hits: u64,
+}
+
+impl DeliveryStats {
+    /// Total messages dropped, all causes.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_partition + self.dropped_node_down
+    }
+
+    /// Total messages submitted (`delivered + dropped`).
+    pub fn sends(&self) -> u64 {
+        self.delivered + self.dropped()
+    }
+}
 
 /// A latency sampler bound to an RTT matrix.
 #[derive(Debug)]
@@ -22,6 +56,7 @@ pub struct Network {
     jitter_sigma: f64,
     rng: StdRng,
     faults: Option<FaultPlan>,
+    stats: DeliveryStats,
 }
 
 impl Network {
@@ -32,6 +67,7 @@ impl Network {
             jitter_sigma: 0.0,
             rng: StdRng::seed_from_u64(0),
             faults: None,
+            stats: DeliveryStats::default(),
         }
     }
 
@@ -51,6 +87,7 @@ impl Network {
             jitter_sigma,
             rng: StdRng::seed_from_u64(seed),
             faults: None,
+            stats: DeliveryStats::default(),
         }
     }
 
@@ -70,6 +107,11 @@ impl Network {
     /// The installed fault plan, if any.
     pub fn faults(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Delivery accounting accumulated by [`Network::deliver`] so far.
+    pub fn stats(&self) -> DeliveryStats {
+        self.stats
     }
 
     /// The underlying matrix.
@@ -127,10 +169,32 @@ impl Network {
     /// stretch the delay.
     pub fn deliver(&mut self, from: usize, to: usize, at: SimTime) -> Delivery {
         let base = self.sample_delay(from, to);
-        match &mut self.faults {
+        let outcome = match &mut self.faults {
             None => Delivery::Deliver(base),
-            Some(plan) => plan.delivery(from, to, at, base),
+            Some(plan) => {
+                // The window queries are pure reads; only `delivery` itself
+                // may advance the plan's loss RNG.
+                let in_window = plan.latency_factor(from, to, at) != 1.0
+                    || plan.loss_probability(from, to, at) > 0.0
+                    || plan.node_down(from, at)
+                    || plan.node_down(to, at)
+                    || plan.partitioned(from, to, at);
+                let outcome = plan.delivery(from, to, at, base);
+                // A message can also die outside any send-time window when
+                // its destination crashes before it lands.
+                if in_window || matches!(outcome, Delivery::Dropped(_)) {
+                    self.stats.fault_window_hits += 1;
+                }
+                outcome
+            }
+        };
+        match outcome {
+            Delivery::Deliver(_) => self.stats.delivered += 1,
+            Delivery::Dropped(DropCause::Loss) => self.stats.dropped_loss += 1,
+            Delivery::Dropped(DropCause::Partition) => self.stats.dropped_partition += 1,
+            Delivery::Dropped(DropCause::NodeDown) => self.stats.dropped_node_down += 1,
         }
+        outcome
     }
 }
 
@@ -224,6 +288,51 @@ mod tests {
             net.deliver(0, 2, SimTime::from_ms(100.0)),
             Delivery::Deliver(SimDuration::from_ms(20.0))
         );
+    }
+
+    #[test]
+    fn delivery_stats_split_sends_by_fate() {
+        use super::super::fault::DropCause;
+        let plan = FaultPlan::new(5)
+            .crash(2, SimTime::ZERO, SimTime::from_ms(100.0))
+            .latency_surge(&[3], 2.0, SimTime::ZERO, SimTime::from_ms(50.0));
+        let mut net = Network::with_faults(matrix(), 0.0, 0, plan);
+        assert_eq!(net.stats(), DeliveryStats::default());
+
+        // Clean delivery: no window applies.
+        assert!(matches!(
+            net.deliver(0, 1, SimTime::from_ms(200.0)),
+            Delivery::Deliver(_)
+        ));
+        // Dropped: destination down.
+        assert!(matches!(
+            net.deliver(0, 2, SimTime::from_ms(5.0)),
+            Delivery::Dropped(DropCause::NodeDown)
+        ));
+        // Delivered through a surge window: a fault-window hit.
+        assert!(matches!(
+            net.deliver(0, 3, SimTime::from_ms(5.0)),
+            Delivery::Deliver(_)
+        ));
+        let s = net.stats();
+        assert_eq!(s.delivered, 2);
+        assert_eq!(s.dropped_node_down, 1);
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.sends(), 3);
+        assert_eq!(s.fault_window_hits, 2);
+    }
+
+    #[test]
+    fn delivery_stats_account_every_send_without_a_plan() {
+        let mut net = Network::with_jitter(matrix(), 0.2, 3);
+        for i in 0..25 {
+            let _ = net.deliver(i % 4, (i + 1) % 4, SimTime::from_ms(i as f64));
+        }
+        let s = net.stats();
+        assert_eq!(s.delivered, 25);
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.fault_window_hits, 0);
+        assert_eq!(s.sends(), 25);
     }
 
     #[test]

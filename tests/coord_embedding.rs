@@ -1,0 +1,244 @@
+//! Integration tests for the `georep-coord` embedding stack.
+//!
+//! The three protocols — Vivaldi (baseline), GNP (landmark-based related
+//! work) and RNP (the scheme the paper uses) — are run against the *same*
+//! synthetic RTT matrix with planted ground-truth positions, so a perfect
+//! embedding exists and the protocols are compared on equal footing:
+//!
+//! * all three recover the planted geometry to a useful accuracy;
+//! * the relative-error ordering between them is stable across seeds;
+//! * the [`StabilityTracker`] behaves monotonically under converging
+//!   inputs.
+
+use georep_coord::embedding::{evaluate, EmbeddingReport, EmbeddingRunner};
+use georep_coord::gnp::Gnp;
+use georep_coord::rnp::Rnp;
+use georep_coord::stability::StabilityTracker;
+use georep_coord::vivaldi::Vivaldi;
+use georep_coord::{Coord, LatencyEstimator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const D: usize = 3;
+/// GNP landmarks: at least `D + 1` are required; one spare for stability.
+const LANDMARKS: usize = D + 2;
+
+/// Planted ground truth: `n` nodes at seeded-random positions in a 3-D
+/// box. The RTT between two nodes is their Euclidean distance (floored at
+/// 2 ms), so a zero-error embedding exists.
+fn planted_positions(n: usize, seed: u64) -> Vec<Coord<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut pos = [0.0; D];
+            for p in &mut pos {
+                *p = rng.random_range(-120.0..120.0);
+            }
+            Coord::new(pos)
+        })
+        .collect()
+}
+
+fn oracle(truth: &[Coord<D>]) -> impl Fn(usize, usize) -> f64 + '_ {
+    move |i, j| truth[i].distance(&truth[j]).max(2.0)
+}
+
+fn embed_vivaldi(truth: &[Coord<D>], seed: u64) -> EmbeddingReport {
+    let runner = EmbeddingRunner {
+        rounds: 80,
+        samples_per_round: 4,
+        seed,
+    };
+    runner
+        .run(truth.len(), oracle(truth), |i| {
+            Vivaldi::<D>::seeded(Default::default(), seed.wrapping_add(i as u64))
+        })
+        .1
+}
+
+fn embed_rnp(truth: &[Coord<D>], seed: u64) -> EmbeddingReport {
+    let runner = EmbeddingRunner {
+        rounds: 80,
+        samples_per_round: 4,
+        seed,
+    };
+    runner
+        .run(truth.len(), oracle(truth), |_| Rnp::<D>::new())
+        .1
+}
+
+/// GNP has no gossip phase: the first [`LANDMARKS`] nodes are embedded
+/// jointly from their RTT sub-matrix, every other node is positioned
+/// against its RTTs to the landmarks.
+fn embed_gnp(truth: &[Coord<D>]) -> EmbeddingReport {
+    let orc = oracle(truth);
+    let rtts: Vec<Vec<f64>> = (0..LANDMARKS)
+        .map(|i| {
+            (0..LANDMARKS)
+                .map(|j| if i == j { 0.0 } else { orc(i, j) })
+                .collect()
+        })
+        .collect();
+    let gnp = Gnp::<D>::embed_landmarks(&rtts).expect("enough landmarks, valid RTTs");
+    let mut coords: Vec<Coord<D>> = gnp.landmarks().to_vec();
+    for i in LANDMARKS..truth.len() {
+        let to_landmarks: Vec<f64> = (0..LANDMARKS).map(|l| orc(i, l)).collect();
+        coords.push(gnp.position(&to_landmarks).expect("valid RTT vector"));
+    }
+    evaluate(&coords, &orc, 0xEED)
+}
+
+#[test]
+fn all_three_protocols_recover_the_planted_geometry() {
+    let truth = planted_positions(24, 42);
+    let viv = embed_vivaldi(&truth, 42);
+    let rnp = embed_rnp(&truth, 42);
+    let gnp = embed_gnp(&truth);
+    for (name, report) in [("vivaldi", &viv), ("rnp", &rnp), ("gnp", &gnp)] {
+        assert_eq!(report.pairs, 24 * 23 / 2, "{name} must cover all pairs");
+        assert!(
+            report.median_rel_err < 0.35,
+            "{name} median relative error {:.3} is unusably high",
+            report.median_rel_err
+        );
+        assert!(report.median_abs_err <= report.p90_abs_err, "{name}");
+        assert!((0.0..=1.0).contains(&report.frac_within_10ms), "{name}");
+    }
+}
+
+#[test]
+fn relative_error_ordering_is_stable_across_seeds() {
+    // The paper's stated reason for RNP over Vivaldi is accuracy/stability;
+    // GNP with exact landmark RTTs is a near-direct solve. Whatever the
+    // geometry, the ordering must not depend on the seed.
+    for seed in [1u64, 7, 13, 42, 99] {
+        let truth = planted_positions(20, seed);
+        let viv = embed_vivaldi(&truth, seed).median_rel_err;
+        let rnp = embed_rnp(&truth, seed).median_rel_err;
+        let gnp = embed_gnp(&truth).median_rel_err;
+        assert!(
+            rnp <= viv,
+            "seed {seed}: rnp {rnp:.3} should not lose to vivaldi {viv:.3}"
+        );
+        assert!(
+            gnp <= viv,
+            "seed {seed}: gnp {gnp:.3} should not lose to vivaldi {viv:.3}"
+        );
+    }
+}
+
+#[test]
+fn stability_tracker_is_monotone_under_converging_inputs() {
+    // A coordinate walking geometrically toward a fixed point: step
+    // lengths decay, so the running mean step must be non-increasing from
+    // the second movement on, and the max step is pinned at the first.
+    let mut tracker: StabilityTracker<2> = StabilityTracker::new();
+    let mut x = 64.0;
+    let mut prev_mean = f64::INFINITY;
+    let mut prev_total = 0.0;
+    for step in 0..20 {
+        tracker.observe(Coord::new([x, 0.0]));
+        let r = tracker.report().expect("observed at least once");
+        assert_eq!(r.updates, step + 1);
+        assert!(r.total_distance >= prev_total, "travel must accumulate");
+        prev_total = r.total_distance;
+        assert_eq!(
+            r.max_step,
+            f64::min(32.0, 64.0 - x),
+            "first move is the largest"
+        );
+        if step >= 2 {
+            assert!(
+                r.mean_step <= prev_mean,
+                "mean step grew under converging input at step {step}"
+            );
+        }
+        prev_mean = r.mean_step;
+        x /= 2.0;
+    }
+    let r = tracker.report().unwrap();
+    assert!(
+        r.moves < r.updates,
+        "sub-micro steps must not count as moves"
+    );
+    assert!(r.median_step <= r.max_step);
+    assert!(
+        (r.total_distance - 64.0).abs() < 0.1,
+        "geometric walk sums to ~64"
+    );
+}
+
+#[test]
+fn a_converged_rnp_node_stops_moving() {
+    // Feed one RNP node a perfectly consistent peer; after convergence the
+    // tracker must see (near) zero late-phase travel.
+    let peer = Coord::new([30.0, 0.0, 0.0]);
+    let mut node = Rnp::<D>::new();
+    let mut early = StabilityTracker::new();
+    let mut late = StabilityTracker::new();
+    for i in 0..400 {
+        node.observe(peer, 0.1, 30.0);
+        if i < 200 {
+            early.observe(node.coordinate());
+        } else {
+            late.observe(node.coordinate());
+        }
+    }
+    let (early, late) = (early.report().unwrap(), late.report().unwrap());
+    assert!(
+        late.total_distance < early.total_distance * 0.25 + 1e-9,
+        "late travel {:.4} vs early {:.4}: node failed to settle",
+        late.total_distance,
+        early.total_distance
+    );
+}
+
+proptest! {
+    /// The whole embedding pipeline is deterministic given its seed.
+    #[test]
+    fn embedding_is_deterministic_given_the_seed(seed in 0u64..1_000) {
+        let truth = planted_positions(10, seed);
+        let runner = EmbeddingRunner { rounds: 12, samples_per_round: 2, seed };
+        let (c1, r1) = runner.run(10, oracle(&truth), |_| Rnp::<D>::new());
+        let (c2, r2) = runner.run(10, oracle(&truth), |_| Rnp::<D>::new());
+        prop_assert_eq!(c1, c2);
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Report invariants hold for any planted geometry: percentiles are
+    /// ordered, fractions are fractions, errors are non-negative.
+    #[test]
+    fn embedding_reports_are_internally_consistent(seed in 0u64..1_000, n in 6usize..16) {
+        let truth = planted_positions(n, seed);
+        let report = embed_rnp(&truth, seed);
+        prop_assert_eq!(report.pairs, n * (n - 1) / 2);
+        prop_assert!(report.median_abs_err >= 0.0);
+        prop_assert!(report.median_abs_err <= report.p90_abs_err);
+        prop_assert!(report.median_rel_err >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&report.frac_within_10ms));
+    }
+
+    /// GNP positioning is exact on its own landmarks: re-positioning a
+    /// landmark from its true RTT vector lands (numerically) on itself.
+    #[test]
+    fn gnp_repositions_its_own_landmarks(seed in 0u64..1_000) {
+        let truth = planted_positions(LANDMARKS, seed);
+        let orc = oracle(&truth);
+        let rtts: Vec<Vec<f64>> = (0..LANDMARKS)
+            .map(|i| (0..LANDMARKS).map(|j| if i == j { 0.0 } else { orc(i, j) }).collect())
+            .collect();
+        let gnp = Gnp::<D>::embed_landmarks(&rtts).expect("valid table");
+        for (l, landmark) in gnp.landmarks().iter().enumerate() {
+            let mut to_landmarks = rtts[l].clone();
+            // `position` expects strictly positive RTTs; patch the self entry.
+            to_landmarks[l] = 1e-6;
+            let repositioned = gnp.position(&to_landmarks).expect("valid vector");
+            prop_assert!(
+                repositioned.distance(landmark) < 5.0,
+                "landmark {l} moved {:.3}",
+                repositioned.distance(landmark)
+            );
+        }
+    }
+}

@@ -15,7 +15,10 @@
 //! `BENCH_robustness.json` timelines checked by the `bench-sanity` CI job;
 //! this suite is the pinned, pass/fail half of that story.
 
-use georep_core::scenario::{run_scenario, ScenarioConfig, ScenarioKind, ALL_SCENARIOS};
+use georep_core::scenario::{
+    run_scenario, run_scenario_with_recorder, ScenarioConfig, ScenarioKind, ALL_SCENARIOS,
+};
+use georep_core::telemetry::InMemoryRecorder;
 use georep_net::sim::SimDuration;
 use georep_net::topology::{Topology, TopologyConfig};
 
@@ -66,6 +69,56 @@ fn reports_are_bit_identical_across_1_2_and_8_threads() {
                 kind.name()
             );
         }
+    }
+}
+
+/// The instrumentation contract of the telemetry layer: attaching a live
+/// [`InMemoryRecorder`] must not change a single bit of any scenario
+/// report, and what the recorder captures must itself be deterministic.
+#[test]
+fn reports_are_bit_identical_with_a_recorder_attached() {
+    let m = matrix(24);
+    for kind in ALL_SCENARIOS {
+        let plain = run_scenario(&m, kind, suite_cfg(1)).expect("scenario runs");
+        let rec = InMemoryRecorder::new();
+        let recorded =
+            run_scenario_with_recorder(&m, kind, suite_cfg(1), &rec).expect("scenario runs");
+        assert_eq!(
+            recorded,
+            plain,
+            "{}: the recorder perturbed the report",
+            kind.name()
+        );
+        // The run must actually have been observed, not silently skipped.
+        assert!(
+            rec.counter_value("gossip.pings") > 0,
+            "{}: no gossip telemetry recorded",
+            kind.name()
+        );
+        assert!(
+            rec.counter_value("manager.rounds") > 0,
+            "{}: no manager telemetry recorded",
+            kind.name()
+        );
+        assert!(rec.events_len() > 0, "{}: no events recorded", kind.name());
+
+        // And the captured telemetry is a pure function of the run.
+        let rec2 = InMemoryRecorder::new();
+        let again =
+            run_scenario_with_recorder(&m, kind, suite_cfg(1), &rec2).expect("scenario runs");
+        assert_eq!(again, plain);
+        assert_eq!(
+            rec.counters(),
+            rec2.counters(),
+            "{}: counters diverged run-to-run",
+            kind.name()
+        );
+        assert_eq!(
+            rec.histograms(),
+            rec2.histograms(),
+            "{}: histograms diverged run-to-run",
+            kind.name()
+        );
     }
 }
 

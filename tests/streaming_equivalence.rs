@@ -20,6 +20,7 @@ use georep_cluster::reference::{lloyd_reference, ReferenceMicroCluster, Referenc
 use georep_cluster::weighted::weighted_kmeans;
 use georep_cluster::WeightedPoint;
 use georep_coord::Coord;
+use georep_core::telemetry::{InMemoryRecorder, Recorder};
 use proptest::prelude::*;
 
 // ---- Input strategies. ----
@@ -202,6 +203,64 @@ proptest! {
             let probe = Coord::new([3.0, 4.0]);
             prop_assert_eq!(fast.distance_to(&probe), slow.distance_to(&probe));
         }
+    }
+}
+
+// ---- Telemetry non-perturbation on the streaming path. ----
+
+proptest! {
+    /// Instrumenting the streaming ingest — reading `stream_stats` after
+    /// every event and flushing them into an [`InMemoryRecorder`] — leaves
+    /// the clusterer in exactly the state of an unobserved run, and the
+    /// flushed counters agree with the final accumulator totals.
+    #[test]
+    fn recorder_attached_ingest_is_bit_identical(
+        events in prop::collection::vec(stream_event(), 1..80),
+        m in 2usize..8,
+    ) {
+        let rec = InMemoryRecorder::new();
+        let mut observed: OnlineClusterer<2> = OnlineClusterer::new(m);
+        let mut plain: OnlineClusterer<2> = OnlineClusterer::new(m);
+        for ev in &events {
+            match *ev {
+                StreamEvent::Observe { x, y, w } => {
+                    let c = Coord::new([x as f64 * 20.0, y as f64 * 20.0]);
+                    observed.observe(c, w as f64);
+                    plain.observe(c, w as f64);
+                }
+                StreamEvent::Decay { permille } => {
+                    let f = permille as f64 / 1000.0;
+                    observed.decay(f);
+                    plain.decay(f);
+                }
+                StreamEvent::Clear => {
+                    observed.clear();
+                    plain.clear();
+                }
+            }
+            // The per-event stats read a driver would do between batches.
+            let _ = observed.stream_stats();
+        }
+        let stats = observed.stream_stats();
+        rec.counter("stream.absorbed", stats.absorbed);
+        rec.counter("stream.created", stats.created);
+        rec.counter("stream.merged", stats.merged);
+
+        // Observation changed nothing: full accumulator equality.
+        prop_assert_eq!(observed.clusters().len(), plain.clusters().len());
+        for (o, p) in observed.clusters().iter().zip(plain.clusters()) {
+            prop_assert_eq!(o.count(), p.count());
+            prop_assert_eq!(o.weight(), p.weight());
+            prop_assert_eq!(o.sum(), p.sum());
+            prop_assert_eq!(o.sum2(), p.sum2());
+        }
+        prop_assert_eq!(observed.observed(), plain.observed());
+        prop_assert_eq!(observed.stream_stats(), plain.stream_stats());
+
+        // And the recorder holds exactly the flushed totals.
+        prop_assert_eq!(rec.counter_value("stream.absorbed"), stats.absorbed);
+        prop_assert_eq!(rec.counter_value("stream.created"), stats.created);
+        prop_assert_eq!(rec.counter_value("stream.merged"), stats.merged);
     }
 }
 

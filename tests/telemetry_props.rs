@@ -1,0 +1,252 @@
+//! Property tests for the metrics/telemetry contracts.
+//!
+//! Two families:
+//!
+//! * [`DelayStats::from_samples`] — percentile ordering, mean/max bounds,
+//!   permutation invariance, and rejection of empty or non-finite input;
+//! * delivery accounting — for *any* generated [`FaultPlan`], the
+//!   [`Network::deliver`] counters reconcile exactly with the stream of
+//!   returned [`Delivery`] values (`deliveries = sends − drops`), and the
+//!   same invariant survives a flush into an [`InMemoryRecorder`].
+
+use georep_core::metrics::DelayStats;
+use georep_core::telemetry::{InMemoryRecorder, Recorder};
+use georep_net::rtt::RttMatrix;
+use georep_net::sim::{Delivery, DeliveryStats, DropCause, FaultPlan, Network, SimTime};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// DelayStats::from_samples
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Any non-empty finite sample set yields ordered percentiles and a
+    /// mean bounded by the extremes.
+    #[test]
+    fn delay_stats_percentiles_are_ordered(
+        samples in prop::collection::vec(0.0f64..5_000.0, 1..200),
+    ) {
+        let s = DelayStats::from_samples(&samples).expect("finite, non-empty");
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(s.samples, samples.len());
+        prop_assert!(s.median_ms <= s.p90_ms, "median {} > p90 {}", s.median_ms, s.p90_ms);
+        prop_assert!(s.p90_ms <= s.p99_ms, "p90 {} > p99 {}", s.p90_ms, s.p99_ms);
+        prop_assert!(s.p99_ms <= s.max_ms, "p99 {} > max {}", s.p99_ms, s.max_ms);
+        prop_assert!(s.mean_ms <= s.max_ms + 1e-9);
+        prop_assert!(s.mean_ms >= min - 1e-9);
+        prop_assert!(s.median_ms >= min - 1e-9);
+        prop_assert!(s.std_ms >= 0.0);
+        prop_assert!(s.std_ms.is_finite());
+    }
+
+    /// The statistics are order statistics: any rotation of the input
+    /// produces the identical summary.
+    #[test]
+    fn delay_stats_are_permutation_invariant(
+        samples in prop::collection::vec(0.0f64..5_000.0, 2..100),
+        pivot in 1usize..1_000,
+    ) {
+        let base = DelayStats::from_samples(&samples).unwrap();
+        let mut rotated = samples.clone();
+        rotated.rotate_left(pivot % samples.len());
+        prop_assert_eq!(DelayStats::from_samples(&rotated).unwrap(), base);
+    }
+
+    /// One poisoned value anywhere rejects the whole sample set: a fault
+    /// scenario must not be able to smuggle a NaN into a report.
+    #[test]
+    fn delay_stats_reject_any_non_finite_sample(
+        samples in prop::collection::vec(0.0f64..5_000.0, 1..50),
+        poison_at in 0usize..1_000,
+        kind in 0u8..3,
+    ) {
+        let mut poisoned = samples.clone();
+        let at = poison_at % poisoned.len();
+        poisoned[at] = match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        prop_assert_eq!(DelayStats::from_samples(&poisoned), None);
+    }
+
+    /// A single sample is its own mean, median, and max, with zero spread.
+    #[test]
+    fn delay_stats_single_sample_degenerates(value in 0.0f64..5_000.0) {
+        let s = DelayStats::from_samples(&[value]).unwrap();
+        prop_assert_eq!(s.samples, 1);
+        prop_assert_eq!(s.mean_ms, value);
+        prop_assert_eq!(s.median_ms, value);
+        prop_assert_eq!(s.p99_ms, value);
+        prop_assert_eq!(s.max_ms, value);
+        prop_assert_eq!(s.std_ms, 0.0);
+    }
+}
+
+#[test]
+fn delay_stats_reject_the_empty_set() {
+    assert_eq!(DelayStats::from_samples(&[]), None);
+}
+
+// ---------------------------------------------------------------------------
+// Network delivery accounting under arbitrary fault plans
+// ---------------------------------------------------------------------------
+
+const NODES: usize = 6;
+
+fn matrix() -> RttMatrix {
+    RttMatrix::from_fn(NODES, |i, j| ((i + j) * 15 + 10) as f64).expect("valid matrix")
+}
+
+/// Builds a fault plan from generated knobs: background loss plus a crash,
+/// a partition, a lossy link, and a latency surge with derived windows.
+/// Rebuildable (same inputs → same plan) so determinism can be tested.
+fn plan_from(seed: u64, loss: f64, crash_node: usize, t0: f64, len: f64, factor: f64) -> FaultPlan {
+    let from = SimTime::from_ms(t0);
+    let until = SimTime::from_ms(t0 + len);
+    FaultPlan::new(seed)
+        .with_default_loss(loss)
+        .crash(crash_node % NODES, from, until)
+        .partition(&[0, 1], SimTime::from_ms(t0 / 2.0), until)
+        .lossy_link(2, 3, (loss * 1.7).min(1.0), from, until)
+        .latency_surge(&[4, 5], factor, from, until)
+}
+
+/// Replays one delivery stream, reconciling the network's own counters
+/// against the returned `Delivery` values after every single send.
+fn reconcile(mut net: Network, sends: usize) -> (DeliveryStats, Vec<Delivery>) {
+    let mut manual = DeliveryStats::default();
+    let mut outcomes = Vec::with_capacity(sends);
+    for k in 0..sends {
+        let from = k % NODES;
+        let to = (from + 1 + k % (NODES - 1)) % NODES;
+        let outcome = net.deliver(from, to, SimTime::from_ms((k * 3) as f64));
+        match outcome {
+            Delivery::Deliver(delay) => {
+                assert!(delay.as_ms().is_finite() && delay.as_ms() >= 0.0);
+                manual.delivered += 1;
+            }
+            Delivery::Dropped(DropCause::Loss) => manual.dropped_loss += 1,
+            Delivery::Dropped(DropCause::Partition) => manual.dropped_partition += 1,
+            Delivery::Dropped(DropCause::NodeDown) => manual.dropped_node_down += 1,
+        }
+        outcomes.push(outcome);
+        let s = net.stats();
+        assert_eq!(s.sends(), (k + 1) as u64, "every deliver() is one send");
+        assert_eq!(
+            s.delivered,
+            s.sends() - s.dropped(),
+            "deliveries = sends - drops"
+        );
+    }
+    let s = net.stats();
+    assert_eq!(s.delivered, manual.delivered);
+    assert_eq!(s.dropped_loss, manual.dropped_loss);
+    assert_eq!(s.dropped_partition, manual.dropped_partition);
+    assert_eq!(s.dropped_node_down, manual.dropped_node_down);
+    assert!(s.fault_window_hits <= s.sends());
+    assert!(
+        s.fault_window_hits >= s.dropped(),
+        "every drop happens under a fault"
+    );
+    (s, outcomes)
+}
+
+proptest! {
+    /// For any generated fault plan and send pattern, the network's
+    /// counters reconcile exactly with the observed outcomes.
+    #[test]
+    fn delivery_counters_reconcile_under_any_fault_plan(
+        seed in 0u64..10_000,
+        loss in 0.0f64..=1.0,
+        crash_node in 0usize..100,
+        t0 in 0.0f64..300.0,
+        len in 0.0f64..300.0,
+        factor in 0.5f64..3.0,
+        sends in 1usize..300,
+    ) {
+        let plan = plan_from(seed, loss, crash_node, t0, len, factor);
+        let net = Network::with_faults(matrix(), 0.1, seed ^ 0xDEAD, plan);
+        let _ = reconcile(net, sends);
+    }
+
+    /// The whole delivery stream — outcomes and counters — is a pure
+    /// function of the seeds and the plan.
+    #[test]
+    fn delivery_accounting_is_deterministic(
+        seed in 0u64..10_000,
+        loss in 0.0f64..=1.0,
+        sends in 1usize..150,
+    ) {
+        let build = || {
+            Network::with_faults(
+                matrix(),
+                0.2,
+                seed,
+                plan_from(seed, loss, 1, 40.0, 120.0, 2.0),
+            )
+        };
+        let (s1, o1) = reconcile(build(), sends);
+        let (s2, o2) = reconcile(build(), sends);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(o1, o2);
+    }
+
+    /// Flushing the per-run stats into an `InMemoryRecorder` — the way the
+    /// scenario driver does — preserves the send/drop identity.
+    #[test]
+    fn recorder_flush_preserves_the_send_drop_identity(
+        seed in 0u64..10_000,
+        loss in 0.0f64..=1.0,
+        sends in 1usize..200,
+    ) {
+        let plan = plan_from(seed, loss, 2, 10.0, 200.0, 1.5);
+        let net = Network::with_faults(matrix(), 0.0, seed, plan);
+        let (stats, _) = reconcile(net, sends);
+
+        let rec = InMemoryRecorder::new();
+        rec.counter("net.messages_delivered", stats.delivered);
+        rec.counter("net.messages_dropped", stats.dropped());
+        rec.counter("net.fault_window_hits", stats.fault_window_hits);
+        prop_assert_eq!(
+            rec.counter_value("net.messages_delivered"),
+            sends as u64 - rec.counter_value("net.messages_dropped"),
+        );
+        // A second identical run flushed into the same recorder doubles
+        // every counter: counters are additive, never clobbered.
+        rec.counter("net.messages_delivered", stats.delivered);
+        rec.counter("net.messages_dropped", stats.dropped());
+        prop_assert_eq!(
+            rec.counter_value("net.messages_delivered") + rec.counter_value("net.messages_dropped"),
+            2 * sends as u64,
+        );
+    }
+}
+
+#[test]
+fn total_loss_drops_every_send() {
+    let plan = FaultPlan::new(7).with_default_loss(1.0);
+    let mut net = Network::with_faults(matrix(), 0.1, 7, plan);
+    for k in 0..50 {
+        let outcome = net.deliver(k % NODES, (k + 1) % NODES, SimTime::from_ms(k as f64));
+        assert!(matches!(outcome, Delivery::Dropped(DropCause::Loss)));
+    }
+    let s = net.stats();
+    assert_eq!(s.delivered, 0);
+    assert_eq!(s.dropped_loss, 50);
+    assert_eq!(s.sends(), 50);
+    assert_eq!(s.fault_window_hits, 50);
+}
+
+#[test]
+fn an_empty_plan_never_drops() {
+    let mut net = Network::with_faults(matrix(), 0.3, 9, FaultPlan::new(9));
+    for k in 0..50 {
+        let outcome = net.deliver(k % NODES, (k + 2) % NODES, SimTime::from_ms(k as f64));
+        assert!(matches!(outcome, Delivery::Deliver(_)));
+    }
+    let s = net.stats();
+    assert_eq!(s.delivered, 50);
+    assert_eq!(s.dropped(), 0);
+    assert_eq!(s.fault_window_hits, 0);
+}

@@ -26,6 +26,15 @@ fn required_keys(file: &str) -> &'static [&'static str] {
             "\"recorder_overhead_pct\"",
         ],
         "BENCH_placement.json" => &["\"results\"", "\"identical_placement\"", "\"speedup\""],
+        "BENCH_scale.json" => &[
+            "\"engine\"",
+            "\"speedup\"",
+            "\"identical_result\"",
+            "\"scale\"",
+            "\"accesses_per_sec\"",
+            "\"peak_rss_mb\"",
+            "\"events_per_sec\"",
+        ],
         "BENCH_robustness.json" => &[
             "\"scenarios\"",
             "\"identical_result\"",
@@ -129,6 +138,7 @@ mod tests {
             "BENCH_streaming.json",
             "BENCH_placement.json",
             "BENCH_robustness.json",
+            "BENCH_scale.json",
         ] {
             check(root, file).unwrap_or_else(|e| panic!("{e}"));
         }

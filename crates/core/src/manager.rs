@@ -114,6 +114,11 @@ impl ManagerConfig {
     }
 }
 
+/// Batch size below which [`ReplicaManager::ingest_period`] stays serial:
+/// spawning scoped threads and allocating the assignment table costs more
+/// than routing a few thousand accesses does.
+const INGEST_PARALLEL_THRESHOLD: usize = 8192;
+
 /// Cumulative manager statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ManagerStats {
@@ -286,27 +291,125 @@ impl<const D: usize> ReplicaManager<D> {
             .expect("placement is non-empty")
     }
 
-    /// Routes an access and records it in the serving replica's summary.
-    /// Returns the serving replica. Bad samples are ignored by the
-    /// underlying clusterer but still routed.
-    pub fn record_access(&mut self, coord: Coord<D>, weight: f64) -> usize {
-        // One pass finds both the serving replica and its clusterer slot —
-        // [`ReplicaManager::route`] plus its `position` rescan, folded
-        // together. `total_cmp` with a strict `Less` keeps the first of
-        // ties, exactly like `min_by`.
+    /// The clusterer slot (index into `placement`) serving `coord` — one
+    /// pass finds both the serving replica and its summarizer,
+    /// [`ReplicaManager::route`] plus its `position` rescan folded
+    /// together. `total_cmp` with a strict `Less` keeps the first of ties,
+    /// exactly like `min_by`. Pure: reads only `placement` and `coords`,
+    /// which is what lets [`ReplicaManager::ingest_period`] evaluate it
+    /// for millions of accesses in parallel without changing any result.
+    fn slot_for(&self, coord: &Coord<D>) -> usize {
         let mut idx = 0usize;
         let mut best = f64::INFINITY;
         for (i, &r) in self.placement.iter().enumerate() {
-            let d = self.coords[r].distance(&coord);
+            let d = self.coords[r].distance(coord);
             if d.total_cmp(&best) == std::cmp::Ordering::Less {
                 idx = i;
                 best = d;
             }
         }
+        idx
+    }
+
+    /// Routes an access and records it in the serving replica's summary.
+    /// Returns the serving replica. Bad samples are ignored by the
+    /// underlying clusterer but still routed.
+    pub fn record_access(&mut self, coord: Coord<D>, weight: f64) -> usize {
+        let idx = self.slot_for(&coord);
         let replica = self.placement[idx];
         self.clusterers[idx].observe(coord, weight);
         self.stats.accesses += 1;
         replica
+    }
+
+    /// Ingests one period's worth of accesses in bulk — semantically
+    /// identical to calling [`ReplicaManager::record_access`] once per
+    /// element, bit for bit, but parallelized for million-access periods.
+    /// Returns the number of accesses each placement slot served.
+    ///
+    /// Worker threads default to the machine's parallelism; see
+    /// [`ReplicaManager::ingest_period_with_threads`] for why the thread
+    /// count can never change the outcome.
+    pub fn ingest_period(&mut self, accesses: &[(Coord<D>, f64)]) -> Vec<u64> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.ingest_period_with_threads(accesses, threads)
+    }
+
+    /// [`ReplicaManager::ingest_period`] with an explicit worker count.
+    ///
+    /// The result is thread-count-independent by construction. Routing is a
+    /// pure function of the (frozen) placement and coordinates, so phase 1
+    /// computes every access's serving slot in parallel shards. Phase 2
+    /// then lets each summarizer absorb *its own* accesses in the original
+    /// stream order — summarizers are independent, and per-slot order is
+    /// exactly what a serial [`ReplicaManager::record_access`] loop would
+    /// produce. Below [`INGEST_PARALLEL_THRESHOLD`] accesses (or with one
+    /// thread) it simply runs the serial loop.
+    pub fn ingest_period_with_threads(
+        &mut self,
+        accesses: &[(Coord<D>, f64)],
+        threads: usize,
+    ) -> Vec<u64> {
+        let mut served = vec![0u64; self.placement.len()];
+        if accesses.is_empty() {
+            return served;
+        }
+        let threads = threads.max(1).min(accesses.len());
+        if threads == 1 || accesses.len() < INGEST_PARALLEL_THRESHOLD {
+            for &(coord, weight) in accesses {
+                let idx = self.slot_for(&coord);
+                self.clusterers[idx].observe(coord, weight);
+                served[idx] += 1;
+            }
+            self.stats.accesses += accesses.len() as u64;
+            return served;
+        }
+
+        // Phase 1: pure parallel routing into a pre-sized assignment table.
+        let mut assigned = vec![0u32; accesses.len()];
+        let chunk = accesses.len().div_ceil(threads);
+        let this = &*self;
+        std::thread::scope(|scope| {
+            for (a_chunk, out_chunk) in accesses.chunks(chunk).zip(assigned.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for ((coord, _), out) in a_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *out = this.slot_for(coord) as u32;
+                    }
+                });
+            }
+        });
+        for &slot in &assigned {
+            served[slot as usize] += 1;
+        }
+
+        // Phase 2: each summarizer absorbs its accesses in stream order.
+        // Disjoint `&mut` groups of clusterers go to the workers; every
+        // worker replays the stream and picks out its slots' accesses.
+        let mut refs: Vec<(u32, &mut OnlineClusterer<D>)> = self
+            .clusterers
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| (i as u32, c))
+            .collect();
+        let per = refs.len().div_ceil(threads.min(refs.len()));
+        let assigned = &assigned;
+        std::thread::scope(|scope| {
+            for group in refs.chunks_mut(per) {
+                scope.spawn(move || {
+                    for (slot, clusterer) in group.iter_mut() {
+                        for (i, &(coord, weight)) in accesses.iter().enumerate() {
+                            if assigned[i] == *slot {
+                                clusterer.observe(coord, weight);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        self.stats.accesses += accesses.len() as u64;
+        served
     }
 
     /// Ships the current summaries (counting their bytes) without
@@ -919,6 +1022,67 @@ mod tests {
         let before = mgr.kmeans_stats();
         mgr.rebalance().unwrap();
         assert_eq!(mgr.kmeans_stats(), before);
+    }
+
+    /// A deterministic pseudo-random access batch spread over the line.
+    fn synthetic_accesses(n: usize) -> Vec<(Coord<1>, f64)> {
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let x = (state >> 11) as f64 / (1u64 << 53) as f64 * 55.0;
+                let w = 0.5 + (state & 0xFF) as f64 / 256.0;
+                (Coord::new([x]), w)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ingest_period_matches_serial_record_access_exactly() {
+        let accesses = synthetic_accesses(20_000);
+        let mut serial = manager(2);
+        for &(coord, weight) in &accesses {
+            serial.record_access(coord, weight);
+        }
+        for threads in [1, 2, 4, 16] {
+            let mut batched = manager(2);
+            let served = batched.ingest_period_with_threads(&accesses, threads);
+            assert_eq!(served.iter().sum::<u64>(), accesses.len() as u64);
+            assert_eq!(
+                batched.summaries(),
+                serial.summaries(),
+                "threads={threads}: batched summaries diverged from serial"
+            );
+            assert_eq!(batched.stats().accesses, serial.stats().accesses);
+            assert_eq!(batched.stream_stats(), serial.stream_stats());
+        }
+    }
+
+    #[test]
+    fn ingest_period_small_batches_take_the_serial_path() {
+        let accesses = synthetic_accesses(100);
+        let mut a = manager(2);
+        let mut b = manager(2);
+        let served = a.ingest_period(&accesses);
+        for &(coord, weight) in &accesses {
+            b.record_access(coord, weight);
+        }
+        assert_eq!(served.iter().sum::<u64>(), 100);
+        assert_eq!(a.summaries(), b.summaries());
+        assert!(a.ingest_period(&[]).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn ingest_period_then_rebalance_migrates_like_the_serial_path() {
+        let mut mgr = manager(2);
+        let accesses: Vec<(Coord<1>, f64)> =
+            (0..10_000).map(|_| (Coord::new([48.0]), 1.0)).collect();
+        mgr.ingest_period_with_threads(&accesses, 4);
+        let d = mgr.rebalance().unwrap();
+        assert!(d.applied, "{d:?}");
+        assert!(mgr.placement().contains(&5));
     }
 
     #[test]

@@ -621,12 +621,17 @@ pub fn run_scenario_with_recorder<R: Recorder>(
             }
         }
 
-        // Demand: every client the coordinator can currently hear from.
-        for &c in &clients {
-            if !scoring_plan.node_down(c, now) && !scoring_plan.partitioned(c, coordinator, now) {
-                mgr.record_access(embed.coords[c], 1.0);
-            }
-        }
+        // Demand: every client the coordinator can currently hear from,
+        // ingested as one batch. `ingest_period` is bit-identical to the
+        // serial `record_access` loop, so the determinism contract holds.
+        let demand: Vec<_> = clients
+            .iter()
+            .filter(|&&c| {
+                !scoring_plan.node_down(c, now) && !scoring_plan.partitioned(c, coordinator, now)
+            })
+            .map(|&c| (embed.coords[c], 1.0))
+            .collect();
+        mgr.ingest_period(&demand);
 
         // Truth-score this tick.
         let (mean, unreachable) = fault_aware_delay(matrix, mgr.placement(), &scoring_plan, now);

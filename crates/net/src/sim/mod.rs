@@ -6,8 +6,11 @@
 //!
 //! * [`time`] — the simulated clock ([`SimTime`], [`SimDuration`]),
 //!   microsecond granularity;
-//! * [`engine`] — the event loop: a priority queue of closures executed in
-//!   timestamp order against a user-supplied world state;
+//! * [`engine`] — the event loop: a calendar-queue (bucketed time-wheel)
+//!   scheduler executing closures in timestamp order against a
+//!   user-supplied world state;
+//! * [`reference`] — the original `BinaryHeap` event loop, kept as the
+//!   trusted oracle the differential suite compares [`engine`] against;
 //! * [`network`] — message-delay sampling backed by an
 //!   [`crate::rtt::RttMatrix`], with optional per-message jitter;
 //! * [`fault`] — seeded, time-scheduled fault injection ([`FaultPlan`]):
@@ -38,9 +41,10 @@ pub mod engine;
 pub mod fault;
 pub mod network;
 pub mod process;
+pub mod reference;
 pub mod time;
 
-pub use engine::{Context, Simulation};
+pub use engine::{Context, EventId, Simulation};
 pub use fault::{Delivery, DropCause, FaultPlan};
 pub use network::{DeliveryStats, Network};
 pub use process::{NetStats, NodeId, Process, ProcessCtx, ProcessNet};

@@ -47,6 +47,22 @@ impl DeliveryStats {
     pub fn sends(&self) -> u64 {
         self.delivered + self.dropped()
     }
+
+    /// Folds another accounting into this one — how sharded drivers
+    /// (one `Network` per worker) aggregate a run's delivery record.
+    pub fn merge(&mut self, other: DeliveryStats) {
+        self.delivered += other.delivered;
+        self.dropped_loss += other.dropped_loss;
+        self.dropped_partition += other.dropped_partition;
+        self.dropped_node_down += other.dropped_node_down;
+        self.fault_window_hits += other.fault_window_hits;
+    }
+}
+
+impl std::ops::AddAssign for DeliveryStats {
+    fn add_assign(&mut self, rhs: DeliveryStats) {
+        self.merge(rhs);
+    }
 }
 
 /// A latency sampler bound to an RTT matrix.
@@ -333,6 +349,33 @@ mod tests {
         assert_eq!(s.dropped(), 0);
         assert_eq!(s.fault_window_hits, 0);
         assert_eq!(s.sends(), 25);
+    }
+
+    #[test]
+    fn delivery_stats_merge_is_fieldwise_addition() {
+        let a = DeliveryStats {
+            delivered: 10,
+            dropped_loss: 1,
+            dropped_partition: 2,
+            dropped_node_down: 3,
+            fault_window_hits: 4,
+        };
+        let b = DeliveryStats {
+            delivered: 100,
+            dropped_loss: 10,
+            dropped_partition: 20,
+            dropped_node_down: 30,
+            fault_window_hits: 40,
+        };
+        let mut merged = a;
+        merged += b;
+        assert_eq!(merged.delivered, 110);
+        assert_eq!(merged.dropped(), 66);
+        assert_eq!(merged.sends(), 176);
+        assert_eq!(merged.fault_window_hits, 44);
+        let mut other = b;
+        other.merge(a);
+        assert_eq!(other, merged, "merge must commute");
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod trace;
 pub mod zipf;
 
 pub use population::Population;
-pub use stream::{generate, AccessEvent, PhasedWorkload, StreamConfig};
+pub use stream::{generate, shard_seed, AccessEvent, PhasedWorkload, ShardedStream, StreamConfig};
 pub use trace::Trace;
-pub use zipf::Zipf;
+pub use zipf::{AliasTable, Zipf};

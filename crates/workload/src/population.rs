@@ -11,7 +11,7 @@ use georep_net::topology::Topology;
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
-use crate::zipf::Zipf;
+use crate::zipf::{AliasTable, Zipf};
 
 /// A sampling distribution over client indices `0..n`.
 ///
@@ -208,6 +208,14 @@ impl Population {
         }
     }
 
+    /// Builds the O(1)-per-draw alias sampler over this population — the
+    /// sampler the sharded generators use, since at million-client sizes
+    /// the O(log n) CDF walk of [`Population::sample`] dominates
+    /// generation time.
+    pub fn alias(&self) -> AliasTable {
+        AliasTable::new(&self.weights).expect("population weights are a valid distribution")
+    }
+
     /// Indices of clients with positive weight.
     pub fn active_clients(&self) -> Vec<usize> {
         self.weights
@@ -319,5 +327,31 @@ mod tests {
         let pop = Population::from_weights(vec![2.0, 6.0]).unwrap();
         assert!((pop.probability(0) - 0.25).abs() < 1e-12);
         assert!((pop.probability(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alias_sampler_matches_population_probabilities() {
+        let pop = Population::zipf_skewed(64, 1.1, 5);
+        let table = pop.alias();
+        for c in 0..64 {
+            assert!(
+                (table.probability(c) - pop.probability(c)).abs() < 1e-12,
+                "client {c}"
+            );
+        }
+        // And empirically: the alias draws land near the weights.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut hits = vec![0u32; 64];
+        let n = 100_000;
+        for _ in 0..n {
+            hits[table.sample(&mut rng)] += 1;
+        }
+        for (c, &h) in hits.iter().enumerate() {
+            let expected = pop.probability(c) * n as f64;
+            assert!(
+                (h as f64 - expected).abs() < expected.max(40.0) * 0.25,
+                "client {c}: {h} vs {expected:.0}"
+            );
+        }
     }
 }

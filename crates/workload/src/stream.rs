@@ -11,6 +11,7 @@ use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::population::Population;
+use crate::zipf::AliasTable;
 
 /// One client access to the replicated object.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -112,6 +113,228 @@ pub fn generate(pop: &Population, cfg: &StreamConfig, duration_ms: f64) -> Vec<A
         });
     }
     events
+}
+
+/// One SplitMix64 step: the standard 64-bit finalizer-style mixer, used to
+/// derive statistically independent per-shard RNG seeds from one base seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic per-shard seed split: shard `s` of a stream seeded
+/// with `seed` draws from `StdRng::seed_from_u64(shard_seed(seed, s))`.
+/// Mixing (rather than `seed + s`) keeps sibling shard streams
+/// statistically unrelated even for adjacent seeds.
+pub fn shard_seed(seed: u64, shard: u64) -> u64 {
+    splitmix64(seed ^ shard.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// A batched, shardable access-stream generator for large-scale runs.
+///
+/// The single-RNG [`generate`] loop is inherently serial: every event's
+/// time depends on the previous draw. `ShardedStream` instead splits the
+/// horizon into `shards` disjoint windows, each its own Poisson process
+/// under a [`shard_seed`]-derived RNG — valid because the Poisson process
+/// is memoryless, and embarrassingly parallel because shards share
+/// nothing. Clients are drawn through the O(1) [`AliasTable`] rather than
+/// the O(log n) CDF walk, which is what makes million-client populations
+/// affordable.
+///
+/// Determinism contract (pinned by `tests/workload_props.rs`): for a fixed
+/// `(config, duration, shards)` the event sequence is identical whether it
+/// is produced in one call ([`ShardedStream::generate`]), in chunks of any
+/// size ([`ShardedStream::chunks`]), or on any number of threads
+/// ([`ShardedStream::generate_parallel`]).
+#[derive(Debug, Clone)]
+pub struct ShardedStream {
+    alias: AliasTable,
+    cfg: StreamConfig,
+    duration_ms: f64,
+    shards: usize,
+}
+
+impl ShardedStream {
+    /// Prepares a generator over `shards` disjoint time windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is out of range (as [`generate`]) or
+    /// `shards` is zero.
+    pub fn new(pop: &Population, cfg: &StreamConfig, duration_ms: f64, shards: usize) -> Self {
+        assert!(
+            cfg.rate_per_ms.is_finite() && cfg.rate_per_ms > 0.0,
+            "rate must be positive, got {}",
+            cfg.rate_per_ms
+        );
+        assert!(
+            cfg.median_kib.is_finite() && cfg.median_kib > 0.0,
+            "median size must be positive"
+        );
+        assert!(
+            cfg.size_sigma.is_finite() && cfg.size_sigma >= 0.0,
+            "sigma must be non-negative"
+        );
+        assert!(
+            duration_ms.is_finite() && duration_ms >= 0.0,
+            "duration must be non-negative"
+        );
+        assert!(shards > 0, "need at least one shard");
+        ShardedStream {
+            alias: pop.alias(),
+            cfg: *cfg,
+            duration_ms,
+            shards,
+        }
+    }
+
+    /// Number of shards (disjoint generation windows).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Total horizon, ms.
+    pub fn duration_ms(&self) -> f64 {
+        self.duration_ms
+    }
+
+    /// The window `[lo, hi)` shard `s` generates into. Boundaries are
+    /// computed identically from both sides, so the windows partition the
+    /// horizon exactly.
+    fn window(&self, shard: usize) -> (f64, f64) {
+        let lo = self.duration_ms * shard as f64 / self.shards as f64;
+        let hi = self.duration_ms * (shard + 1) as f64 / self.shards as f64;
+        (lo, hi)
+    }
+
+    /// Generates one shard's events (sorted by time, all inside the
+    /// shard's window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_events(&self, shard: usize) -> Vec<AccessEvent> {
+        assert!(shard < self.shards, "shard {shard} out of range");
+        let (lo, hi) = self.window(shard);
+        let mut rng = StdRng::seed_from_u64(shard_seed(self.cfg.seed, shard as u64));
+        let expect = (self.cfg.rate_per_ms * (hi - lo)) as usize + 1;
+        let mut events = Vec::with_capacity(expect);
+        let mut t = lo;
+        loop {
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            t += -u.ln() / self.cfg.rate_per_ms;
+            if t >= hi {
+                break;
+            }
+            let client = self.alias.sample(&mut rng);
+            let bytes_kib = if self.cfg.size_sigma == 0.0 {
+                self.cfg.median_kib
+            } else {
+                let u1: f64 = rng.random::<f64>().max(1e-12);
+                let u2: f64 = rng.random();
+                let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                self.cfg.median_kib * (normal * self.cfg.size_sigma).exp()
+            };
+            events.push(AccessEvent {
+                at_ms: t,
+                client,
+                bytes_kib,
+            });
+        }
+        events
+    }
+
+    /// Generates the whole stream serially (shards concatenated in order).
+    pub fn generate(&self) -> Vec<AccessEvent> {
+        let mut events = Vec::new();
+        for s in 0..self.shards {
+            events.append(&mut self.shard_events(s));
+        }
+        events
+    }
+
+    /// Generates the whole stream on `threads` worker threads. The output
+    /// is bit-identical to [`ShardedStream::generate`] for any thread
+    /// count: shards are dealt out in contiguous ranges and re-concatenated
+    /// in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn generate_parallel(&self, threads: usize) -> Vec<AccessEvent> {
+        assert!(threads > 0, "need at least one thread");
+        let threads = threads.min(self.shards);
+        if threads == 1 {
+            return self.generate();
+        }
+        let mut per_shard: Vec<Vec<AccessEvent>> = vec![Vec::new(); self.shards];
+        // Deal contiguous shard ranges; each worker owns a disjoint slice
+        // of the output table, so no ordering decision ever depends on
+        // thread scheduling.
+        let per_thread = self.shards.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (w, slot) in per_shard.chunks_mut(per_thread).enumerate() {
+                let this = &*self;
+                scope.spawn(move || {
+                    for (k, out) in slot.iter_mut().enumerate() {
+                        *out = this.shard_events(w * per_thread + k);
+                    }
+                });
+            }
+        });
+        let mut events = Vec::with_capacity(per_shard.iter().map(Vec::len).sum());
+        for mut shard in per_shard {
+            events.append(&mut shard);
+        }
+        events
+    }
+
+    /// Iterates the stream in batches of exactly `batch` events (the final
+    /// batch may be shorter). Batching never changes the event sequence —
+    /// only how it is delivered — so a driver can feed a period's accesses
+    /// through bounded memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn chunks(&self, batch: usize) -> Chunks<'_> {
+        assert!(batch > 0, "batch size must be positive");
+        Chunks {
+            stream: self,
+            batch,
+            next_shard: 0,
+            buf: Vec::new(),
+        }
+    }
+}
+
+/// Batch iterator over a [`ShardedStream`]; see [`ShardedStream::chunks`].
+#[derive(Debug)]
+pub struct Chunks<'a> {
+    stream: &'a ShardedStream,
+    batch: usize,
+    next_shard: usize,
+    /// Events generated but not yet emitted, in stream order.
+    buf: Vec<AccessEvent>,
+}
+
+impl Iterator for Chunks<'_> {
+    type Item = Vec<AccessEvent>;
+
+    fn next(&mut self) -> Option<Vec<AccessEvent>> {
+        while self.buf.len() < self.batch && self.next_shard < self.stream.shards {
+            let mut shard = self.stream.shard_events(self.next_shard);
+            self.next_shard += 1;
+            self.buf.append(&mut shard);
+        }
+        if self.buf.is_empty() {
+            return None;
+        }
+        let take = self.batch.min(self.buf.len());
+        Some(self.buf.drain(..take).collect())
+    }
 }
 
 /// A workload whose population changes across consecutive phases.
@@ -408,6 +631,84 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn empty_phases_rejected() {
         let _ = PhasedWorkload::new(vec![]);
+    }
+
+    #[test]
+    fn sharded_stream_respects_rate_and_windows() {
+        let pop = Population::uniform(16);
+        let cfg = StreamConfig {
+            rate_per_ms: 0.5,
+            seed: 23,
+            ..Default::default()
+        };
+        let stream = ShardedStream::new(&pop, &cfg, 20_000.0, 8);
+        let events = stream.generate();
+        let expected = 0.5 * 20_000.0;
+        assert!(
+            (events.len() as f64 - expected).abs() < expected * 0.05,
+            "{} events, expected ≈{expected}",
+            events.len()
+        );
+        assert!(events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        assert!(events.iter().all(|e| e.at_ms < 20_000.0 && e.client < 16));
+        // Each shard stays strictly inside its window.
+        for s in 0..8 {
+            let (lo, hi) = (20_000.0 * s as f64 / 8.0, 20_000.0 * (s + 1) as f64 / 8.0);
+            assert!(stream
+                .shard_events(s)
+                .iter()
+                .all(|e| e.at_ms >= lo && e.at_ms < hi));
+        }
+    }
+
+    #[test]
+    fn sharded_stream_chunks_and_threads_are_pure_delivery_choices() {
+        let pop = Population::zipf_skewed(50, 1.0, 3);
+        let cfg = StreamConfig {
+            rate_per_ms: 0.4,
+            seed: 99,
+            ..Default::default()
+        };
+        let stream = ShardedStream::new(&pop, &cfg, 5_000.0, 7);
+        let whole = stream.generate();
+        for batch in [1, 17, 256, 10_000] {
+            let rebatched: Vec<AccessEvent> = stream.chunks(batch).flatten().collect();
+            assert_eq!(rebatched, whole, "batch size {batch} changed the stream");
+        }
+        for threads in [1, 2, 3, 8, 32] {
+            assert_eq!(
+                stream.generate_parallel(threads),
+                whole,
+                "{threads} threads changed the stream"
+            );
+        }
+        // Every chunk but the last is exactly the batch size.
+        let batches: Vec<Vec<AccessEvent>> = stream.chunks(100).collect();
+        for b in &batches[..batches.len() - 1] {
+            assert_eq!(b.len(), 100);
+        }
+        assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), whole.len());
+    }
+
+    #[test]
+    fn shard_seed_split_is_deterministic_and_spread_out() {
+        assert_eq!(shard_seed(42, 7), shard_seed(42, 7));
+        // Adjacent shards and adjacent seeds land far apart.
+        assert_ne!(shard_seed(42, 7), shard_seed(42, 8));
+        assert_ne!(shard_seed(42, 7), shard_seed(43, 7));
+        let a = shard_seed(1, 0);
+        let b = shard_seed(1, 1);
+        assert!(
+            (a ^ b).count_ones() > 8,
+            "poor bit diffusion: {a:x} vs {b:x}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let pop = Population::uniform(2);
+        let _ = ShardedStream::new(&pop, &StreamConfig::default(), 10.0, 0);
     }
 
     proptest! {

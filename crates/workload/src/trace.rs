@@ -151,6 +151,20 @@ impl Trace {
         }
         out
     }
+
+    /// Serializes losslessly: like [`Trace::to_text`] but with
+    /// shortest-round-trip float formatting instead of fixed `%.3f`, so
+    /// `text.parse::<Trace>()` reconstructs every event bit-for-bit.
+    /// Record/replay pipelines use this form; the fixed-precision form
+    /// stays the human-facing default.
+    pub fn to_text_exact(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 32 + 32);
+        out.push_str("# georep access trace (exact): at_ms client kib\n");
+        for e in &self.events {
+            out.push_str(&format!("{} {} {}\n", e.at_ms, e.client, e.bytes_kib));
+        }
+        out
+    }
 }
 
 impl FromStr for Trace {
@@ -315,6 +329,19 @@ mod tests {
         let empty = Trace::from_events(vec![]).unwrap();
         assert!(empty.stats().is_none());
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn exact_text_roundtrip_is_bit_identical() {
+        let t = sample();
+        let back: Trace = t.to_text_exact().parse().unwrap();
+        assert_eq!(
+            back, t,
+            "shortest-round-trip floats must parse back exactly"
+        );
+        // The lossy form, by contrast, generally is not bit-identical.
+        let lossy: Trace = t.to_text().parse().unwrap();
+        assert_eq!(lossy.len(), t.len());
     }
 
     proptest! {

@@ -5,6 +5,14 @@
 //! `r`-th most popular of `n` items is drawn with probability proportional
 //! to `1 / r^s`. Implemented from scratch (inverse-CDF table + binary
 //! search) to avoid extra dependencies.
+//!
+//! For million-client populations the O(log n) binary search per draw
+//! dominates generation time, so this module also provides an
+//! [`AliasTable`] (Vose's method): O(n) to build, O(1) per sample, over
+//! any finite discrete distribution. `tests/workload_props.rs` proves the
+//! alias sampler agrees with the inverse-CDF sampler both in expectation
+//! (exactly, by reconstructing the input probabilities from the table) and
+//! in distribution (chi-square bound on large sample histograms).
 
 use rand::Rng;
 
@@ -92,6 +100,111 @@ impl Zipf {
             Err(i) => i.min(self.cdf.len() - 1),
         }
     }
+
+    /// Builds the O(1)-per-draw alias sampler for this distribution.
+    pub fn alias(&self) -> AliasTable {
+        let probs: Vec<f64> = (0..self.len()).map(|r| self.probability(r)).collect();
+        AliasTable::new(&probs).expect("Zipf probabilities are a valid distribution")
+    }
+}
+
+/// An O(1) categorical sampler built with Vose's alias method.
+///
+/// Each of the `n` columns holds a coin: with probability `prob[i]` the
+/// draw stays in column `i`, otherwise it lands on `alias[i]`. A sample is
+/// one uniform column pick plus one coin flip — no search — which is what
+/// lets the sharded generators draw a client per access at million-client
+/// population sizes without an O(log n) CDF walk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalized). Returns `None` if `weights` is empty, contains a
+    /// negative or non-finite entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let n = weights.len();
+        // Scale so the average column holds exactly 1.0: `scaled[i]` is how
+        // many "column slots" worth of probability item i owns.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w / total * n as f64).collect();
+        let mut prob = vec![0.0; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        // Classic pairing: each underfull column is topped up by exactly
+        // one overfull item, which keeps both stacks shrinking.
+        while !small.is_empty() && !large.is_empty() {
+            let (s, l) = (small.pop().unwrap(), large.pop().unwrap());
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains is full up to rounding: its coin never leaves.
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of categories.
+    #[allow(clippy::len_without_is_empty)] // tables are non-empty
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Draws a category: one uniform column pick, one coin flip.
+    pub fn sample<R>(&self, rng: &mut R) -> usize
+    where
+        R: Rng + rand::RngExt + ?Sized,
+    {
+        let col = rng.random_range(0..self.prob.len());
+        let u: f64 = rng.random();
+        if u < self.prob[col] {
+            col
+        } else {
+            self.alias[col]
+        }
+    }
+
+    /// The exact probability the table assigns to category `i`,
+    /// reconstructed from the columns:
+    /// `p(i) = (prob[i] + Σ_{j: alias[j] = i} (1 − prob[j])) / n`.
+    ///
+    /// This is the sampler's *true* per-draw distribution — the
+    /// "exactly in expectation" contract the property suite checks against
+    /// the inverse-CDF probabilities.
+    pub fn probability(&self, i: usize) -> f64 {
+        let n = self.prob.len() as f64;
+        let mut mass = self.prob[i];
+        for (j, &a) in self.alias.iter().enumerate() {
+            if a == i && j != i {
+                mass += 1.0 - self.prob[j];
+            }
+        }
+        mass / n
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +278,76 @@ mod tests {
         let _ = Zipf::new(5, -1.0);
     }
 
+    #[test]
+    fn alias_table_reconstructs_the_input_distribution_exactly_enough() {
+        let z = Zipf::new(64, 1.1);
+        let table = z.alias();
+        for r in 0..64 {
+            let diff = (table.probability(r) - z.probability(r)).abs();
+            assert!(diff < 1e-12, "rank {r}: drift {diff}");
+        }
+    }
+
+    #[test]
+    fn alias_table_rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -0.5]).is_none());
+        assert!(AliasTable::new(&[1.0, f64::INFINITY]).is_none());
+        assert!(AliasTable::new(&[0.0, 3.0]).is_some());
+    }
+
+    #[test]
+    fn alias_table_never_samples_zero_weight_items() {
+        let table = AliasTable::new(&[0.0, 5.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5_000 {
+            let i = table.sample(&mut rng);
+            assert!(i == 1 || i == 3, "sampled zero-weight item {i}");
+        }
+        assert_eq!(table.probability(0), 0.0);
+        assert_eq!(table.probability(2), 0.0);
+    }
+
+    #[test]
+    fn alias_sampling_tracks_the_zipf_histogram() {
+        let z = Zipf::new(20, 1.2);
+        let table = z.alias();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut hits = [0u32; 20];
+        for _ in 0..n {
+            hits[table.sample(&mut rng)] += 1;
+        }
+        for (r, &hit) in hits.iter().enumerate() {
+            let expected = z.probability(r) * n as f64;
+            let got = hit as f64;
+            assert!(
+                (got - expected).abs() < expected.max(50.0) * 0.15,
+                "rank {r}: got {got}, expected {expected:.0}"
+            );
+        }
+    }
+
     proptest! {
+        #[test]
+        fn prop_alias_probabilities_match_weights(
+            weights in prop::collection::vec(0.0..10.0f64, 1..60)
+        ) {
+            prop_assume!(weights.iter().sum::<f64>() > 0.0);
+            let table = AliasTable::new(&weights).unwrap();
+            let total: f64 = weights.iter().sum();
+            let mass: f64 = (0..weights.len()).map(|i| table.probability(i)).sum();
+            prop_assert!((mass - 1.0).abs() < 1e-9, "total mass {mass}");
+            for (i, &w) in weights.iter().enumerate() {
+                let want = w / total;
+                prop_assert!(
+                    (table.probability(i) - want).abs() < 1e-9,
+                    "item {}: table {} vs weights {}", i, table.probability(i), want
+                );
+            }
+        }
+
         #[test]
         fn prop_samples_in_range(n in 1usize..200, s in 0.0..3.0f64, seed in 0u64..100) {
             let z = Zipf::new(n, s);

@@ -1,0 +1,295 @@
+//! Differential suite: the calendar-queue engine vs the reference heap.
+//!
+//! `georep_net::sim::engine` (the calendar queue) and
+//! `georep_net::sim::reference` (the original `BinaryHeap` loop) promise the
+//! exact same contract: events execute in strict `(timestamp, sequence
+//! number)` order, cancellation is by handle, and a fault-injected
+//! [`Network`] driven from event handlers sees the identical RNG stream.
+//! Every test here runs the same schedule through both engines and demands
+//! bit-identical results — execution order, timestamps, delivery logs and
+//! [`DeliveryStats`] — so the fast engine can never silently drift from the
+//! trusted oracle.
+
+use georep_net::rtt::RttMatrix;
+use georep_net::sim::{reference, Delivery, DeliveryStats, FaultPlan, Network};
+use georep_net::sim::{SimDuration, SimTime, Simulation};
+use proptest::prelude::*;
+
+/// Runs a static schedule (all events known up front) through either
+/// engine; the world logs `(timestamp_us, schedule_index)` per execution.
+macro_rules! run_static {
+    ($Sim:ty, $times:expr) => {{
+        let mut sim = <$Sim>::new(Vec::<(u64, usize)>::new());
+        for (i, &t) in $times.iter().enumerate() {
+            sim.schedule_at(
+                SimTime::from_micros(t),
+                move |w: &mut Vec<(u64, usize)>, _| w.push((t, i)),
+            );
+        }
+        sim.run_to_completion(None);
+        (sim.now(), sim.executed(), sim.into_world())
+    }};
+}
+
+/// Schedules every event, cancels those under `kill`, runs to completion.
+/// Returns the per-cancel outcomes plus the execution log.
+macro_rules! run_cancelled {
+    ($Sim:ty, $times:expr, $kill:expr) => {{
+        let mut sim = <$Sim>::new(Vec::<(u64, usize)>::new());
+        let ids: Vec<_> = $times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                sim.schedule_at(
+                    SimTime::from_micros(t),
+                    move |w: &mut Vec<(u64, usize)>, _| w.push((t, i)),
+                )
+            })
+            .collect();
+        let mut outcomes = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if $kill[i % $kill.len()] {
+                outcomes.push((sim.is_pending(*id), sim.cancel(*id), sim.cancel(*id)));
+            }
+        }
+        sim.run_to_completion(None);
+        (outcomes, sim.into_world())
+    }};
+}
+
+/// Chained follow-ups: each seed event reschedules twice more, with delays
+/// drawn from a per-chain LCG, exercising handler-time insertion in both
+/// engines.
+macro_rules! run_followups {
+    ($Sim:ty, $seeds:expr) => {{
+        let mut sim = <$Sim>::new(Vec::<u64>::new());
+        for &(t0, mix) in $seeds.iter() {
+            sim.schedule_at(SimTime::from_micros(t0), move |w: &mut Vec<u64>, ctx| {
+                w.push(ctx.now().as_micros());
+                let d1 = mix.wrapping_mul(6364136223846793005u64.wrapping_add(t0)) % 997 + 1;
+                ctx.schedule_in(
+                    SimDuration::from_micros(d1),
+                    move |w: &mut Vec<u64>, ctx| {
+                        w.push(ctx.now().as_micros());
+                        let d2 = d1 * 31 % 497 + 1;
+                        ctx.schedule_in(
+                            SimDuration::from_micros(d2),
+                            move |w: &mut Vec<u64>, ctx| w.push(ctx.now().as_micros()),
+                        );
+                    },
+                );
+            });
+        }
+        sim.run_to_completion(None);
+        sim.into_world()
+    }};
+}
+
+/// A world for the fault-window tests: messages submitted to a
+/// fault-injected network from inside event handlers, arrivals logged.
+struct NetWorld {
+    net: Network,
+    log: Vec<(u64, usize, usize)>,
+}
+
+fn grid_matrix(nodes: usize) -> RttMatrix {
+    RttMatrix::from_fn(nodes, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            ((i * 7 + j * 13) % 40 + 5) as f64
+        }
+    })
+    .expect("valid matrix")
+}
+
+/// Drives `sends` (`(from, to, at_ms)`) through a fault-injected network in
+/// either engine: the send-time handler asks the network for the message's
+/// fate and schedules the arrival; arrivals log `(at_us, from, to)`.
+macro_rules! run_deliveries {
+    ($Sim:ty, $nodes:expr, $plan:expr, $sends:expr) => {
+        run_deliveries!($Sim, $nodes, $plan, $sends, 0.2)
+    };
+    ($Sim:ty, $nodes:expr, $plan:expr, $sends:expr, $jitter:expr) => {{
+        let net = Network::with_faults(grid_matrix($nodes), $jitter, 0xD15C, $plan);
+        let mut sim = <$Sim>::new(NetWorld {
+            net,
+            log: Vec::new(),
+        });
+        for &(from, to, at) in $sends.iter() {
+            sim.schedule_at(SimTime::from_ms(at as f64), move |w: &mut NetWorld, ctx| {
+                if let Delivery::Deliver(d) = w.net.deliver(from, to, ctx.now()) {
+                    ctx.schedule_in(d, move |w: &mut NetWorld, ctx| {
+                        let now = ctx.now().as_micros();
+                        w.log.push((now, from, to));
+                    });
+                }
+            });
+        }
+        sim.run_to_completion(None);
+        let w = sim.into_world();
+        (w.log, w.net.stats())
+    }};
+}
+
+/// A fault plan covering every window kind, derived deterministically from
+/// proptest-chosen parameters. Both engines build their own copy from the
+/// same parameters, so the plans are identical by construction.
+fn build_plan(nodes: usize, seed: u64, loss: f64, w0: u64, w1: u64) -> FaultPlan {
+    let side: Vec<usize> = (0..nodes / 2).collect();
+    FaultPlan::new(seed)
+        .with_default_loss(loss)
+        .crash(
+            seed as usize % nodes,
+            SimTime::from_ms(w0 as f64),
+            SimTime::from_ms((w0 + w1) as f64),
+        )
+        .partition(
+            &side,
+            SimTime::from_ms((w1 / 2) as f64),
+            SimTime::from_ms((w1 / 2 + w0) as f64),
+        )
+        .latency_surge(
+            &[(seed as usize + 1) % nodes],
+            3.0,
+            SimTime::ZERO,
+            SimTime::from_ms(w0 as f64),
+        )
+}
+
+#[test]
+fn ties_break_by_sequence_number_in_both_engines() {
+    // 60 events on three distinct timestamps: the execution order within a
+    // timestamp must be the scheduling order, in both engines.
+    let times: Vec<u64> = (0..60).map(|i| [500u64, 100, 500][i % 3]).collect();
+    let (now_a, ran_a, log_a) = run_static!(Simulation<Vec<(u64, usize)>>, times);
+    let (now_b, ran_b, log_b) = run_static!(reference::Simulation<Vec<(u64, usize)>>, times);
+    assert_eq!(log_a, log_b);
+    assert_eq!((now_a, ran_a), (now_b, ran_b));
+    for w in log_a.windows(2) {
+        assert!(w[0].0 <= w[1].0, "out of order: {w:?}");
+        if w[0].0 == w[1].0 {
+            assert!(w[0].1 < w[1].1, "tie broke FIFO: {w:?}");
+        }
+    }
+}
+
+#[test]
+fn in_handler_cancellation_matches_the_reference() {
+    macro_rules! run {
+        ($Sim:ty) => {{
+            let mut sim = <$Sim>::new(Vec::<u32>::new());
+            let doomed = sim.schedule_at(SimTime::from_ms(50.0), |w: &mut Vec<u32>, _| w.push(99));
+            sim.schedule_at(SimTime::from_ms(10.0), move |w: &mut Vec<u32>, ctx| {
+                w.push(u32::from(ctx.cancel(doomed)));
+                w.push(u32::from(ctx.cancel(doomed)));
+                w.push(u32::from(ctx.is_pending(doomed)));
+            });
+            sim.run_to_completion(None);
+            (sim.executed(), sim.into_world())
+        }};
+    }
+    let a = run!(Simulation<Vec<u32>>);
+    let b = run!(reference::Simulation<Vec<u32>>);
+    assert_eq!(a, b);
+    assert_eq!(a.1, vec![1, 0, 0]);
+}
+
+proptest! {
+    /// Arbitrary static schedules — a narrow timestamp range forces heavy
+    /// same-timestamp ties — execute identically in both engines.
+    #[test]
+    fn prop_static_schedules_execute_identically(
+        times in prop::collection::vec(0u64..300, 1..250)
+    ) {
+        let (now_a, ran_a, log_a) = run_static!(Simulation<Vec<(u64, usize)>>, times);
+        let (now_b, ran_b, log_b) =
+            run_static!(reference::Simulation<Vec<(u64, usize)>>, times);
+        prop_assert_eq!(log_a, log_b);
+        prop_assert_eq!(now_a, now_b);
+        prop_assert_eq!(ran_a, ran_b);
+    }
+
+    /// Cancelling an arbitrary subset produces the same cancel outcomes
+    /// (first cancel true, double cancel false, pending flags) and the same
+    /// surviving execution log.
+    #[test]
+    fn prop_cancellation_is_identical(
+        times in prop::collection::vec(0u64..2_000, 1..150),
+        kill in prop::collection::vec(any::<bool>(), 1..150),
+    ) {
+        let (out_a, log_a) = run_cancelled!(Simulation<Vec<(u64, usize)>>, times, kill);
+        let (out_b, log_b) =
+            run_cancelled!(reference::Simulation<Vec<(u64, usize)>>, times, kill);
+        prop_assert_eq!(out_a, out_b);
+        prop_assert_eq!(log_a, log_b);
+    }
+
+    /// Handler-scheduled follow-up chains land at identical instants.
+    #[test]
+    fn prop_followup_chains_are_identical(
+        seeds in prop::collection::vec((0u64..5_000, 1u64..1_000), 1..60)
+    ) {
+        let log_a = run_followups!(Simulation<Vec<u64>>, seeds);
+        let log_b = run_followups!(reference::Simulation<Vec<u64>>, seeds);
+        prop_assert_eq!(log_a, log_b);
+    }
+
+    /// A fault-injected network driven from handlers: delivery order,
+    /// arrival timestamps and the full [`DeliveryStats`] accounting match
+    /// across engines (the jitter/loss RNG streams advance identically
+    /// because the event orders do).
+    #[test]
+    fn prop_fault_plan_deliveries_are_identical(
+        nodes in 4usize..8,
+        seed in 0u64..1_000,
+        loss in 0.0f64..0.4,
+        w0 in 1u64..400,
+        w1 in 1u64..400,
+        sends_raw in prop::collection::vec((0usize..8, 0usize..8, 0u64..800), 1..120),
+    ) {
+        let sends: Vec<(usize, usize, u64)> = sends_raw
+            .iter()
+            .map(|&(f, t, at)| (f % nodes, t % nodes, at))
+            .collect();
+        let (log_a, stats_a) = run_deliveries!(
+            Simulation<NetWorld>, nodes, build_plan(nodes, seed, loss, w0, w1), sends);
+        let (log_b, stats_b) = run_deliveries!(
+            reference::Simulation<NetWorld>, nodes, build_plan(nodes, seed, loss, w0, w1), sends);
+        prop_assert_eq!(log_a, log_b);
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(stats_a.sends(), sends.len() as u64);
+    }
+
+    /// Sharding one run's sends across two networks and merging the stats
+    /// equals the unsharded accounting — on both engines.
+    #[test]
+    fn prop_delivery_stats_merge_is_engine_invariant(
+        nodes in 4usize..8,
+        seed in 0u64..1_000,
+        sends_raw in prop::collection::vec((0usize..8, 0usize..8, 0u64..800), 2..100),
+    ) {
+        let sends: Vec<(usize, usize, u64)> = sends_raw
+            .iter()
+            .map(|&(f, t, at)| (f % nodes, t % nodes, at))
+            .collect();
+        // No loss windows and no jitter here: merged-vs-whole equality
+        // needs each message's fate to be independent of the RNG position.
+        let plan = || FaultPlan::new(seed).crash(
+            seed as usize % nodes, SimTime::ZERO, SimTime::from_ms(200.0));
+        let (half, rest) = sends.split_at(sends.len() / 2);
+        let (_, whole_a) = run_deliveries!(Simulation<NetWorld>, nodes, plan(), sends, 0.0);
+        let (_, whole_b) =
+            run_deliveries!(reference::Simulation<NetWorld>, nodes, plan(), sends, 0.0);
+        let mut merged = DeliveryStats::default();
+        // Each shard re-sorts its own sends through its own engine run.
+        let (_, s1) = run_deliveries!(Simulation<NetWorld>, nodes, plan(), half, 0.0);
+        let (_, s2) = run_deliveries!(Simulation<NetWorld>, nodes, plan(), rest, 0.0);
+        merged.merge(s1);
+        merged += s2;
+        prop_assert_eq!(whole_a, whole_b);
+        prop_assert_eq!(merged.delivered, whole_a.delivered);
+        prop_assert_eq!(merged.dropped(), whole_a.dropped());
+        prop_assert_eq!(merged.sends(), whole_a.sends());
+    }
+}

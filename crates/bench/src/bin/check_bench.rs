@@ -35,6 +35,16 @@ fn required_keys(file: &str) -> &'static [&'static str] {
             "\"peak_rss_mb\"",
             "\"events_per_sec\"",
         ],
+        "BENCH_fleet.json" => &[
+            "\"fleet\"",
+            "\"objects\"",
+            "\"objects_per_sec\"",
+            "\"accesses_per_sec\"",
+            "\"peak_rss_mb\"",
+            "\"hot_fraction\"",
+            "\"migration\"",
+            "\"identical_result\"",
+        ],
         "BENCH_robustness.json" => &[
             "\"scenarios\"",
             "\"identical_result\"",
@@ -139,6 +149,7 @@ mod tests {
             "BENCH_placement.json",
             "BENCH_robustness.json",
             "BENCH_scale.json",
+            "BENCH_fleet.json",
         ] {
             check(root, file).unwrap_or_else(|e| panic!("{e}"));
         }

@@ -1,0 +1,179 @@
+//! The fleet's migration scheduler: cross-object batching under a global
+//! bandwidth budget.
+//!
+//! Each owner proposes its rebalance independently (the exact decision an
+//! isolated [`crate::manager::ReplicaManager`] would take); the scheduler
+//! then decides *which* proposals actually move data this period:
+//!
+//! * **capacity changes first** — a proposal that resizes the replica set
+//!   is demand-driven ([`crate::manager::ReplicaManager::adapt_k`]) and is
+//!   never deferred; its transfer cost is deducted from the budget before
+//!   anything optional runs;
+//! * **best value next** — same-size migrations are ranked by relative
+//!   delay gain per migration dollar ([`MigrationDecision::relative_gain`]
+//!   over [`MigrationDecision::cost_usd`]) and committed greedily while the
+//!   remaining budget covers them, ties broken by owner id so the order is
+//!   deterministic;
+//! * **the rest are deferred** — via
+//!   [`crate::manager::ReplicaManager::defer_rebalance`], which ends the
+//!   period without moving data, so a deferred owner re-proposes from
+//!   fresh evidence next round.
+//!
+//! With an unlimited budget every proposal commits, and the fleet is
+//! bit-identical to its owners rebalancing in isolation — the property the
+//! `fleet_equivalence` suite pins.
+
+use crate::migration::MigrationDecision;
+
+/// What the scheduler decided for one owner's pending rebalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Action {
+    /// Honour the owner's own decision (including "don't move").
+    Commit,
+    /// Budget exhausted: end the period without migrating.
+    Defer,
+}
+
+/// One scheduled fleet round: every owner's final decision plus the
+/// batch-level accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetRound {
+    /// Final per-owner decisions, indexed by owner id. Deferred owners
+    /// report `applied: false` exactly as
+    /// [`crate::manager::ReplicaManager::defer_rebalance`] returns them.
+    pub decisions: Vec<MigrationDecision>,
+    /// Owners whose proposals were applied this round.
+    pub committed: usize,
+    /// Owners whose migrations were pushed past the budget.
+    pub deferred: usize,
+    /// Replicas moved across all applied decisions.
+    pub moved_replicas: u64,
+    /// Migration dollars spent this round.
+    pub spent_usd: f64,
+}
+
+/// Gain per migration dollar; free moves sort ahead of everything.
+fn score(decision: &MigrationDecision) -> f64 {
+    if decision.cost_usd <= 0.0 {
+        f64::INFINITY
+    } else {
+        decision.relative_gain() / decision.cost_usd
+    }
+}
+
+fn resized(decision: &MigrationDecision) -> bool {
+    decision.proposed.len() != decision.old.len()
+}
+
+/// Batches the owners' proposed decisions under `budget_usd`, returning
+/// the per-owner action (aligned by index) and the dollars committed.
+pub(crate) fn schedule(decisions: &[&MigrationDecision], budget_usd: f64) -> (Vec<Action>, f64) {
+    let mut actions = vec![Action::Commit; decisions.len()];
+    let mut remaining = budget_usd;
+    let mut spent = 0.0;
+
+    // Demand-driven capacity changes apply unconditionally; they draw the
+    // budget down (to zero at worst) but are never deferred.
+    for d in decisions.iter().filter(|d| d.applied && resized(d)) {
+        spent += d.cost_usd;
+        remaining = (remaining - d.cost_usd).max(0.0);
+    }
+
+    // Optional migrations: best gain-per-dollar first, owner id on ties.
+    let mut order: Vec<usize> = (0..decisions.len())
+        .filter(|&i| decisions[i].applied && !resized(decisions[i]))
+        .collect();
+    order.sort_by(|&a, &b| {
+        score(decisions[b])
+            .total_cmp(&score(decisions[a]))
+            .then(a.cmp(&b))
+    });
+    for i in order {
+        let cost = decisions[i].cost_usd;
+        if cost <= remaining {
+            remaining -= cost;
+            spent += cost;
+        } else {
+            actions[i] = Action::Defer;
+        }
+    }
+    (actions, spent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn migration(old: Vec<usize>, proposed: Vec<usize>, gain: f64, cost: f64) -> MigrationDecision {
+        // old_est 100 makes relative_gain read directly as `gain`.
+        MigrationDecision {
+            moved: proposed.iter().filter(|s| !old.contains(s)).count(),
+            old,
+            proposed,
+            old_est_ms: 100.0,
+            new_est_ms: 100.0 * (1.0 - gain),
+            cost_usd: cost,
+            applied: true,
+        }
+    }
+
+    fn hold() -> MigrationDecision {
+        let mut d = migration(vec![0], vec![0], 0.0, 0.0);
+        d.applied = false;
+        d
+    }
+
+    #[test]
+    fn unlimited_budget_commits_everything() {
+        let a = migration(vec![0], vec![1], 0.3, 5.0);
+        let b = migration(vec![2], vec![3], 0.1, 50.0);
+        let c = hold();
+        let (actions, spent) = schedule(&[&a, &b, &c], f64::INFINITY);
+        assert_eq!(actions, vec![Action::Commit; 3]);
+        assert!((spent - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_prefers_the_best_gain_per_dollar() {
+        // a: 0.3/5 = 0.06 per dollar; b: 0.4/40 = 0.01 per dollar.
+        let a = migration(vec![0], vec![1], 0.3, 5.0);
+        let b = migration(vec![2], vec![3], 0.4, 40.0);
+        let (actions, spent) = schedule(&[&b, &a], 10.0);
+        assert_eq!(actions, vec![Action::Defer, Action::Commit]);
+        assert!((spent - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_break_by_owner_id() {
+        let a = migration(vec![0], vec![1], 0.2, 10.0);
+        let b = migration(vec![2], vec![3], 0.2, 10.0);
+        let (actions, _) = schedule(&[&a, &b], 10.0);
+        assert_eq!(actions, vec![Action::Commit, Action::Defer]);
+    }
+
+    #[test]
+    fn capacity_changes_are_never_deferred() {
+        // The resize is worth little per dollar but must still commit,
+        // starving the otherwise-affordable migration.
+        let resize = migration(vec![0], vec![0, 4], 0.01, 8.0);
+        let migrate = migration(vec![2], vec![3], 0.5, 5.0);
+        let (actions, spent) = schedule(&[&migrate, &resize], 8.0);
+        assert_eq!(actions, vec![Action::Defer, Action::Commit]);
+        assert!((spent - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_moves_always_commit() {
+        let free = migration(vec![0], vec![1], 0.0, 0.0);
+        let (actions, spent) = schedule(&[&free], 0.0);
+        assert_eq!(actions, vec![Action::Commit]);
+        assert_eq!(spent, 0.0);
+    }
+
+    #[test]
+    fn unapplied_decisions_pass_through_untouched() {
+        let (actions, spent) = schedule(&[&hold(), &hold()], 0.0);
+        assert_eq!(actions, vec![Action::Commit; 2]);
+        assert_eq!(spent, 0.0);
+    }
+}

@@ -12,6 +12,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use georep_cluster::point::WeightedPoint;
 use georep_coord::Coord;
@@ -124,7 +125,7 @@ pub struct GroupDecision {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ObjectGroup<const D: usize> {
-    coords: Vec<Coord<D>>,
+    coords: Arc<Vec<Coord<D>>>,
     candidates: Vec<usize>,
     config: GroupConfig,
     managers: Vec<ReplicaManager<D>>,
@@ -160,11 +161,19 @@ impl<const D: usize> ObjectGroup<D> {
         if candidates.is_empty() {
             return Err(GroupError::InvalidSetup("candidate set is empty"));
         }
+        // One coordinate table for the whole group: managers share the Arc
+        // instead of each owning a copy.
+        let coords = Arc::new(coords);
         let managers = (0..objects)
             .map(|i| {
                 let mut cfg = ManagerConfig::new(1, config.micro_clusters);
                 cfg.seed = config.seed.wrapping_add(i as u64);
-                ReplicaManager::new(coords.clone(), candidates.clone(), vec![candidates[0]], cfg)
+                ReplicaManager::new_shared(
+                    coords.clone(),
+                    candidates.clone(),
+                    vec![candidates[0]],
+                    cfg,
+                )
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(ObjectGroup {

@@ -59,6 +59,7 @@ pub mod combin;
 pub mod deployment;
 pub mod experiment;
 pub mod failure;
+pub mod fleet;
 pub mod gossip;
 pub mod group;
 pub mod manager;
@@ -73,6 +74,7 @@ pub mod strategy;
 pub mod telemetry;
 
 pub use experiment::{Experiment, RunSummary, StrategyKind};
+pub use fleet::{FleetConfig, FleetError, FleetManager, FleetRound, FleetStats};
 pub use manager::{ManagerConfig, ReplicaManager};
 pub use objective::{CostTable, DelayOracle, IncrementalEval};
 pub use problem::{PlacementProblem, ProblemError};

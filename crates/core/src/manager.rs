@@ -13,6 +13,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use georep_cluster::kmeans::{ClusterError, KMeansConfig, KMeansStats};
 use georep_cluster::online::{OnlineClusterer, StreamStats};
@@ -94,6 +95,14 @@ pub struct ManagerConfig {
     /// this only affects wall-clock time — never the placement. The
     /// robustness suite exercises 1/2/8 to prove it.
     pub restart_threads: usize,
+    /// Batch size below which [`ReplicaManager::ingest_period`] stays
+    /// serial: spawning scoped threads and allocating the assignment table
+    /// costs more than routing a few thousand accesses does. The serial and
+    /// parallel paths are bit-identical, so this only moves wall-clock
+    /// time. Tiered drivers (the fleet layer) tune it per object class —
+    /// e.g. force owners that are fanned out *across* worker threads to
+    /// stay serial *internally*.
+    pub ingest_serial_threshold: usize,
 }
 
 impl ManagerConfig {
@@ -110,14 +119,14 @@ impl ManagerConfig {
             period_decay: 0.0,
             seed: 0x6E0,
             restart_threads: 0,
+            ingest_serial_threshold: DEFAULT_INGEST_SERIAL_THRESHOLD,
         }
     }
 }
 
-/// Batch size below which [`ReplicaManager::ingest_period`] stays serial:
-/// spawning scoped threads and allocating the assignment table costs more
-/// than routing a few thousand accesses does.
-const INGEST_PARALLEL_THRESHOLD: usize = 8192;
+/// Default for [`ManagerConfig::ingest_serial_threshold`] — the historical
+/// hardcoded serial-fallback point of the batched ingest path.
+pub const DEFAULT_INGEST_SERIAL_THRESHOLD: usize = 8192;
 
 /// Cumulative manager statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -132,6 +141,30 @@ pub struct ManagerStats {
     pub accesses: u64,
     /// Replica failures absorbed via [`ReplicaManager::fail_replica`].
     pub failures: u64,
+}
+
+/// A proposed-but-not-yet-applied rebalance round: everything
+/// [`ReplicaManager::rebalance`] computes up to (and including) the
+/// decision, with the apply and period-reset steps still pending. Produced
+/// by [`ReplicaManager::propose_rebalance`]; finished by
+/// [`ReplicaManager::commit_rebalance`] (honour the decision) or
+/// [`ReplicaManager::defer_rebalance`] (a scheduler ran out of migration
+/// budget — keep the old placement, end the period anyway).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingRebalance {
+    /// The decision exactly as an independent manager would have taken it.
+    pub decision: MigrationDecision,
+    /// Nothing was observed this period: the commit is a no-op (the
+    /// historical empty-period round never reset the summarizers).
+    empty: bool,
+}
+
+impl PendingRebalance {
+    /// `true` when no accesses were summarized this period (the commit
+    /// will leave the manager untouched).
+    pub fn is_empty_period(&self) -> bool {
+        self.empty
+    }
 }
 
 /// The live placement system: routing, summarization, periodic migration.
@@ -159,7 +192,9 @@ pub struct ManagerStats {
 #[derive(Debug, Clone)]
 pub struct ReplicaManager<const D: usize> {
     config: ManagerConfig,
-    coords: Vec<Coord<D>>,
+    /// Node coordinates, shared: a fleet of thousands of managers over the
+    /// same topology clones the `Arc`, not the vector.
+    coords: Arc<Vec<Coord<D>>>,
     candidates: Vec<usize>,
     placement: Vec<usize>,
     /// One summarizer per replica, aligned with `placement`.
@@ -183,6 +218,22 @@ impl<const D: usize> ReplicaManager<D> {
     /// range.
     pub fn new(
         coords: Vec<Coord<D>>,
+        candidates: Vec<usize>,
+        initial_placement: Vec<usize>,
+        config: ManagerConfig,
+    ) -> Result<Self, ManagerError> {
+        Self::new_shared(Arc::new(coords), candidates, initial_placement, config)
+    }
+
+    /// [`ReplicaManager::new`] over an already-shared coordinate table —
+    /// the constructor multi-object layers use so N managers pay for one
+    /// coordinate vector, not N copies.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplicaManager::new`].
+    pub fn new_shared(
+        coords: Arc<Vec<Coord<D>>>,
         candidates: Vec<usize>,
         initial_placement: Vec<usize>,
         config: ManagerConfig,
@@ -345,8 +396,8 @@ impl<const D: usize> ReplicaManager<D> {
     /// then lets each summarizer absorb *its own* accesses in the original
     /// stream order — summarizers are independent, and per-slot order is
     /// exactly what a serial [`ReplicaManager::record_access`] loop would
-    /// produce. Below [`INGEST_PARALLEL_THRESHOLD`] accesses (or with one
-    /// thread) it simply runs the serial loop.
+    /// produce. Below [`ManagerConfig::ingest_serial_threshold`] accesses
+    /// (or with one thread) it simply runs the serial loop.
     pub fn ingest_period_with_threads(
         &mut self,
         accesses: &[(Coord<D>, f64)],
@@ -357,7 +408,7 @@ impl<const D: usize> ReplicaManager<D> {
             return served;
         }
         let threads = threads.max(1).min(accesses.len());
-        if threads == 1 || accesses.len() < INGEST_PARALLEL_THRESHOLD {
+        if threads == 1 || accesses.len() < self.config.ingest_serial_threshold {
             for &(coord, weight) in accesses {
                 let idx = self.slot_for(&coord);
                 self.clusterers[idx].observe(coord, weight);
@@ -527,19 +578,26 @@ impl<const D: usize> ReplicaManager<D> {
         self.config.k
     }
 
-    /// Replaces every per-replica summarizer with a fresh, empty one —
-    /// the start-of-period reset, sized to the current placement. The
-    /// outgoing summarizers' stream tallies are banked first so
-    /// [`ReplicaManager::stream_stats`] stays monotone across periods.
+    /// Empties every per-replica summarizer — the start-of-period reset,
+    /// sized to the current placement. Kept summarizers are `clear`ed in
+    /// place (their slab allocations survive, so a long-lived manager — or
+    /// a fleet of a million of them — stops paying the per-period
+    /// alloc/free churn); a cleared summarizer behaves bit-identically to a
+    /// fresh one. Stream tallies stay monotone either way: `clear` does not
+    /// reset them, so live accumulation replaces the old banking, and only
+    /// summarizers dropped on a shrink are banked into `retired_stream`.
     fn reset_clusterers(&mut self) {
-        for c in &self.clusterers {
-            self.retired_stream.merge(c.stream_stats());
+        while self.clusterers.len() > self.placement.len() {
+            let gone = self.clusterers.pop().expect("len checked above");
+            self.retired_stream.merge(gone.stream_stats());
         }
-        self.clusterers = self
-            .placement
-            .iter()
-            .map(|_| OnlineClusterer::new(self.config.micro_clusters))
-            .collect();
+        for c in &mut self.clusterers {
+            c.clear();
+        }
+        while self.clusterers.len() < self.placement.len() {
+            self.clusterers
+                .push(OnlineClusterer::new(self.config.micro_clusters));
+        }
     }
 
     /// One periodic round: collect summaries, macro-cluster (Algorithm 1),
@@ -548,10 +606,33 @@ impl<const D: usize> ReplicaManager<D> {
     /// When no accesses were recorded this period, the round is a no-op
     /// decision with the old placement proposed.
     ///
+    /// Exactly [`ReplicaManager::propose_rebalance`] followed by
+    /// [`ReplicaManager::commit_rebalance`] — the split exists so an
+    /// external scheduler can collect many objects' proposals, rank them
+    /// under a global migration budget, and commit or defer each one; with
+    /// no scheduler in between the two halves compose to the historical
+    /// single call, bit for bit.
+    ///
     /// # Errors
     ///
     /// [`ManagerError::Cluster`] if the weighted K-means fails.
     pub fn rebalance(&mut self) -> Result<MigrationDecision, ManagerError> {
+        let pending = self.propose_rebalance()?;
+        Ok(self.commit_rebalance(pending))
+    }
+
+    /// The first half of a rebalance round: collect summaries (accounting
+    /// their wire bytes), macro-cluster, and *decide* — without touching the
+    /// placement or the summarization period. The returned
+    /// [`PendingRebalance`] carries the decision an independent manager
+    /// would have taken; hand it back via
+    /// [`ReplicaManager::commit_rebalance`] or
+    /// [`ReplicaManager::defer_rebalance`] to end the period.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::Cluster`] if the weighted K-means fails.
+    pub fn propose_rebalance(&mut self) -> Result<PendingRebalance, ManagerError> {
         self.stats.rounds += 1;
 
         // "The micro-clusters are sent to a central server": account for
@@ -569,14 +650,17 @@ impl<const D: usize> ReplicaManager<D> {
             .collect();
 
         if pseudo.is_empty() {
-            return Ok(MigrationDecision {
-                old: self.placement.clone(),
-                proposed: self.placement.clone(),
-                old_est_ms: 0.0,
-                new_est_ms: 0.0,
-                moved: 0,
-                cost_usd: 0.0,
-                applied: false,
+            return Ok(PendingRebalance {
+                decision: MigrationDecision {
+                    old: self.placement.clone(),
+                    proposed: self.placement.clone(),
+                    old_est_ms: 0.0,
+                    new_est_ms: 0.0,
+                    moved: 0,
+                    cost_usd: 0.0,
+                    applied: false,
+                },
+                empty: true,
             });
         }
 
@@ -623,19 +707,32 @@ impl<const D: usize> ReplicaManager<D> {
             moved > 0 && relative_gain >= self.config.gain_per_dollar * cost_usd
         };
 
-        let decision = MigrationDecision {
-            old: self.placement.clone(),
-            proposed: proposed.clone(),
-            old_est_ms: old_est,
-            new_est_ms: new_est,
-            moved,
-            cost_usd,
-            applied,
-        };
+        Ok(PendingRebalance {
+            decision: MigrationDecision {
+                old: self.placement.clone(),
+                proposed,
+                old_est_ms: old_est,
+                new_est_ms: new_est,
+                moved,
+                cost_usd,
+                applied,
+            },
+            empty: false,
+        })
+    }
 
+    /// The second half of a rebalance round: honour the pending decision
+    /// (apply the proposed placement if `applied`) and end the
+    /// summarization period. Returns the decision unchanged.
+    pub fn commit_rebalance(&mut self, pending: PendingRebalance) -> MigrationDecision {
+        let decision = pending.decision;
+        if pending.empty {
+            return decision;
+        }
+        let applied = decision.applied;
         if applied {
-            self.stats.replicas_moved += moved as u64;
-            self.placement = proposed;
+            self.stats.replicas_moved += decision.moved as u64;
+            self.placement = decision.proposed.clone();
         }
         // Start the next summarization period. With decay disabled the
         // summaries reset; with decay enabled they are aged — and, after an
@@ -674,7 +771,18 @@ impl<const D: usize> ReplicaManager<D> {
                 }
             }
         }
-        Ok(decision)
+        decision
+    }
+
+    /// Ends the period *without* migrating, whatever the pending decision
+    /// said — the deferred path a budget-exhausted scheduler takes. The
+    /// returned decision reports `applied: false` (and therefore zero
+    /// dollars spent); the summaries still reset or decay exactly as an
+    /// unapplied round would, so a deferred object re-proposes from fresh
+    /// evidence next period.
+    pub fn defer_rebalance(&mut self, mut pending: PendingRebalance) -> MigrationDecision {
+        pending.decision.applied = false;
+        self.commit_rebalance(pending)
     }
 }
 
@@ -1083,6 +1191,82 @@ mod tests {
         let d = mgr.rebalance().unwrap();
         assert!(d.applied, "{d:?}");
         assert!(mgr.placement().contains(&5));
+    }
+
+    #[test]
+    fn ingest_serial_threshold_is_tunable_and_neutral() {
+        let accesses = synthetic_accesses(2_000);
+        // Below the default threshold this batch takes the serial path; a
+        // tiny threshold forces the two-phase parallel path. Both must
+        // produce the identical manager state.
+        let mut serial = manager(2);
+        serial.ingest_period_with_threads(&accesses, 4);
+        let mut cfg = ManagerConfig::new(2, 4);
+        assert_eq!(cfg.ingest_serial_threshold, DEFAULT_INGEST_SERIAL_THRESHOLD);
+        cfg.ingest_serial_threshold = 1;
+        let mut parallel =
+            ReplicaManager::new(line_coords(), vec![0, 3, 5], vec![0, 3], cfg).unwrap();
+        parallel.ingest_period_with_threads(&accesses, 4);
+        assert_eq!(parallel.summaries(), serial.summaries());
+        assert_eq!(parallel.stream_stats(), serial.stream_stats());
+        // And a threshold above every batch size pins the serial loop
+        // (observable only through identical results — that is the point).
+        cfg.ingest_serial_threshold = usize::MAX;
+        let mut pinned =
+            ReplicaManager::new(line_coords(), vec![0, 3, 5], vec![0, 3], cfg).unwrap();
+        pinned.ingest_period_with_threads(&accesses, 4);
+        assert_eq!(pinned.summaries(), serial.summaries());
+    }
+
+    #[test]
+    fn propose_then_commit_equals_rebalance() {
+        let feed = |mgr: &mut ReplicaManager<1>| {
+            for _ in 0..200 {
+                mgr.record_access(Coord::new([49.0]), 1.0);
+                mgr.record_access(Coord::new([41.0]), 1.0);
+            }
+        };
+        let mut whole = manager(2);
+        feed(&mut whole);
+        let d_whole = whole.rebalance().unwrap();
+
+        let mut split = manager(2);
+        feed(&mut split);
+        let pending = split.propose_rebalance().unwrap();
+        assert!(!pending.is_empty_period());
+        // Proposing must not yet touch the placement or the period.
+        assert_eq!(split.placement(), &[0, 3]);
+        let d_split = split.commit_rebalance(pending);
+        assert_eq!(d_split, d_whole);
+        assert_eq!(split.placement(), whole.placement());
+        assert_eq!(split.summaries(), whole.summaries());
+        assert_eq!(split.stats(), whole.stats());
+    }
+
+    #[test]
+    fn deferred_rebalance_keeps_the_placement_but_ends_the_period() {
+        let mut mgr = manager(2);
+        for _ in 0..200 {
+            mgr.record_access(Coord::new([49.0]), 1.0);
+        }
+        let pending = mgr.propose_rebalance().unwrap();
+        assert!(pending.decision.applied, "the gain gate passes on its own");
+        let d = mgr.defer_rebalance(pending);
+        assert!(!d.applied);
+        assert_eq!(mgr.placement(), &[0, 3], "deferral must not migrate");
+        assert_eq!(mgr.stats().replicas_moved, 0);
+        let post: u64 = mgr
+            .summaries()
+            .iter()
+            .map(|s| s.clusters.len() as u64)
+            .sum();
+        assert_eq!(post, 0, "the period still ends on deferral");
+        // An empty-period pending commits to a no-op, exactly as before.
+        let empty = mgr.propose_rebalance().unwrap();
+        assert!(empty.is_empty_period());
+        let d = mgr.commit_rebalance(empty);
+        assert!(!d.applied);
+        assert_eq!(d.moved, 0);
     }
 
     #[test]

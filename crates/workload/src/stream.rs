@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::population::Population;
 use crate::zipf::AliasTable;
 
-/// One client access to the replicated object.
+/// One client access to a replicated object.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AccessEvent {
     /// When the access starts, in simulated milliseconds.
@@ -22,6 +22,10 @@ pub struct AccessEvent {
     pub client: usize,
     /// Amount of data exchanged, in KiB (the micro-cluster `weight`).
     pub bytes_kib: f64,
+    /// The accessed object's key. Single-object workloads use `0`
+    /// throughout; multi-object streams draw it from a popularity
+    /// distribution (see [`ShardedStream::with_objects`]).
+    pub object: u64,
 }
 
 /// Arrival-process parameters.
@@ -110,6 +114,7 @@ pub fn generate(pop: &Population, cfg: &StreamConfig, duration_ms: f64) -> Vec<A
             at_ms: t,
             client,
             bytes_kib,
+            object: 0,
         });
     }
     events
@@ -151,6 +156,10 @@ pub fn shard_seed(seed: u64, shard: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct ShardedStream {
     alias: AliasTable,
+    /// Object-popularity sampler; `None` keeps the single-object stream
+    /// (object `0` throughout) with a draw sequence identical to streams
+    /// generated before the object dimension existed.
+    objects: Option<AliasTable>,
     cfg: StreamConfig,
     duration_ms: f64,
     shards: usize,
@@ -184,10 +193,27 @@ impl ShardedStream {
         assert!(shards > 0, "need at least one shard");
         ShardedStream {
             alias: pop.alias(),
+            objects: None,
             cfg: *cfg,
             duration_ms,
             shards,
         }
+    }
+
+    /// Adds an object dimension: every access additionally draws an object
+    /// key from `objects` (one draw per event, taken after the client and
+    /// before the payload size). Without this call every event carries
+    /// object `0` and the event sequence is identical to the
+    /// single-object stream.
+    pub fn with_objects(mut self, objects: AliasTable) -> Self {
+        self.objects = Some(objects);
+        self
+    }
+
+    /// Number of distinct objects the stream can draw (1 when the object
+    /// dimension is disabled).
+    pub fn object_count(&self) -> usize {
+        self.objects.as_ref().map_or(1, AliasTable::len)
     }
 
     /// Number of shards (disjoint generation windows).
@@ -229,6 +255,12 @@ impl ShardedStream {
                 break;
             }
             let client = self.alias.sample(&mut rng);
+            // Drawn between client and size so disabling the object
+            // dimension leaves the historical draw sequence untouched.
+            let object = match &self.objects {
+                Some(table) => table.sample(&mut rng) as u64,
+                None => 0,
+            };
             let bytes_kib = if self.cfg.size_sigma == 0.0 {
                 self.cfg.median_kib
             } else {
@@ -241,6 +273,7 @@ impl ShardedStream {
                 at_ms: t,
                 client,
                 bytes_kib,
+                object,
             });
         }
         events
@@ -709,6 +742,75 @@ mod tests {
     fn zero_shards_rejected() {
         let pop = Population::uniform(2);
         let _ = ShardedStream::new(&pop, &StreamConfig::default(), 10.0, 0);
+    }
+
+    #[test]
+    fn object_dimension_defaults_to_zero() {
+        let pop = Population::uniform(4);
+        let cfg = StreamConfig {
+            rate_per_ms: 0.4,
+            seed: 8,
+            ..Default::default()
+        };
+        let stream = ShardedStream::new(&pop, &cfg, 2_000.0, 4);
+        assert_eq!(stream.object_count(), 1);
+        assert!(stream.generate().iter().all(|e| e.object == 0));
+        assert!(generate(&pop, &cfg, 2_000.0).iter().all(|e| e.object == 0));
+    }
+
+    #[test]
+    fn object_dimension_draws_between_client_and_size() {
+        // Enabling objects must not disturb the arrival process or the
+        // client draw: the k-th event of each shard keeps its time and
+        // client, only the object (and the size drawn after it) change.
+        let pop = Population::uniform(6);
+        let cfg = StreamConfig {
+            rate_per_ms: 0.5,
+            seed: 77,
+            ..Default::default()
+        };
+        let plain = ShardedStream::new(&pop, &cfg, 4_000.0, 4);
+        let objects = crate::zipf::Zipf::new(32, 1.1).alias();
+        let multi = plain.clone().with_objects(objects);
+        assert_eq!(multi.object_count(), 32);
+        for s in 0..4 {
+            let a = plain.shard_events(s);
+            let b = multi.shard_events(s);
+            assert!(!b.is_empty());
+            assert_eq!(a[0].at_ms, b[0].at_ms, "shard {s}: first arrival moved");
+            assert_eq!(a[0].client, b[0].client, "shard {s}: first client moved");
+        }
+        let events = multi.generate();
+        assert!(events.iter().all(|e| e.object < 32));
+        assert!(
+            events.iter().any(|e| e.object != 0),
+            "zipf objects never left rank 0"
+        );
+        // Rank 0 dominates under Zipf.
+        let rank0 = events.iter().filter(|e| e.object == 0).count();
+        let rank31 = events.iter().filter(|e| e.object == 31).count();
+        assert!(
+            rank0 > rank31,
+            "rank 0 ({rank0}) should beat rank 31 ({rank31})"
+        );
+    }
+
+    #[test]
+    fn object_streams_keep_the_delivery_invariants() {
+        let pop = Population::zipf_skewed(30, 1.0, 5);
+        let cfg = StreamConfig {
+            rate_per_ms: 0.4,
+            seed: 13,
+            ..Default::default()
+        };
+        let objects = crate::zipf::Zipf::new(100, 0.9).alias();
+        let stream = ShardedStream::new(&pop, &cfg, 5_000.0, 7).with_objects(objects);
+        let whole = stream.generate();
+        for threads in [1, 2, 8] {
+            assert_eq!(stream.generate_parallel(threads), whole);
+        }
+        let rebatched: Vec<AccessEvent> = stream.chunks(64).flatten().collect();
+        assert_eq!(rebatched, whole);
     }
 
     proptest! {

@@ -53,6 +53,8 @@ pub struct TraceStats {
     pub events: usize,
     /// Distinct clients that appear.
     pub distinct_clients: usize,
+    /// Distinct object keys that appear (1 for single-object traces).
+    pub distinct_objects: usize,
     /// Duration from first to last event, ms.
     pub span_ms: f64,
     /// Mean access rate over the span, per ms.
@@ -132,22 +134,44 @@ impl Trace {
         let mut clients: Vec<usize> = self.events.iter().map(|e| e.client).collect();
         clients.sort_unstable();
         clients.dedup();
+        let mut objects: Vec<u64> = self.events.iter().map(|e| e.object).collect();
+        objects.sort_unstable();
+        objects.dedup();
         Some(TraceStats {
             events: self.events.len(),
             distinct_clients: clients.len(),
+            distinct_objects: objects.len(),
             span_ms: last.at_ms - first.at_ms,
             rate_per_ms: self.events.len() as f64 / span,
             total_kib: self.events.iter().map(|e| e.bytes_kib).sum(),
         })
     }
 
+    /// `true` when any event touches an object other than `0` — i.e. the
+    /// trace needs the 4-column multi-object text form.
+    fn is_multi_object(&self) -> bool {
+        self.events.iter().any(|e| e.object != 0)
+    }
+
     /// Serializes to the text format: one `at_ms client kib` triple per
-    /// line, `#`-comments allowed.
+    /// line (plus a trailing `object` column for multi-object traces),
+    /// `#`-comments allowed. Single-object traces keep the historical
+    /// 3-column form so older readers still parse them.
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 24 + 32);
-        out.push_str("# georep access trace: at_ms client kib\n");
-        for e in &self.events {
-            out.push_str(&format!("{:.3} {} {:.3}\n", e.at_ms, e.client, e.bytes_kib));
+        if self.is_multi_object() {
+            out.push_str("# georep access trace: at_ms client kib object\n");
+            for e in &self.events {
+                out.push_str(&format!(
+                    "{:.3} {} {:.3} {}\n",
+                    e.at_ms, e.client, e.bytes_kib, e.object
+                ));
+            }
+        } else {
+            out.push_str("# georep access trace: at_ms client kib\n");
+            for e in &self.events {
+                out.push_str(&format!("{:.3} {} {:.3}\n", e.at_ms, e.client, e.bytes_kib));
+            }
         }
         out
     }
@@ -159,9 +183,19 @@ impl Trace {
     /// stays the human-facing default.
     pub fn to_text_exact(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 32 + 32);
-        out.push_str("# georep access trace (exact): at_ms client kib\n");
-        for e in &self.events {
-            out.push_str(&format!("{} {} {}\n", e.at_ms, e.client, e.bytes_kib));
+        if self.is_multi_object() {
+            out.push_str("# georep access trace (exact): at_ms client kib object\n");
+            for e in &self.events {
+                out.push_str(&format!(
+                    "{} {} {} {}\n",
+                    e.at_ms, e.client, e.bytes_kib, e.object
+                ));
+            }
+        } else {
+            out.push_str("# georep access trace (exact): at_ms client kib\n");
+            for e in &self.events {
+                out.push_str(&format!("{} {} {}\n", e.at_ms, e.client, e.bytes_kib));
+            }
         }
         out
     }
@@ -187,6 +221,15 @@ impl FromStr for Trace {
             let at_ms = parse(parts.next())?;
             let client = parse(parts.next())? as usize;
             let bytes_kib = parse(parts.next())?;
+            // Optional 4th column: the object key (absent = single-object
+            // trace, object 0).
+            let object = match parts.next() {
+                None => 0,
+                Some(tok) => tok.parse::<u64>().map_err(|_| TraceError::Parse {
+                    line,
+                    content: content.to_string(),
+                })?,
+            };
             if parts.next().is_some() {
                 return Err(TraceError::Parse {
                     line,
@@ -197,6 +240,7 @@ impl FromStr for Trace {
                 at_ms,
                 client,
                 bytes_kib,
+                object,
             });
         }
         Trace::from_events(events)
@@ -223,16 +267,19 @@ mod tests {
                 at_ms: 30.0,
                 client: 1,
                 bytes_kib: 1.0,
+                object: 0,
             },
             AccessEvent {
                 at_ms: 10.0,
                 client: 2,
                 bytes_kib: 2.0,
+                object: 0,
             },
             AccessEvent {
                 at_ms: 20.0,
                 client: 0,
                 bytes_kib: 3.0,
+                object: 0,
             },
         ];
         let t = Trace::from_events(events).unwrap();
@@ -246,6 +293,7 @@ mod tests {
             at_ms: -1.0,
             client: 0,
             bytes_kib: 1.0,
+            object: 0,
         }];
         assert_eq!(
             Trace::from_events(bad_time),
@@ -256,11 +304,13 @@ mod tests {
                 at_ms: 1.0,
                 client: 0,
                 bytes_kib: 1.0,
+                object: 0,
             },
             AccessEvent {
                 at_ms: 2.0,
                 client: 0,
                 bytes_kib: 0.0,
+                object: 0,
             },
         ];
         assert_eq!(
@@ -307,6 +357,7 @@ mod tests {
                 at_ms: i as f64 * 10.0,
                 client: i,
                 bytes_kib: 1.0,
+                object: 0,
             })
             .collect();
         let t = Trace::from_events(events).unwrap();
@@ -329,6 +380,54 @@ mod tests {
         let empty = Trace::from_events(vec![]).unwrap();
         assert!(empty.stats().is_none());
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn multi_object_traces_round_trip_with_the_fourth_column() {
+        let events = vec![
+            AccessEvent {
+                at_ms: 1.5,
+                client: 0,
+                bytes_kib: 4.0,
+                object: 7,
+            },
+            AccessEvent {
+                at_ms: 2.5,
+                client: 1,
+                bytes_kib: 8.0,
+                object: 0,
+            },
+        ];
+        let t = Trace::from_events(events).unwrap();
+        assert!(t.to_text().lines().next().unwrap().contains("object"));
+        let exact: Trace = t.to_text_exact().parse().unwrap();
+        assert_eq!(exact, t, "object column must survive the round trip");
+        let lossy: Trace = t.to_text().parse().unwrap();
+        assert_eq!(lossy.events()[0].object, 7);
+        assert_eq!(lossy.events()[1].object, 0);
+        assert_eq!(t.stats().unwrap().distinct_objects, 2);
+        // Single-object traces keep the historical 3-column form.
+        let single = sample();
+        assert!(!single.to_text().lines().next().unwrap().contains("object"));
+        let data_line = single.to_text().lines().nth(1).unwrap().to_string();
+        assert_eq!(data_line.split_whitespace().count(), 3);
+        assert_eq!(single.stats().unwrap().distinct_objects, 1);
+    }
+
+    #[test]
+    fn object_column_must_be_an_integer() {
+        // A fractional or junk 4th token is a parse error, not a silent
+        // truncation.
+        assert!(matches!(
+            "1.0 2 3.0 4.5".parse::<Trace>(),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            "1.0 2 3.0 extra".parse::<Trace>(),
+            Err(TraceError::Parse { .. })
+        ));
+        let ok: Trace = "1.0 2 3.0 4\n".parse().unwrap();
+        assert_eq!(ok.events()[0].object, 4);
     }
 
     #[test]

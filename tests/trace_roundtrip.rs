@@ -128,11 +128,13 @@ fn lossy_text_format_differs_but_exact_format_does_not() {
             at_ms: 0.1234567890123,
             client: 3,
             bytes_kib: 7.000000000001,
+            object: 0,
         },
         AccessEvent {
             at_ms: 2.0 / 3.0,
             client: 1,
             bytes_kib: 1.0 / 3.0,
+            object: 0,
         },
     ];
     let trace = Trace::from_events(events).unwrap();

@@ -1,0 +1,197 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Enough of the criterion API for the workspace's benches to compile and
+//! run: groups, benchmark IDs, throughput annotations and `Bencher::iter`.
+//! Timing is a plain best-of-N wall-clock measurement printed to stdout —
+//! indicative, not statistically rigorous. The real performance numbers
+//! for this repo come from the `bench_*` emitter binaries, not from
+//! criterion.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Iterations each measurement sample runs (tiny, to keep `cargo bench`
+/// of the stub fast).
+const DEFAULT_SAMPLES: usize = 10;
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (kept small in the stub regardless).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 20);
+        self
+    }
+
+    /// Records the per-iteration throughput (accepted, unused).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.samples, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.samples, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Per-iteration throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    best_ns: u128,
+    measured: bool,
+}
+
+impl Bencher {
+    /// Measures `f`: best wall-clock time of `samples` runs.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let mut best = u128::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = f();
+            let ns = start.elapsed().as_nanos();
+            drop(out);
+            best = best.min(ns);
+        }
+        self.best_ns = best;
+        self.measured = true;
+    }
+}
+
+fn run_one<F>(label: &str, samples: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples: samples.max(1),
+        best_ns: 0,
+        measured: false,
+    };
+    f(&mut b);
+    if b.measured {
+        println!("bench {label}: best {} ns", b.best_ns);
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

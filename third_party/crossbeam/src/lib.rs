@@ -1,0 +1,103 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the scoped-thread API is provided, layered directly over
+//! `std::thread::scope` (stable since Rust 1.63, which postdates
+//! crossbeam's scoped threads). One behavioural difference: when a
+//! spawned thread panics, std re-raises the panic at the end of the scope
+//! instead of returning `Err`, so the `.expect(..)` at the call sites
+//! never observes the error arm — the panic propagates either way.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle for spawning threads that may borrow from the enclosing
+    /// scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again
+        /// (crossbeam's signature), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&me)),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the panic payload when the thread panicked.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; all spawned threads are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// The `Err` arm exists for crossbeam API compatibility; panics in
+    /// spawned threads propagate as panics instead (see module docs).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_fill() {
+        let mut slots = vec![0usize; 8];
+        super::thread::scope(|scope| {
+            for (i, chunk) in slots.chunks_mut(3).enumerate() {
+                scope.spawn(move |_| {
+                    for slot in chunk {
+                        *slot = i + 1;
+                    }
+                });
+            }
+        })
+        .expect("workers do not panic");
+        assert_eq!(slots, vec![1, 1, 1, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| 40 + 2);
+            h.join().expect("no panic")
+        })
+        .expect("scope ok");
+        assert_eq!(out, 42);
+    }
+}

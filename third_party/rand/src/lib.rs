@@ -1,0 +1,259 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The georep workspace pins its external dependencies to local stub
+//! crates so the whole build works without network access (see
+//! `third_party/README.md`). This crate provides the subset of the rand
+//! API the workspace uses: the [`Rng`] core trait, the [`RngExt`]
+//! convenience extension (`random`, `random_range`), [`SeedableRng`] with
+//! `seed_from_u64`, and [`rngs::StdRng`] — a deterministic xoshiro256++
+//! generator seeded through SplitMix64.
+//!
+//! Determinism is the whole point: every seeded sequence is stable across
+//! platforms and releases, which the repo's golden files and equivalence
+//! tests rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: a stream of uniformly distributed `u64`s.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that [`RngExt::random`] can produce from a uniform bit stream.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that [`RngExt::random_range`] can sample uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample an empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample an empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample an empty range");
+                let u = <$t as Standard>::sample_standard(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);
+
+/// Convenience sampling methods layered over [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value of type `T` from the standard distribution
+    /// (`[0, 1)` for floats, uniform bits for integers, fair coin for
+    /// `bool`).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    #[inline]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_range(self)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard generator: xoshiro256++ with SplitMix64 seeding.
+    ///
+    /// Deterministic across platforms; the same seed always produces the
+    /// same sequence.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed.wrapping_add(1);
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna).
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..10usize)] = true;
+            let v = rng.random_range(3..=5u64);
+            assert!((3..=5).contains(&v));
+            let f = rng.random_range(-2.0..2.0f64);
+            assert!((-2.0..2.0).contains(&f));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = [0u32; 4];
+        for _ in 0..40_000 {
+            hits[rng.random_range(0..4usize)] += 1;
+        }
+        for &h in &hits {
+            assert!((9_000..11_000).contains(&h), "hits {hits:?}");
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides just enough of the serde data model for the workspace's
+//! hand-written impls (`Coord`'s tuple form) to compile, plus re-exports
+//! of the no-op derive macros. No serializer backend exists in this
+//! workspace, so the traits are never driven at runtime; wire formats are
+//! hand-rolled (see `georep-cluster::summary`).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can describe itself to a [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error type.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization backend (none exists in this workspace; the trait only
+/// anchors the hand-written impls).
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Compound serializer for tuples.
+    type SerializeTuple: ser::SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Begins serializing a tuple of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+
+    /// Serializes one `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes one `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes one `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Serialization-side support traits.
+pub mod ser {
+    use super::{fmt, Serialize};
+
+    /// Error constraint for serializers.
+    pub trait Error: Sized + fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Compound serializer returned by
+    /// [`Serializer::serialize_tuple`](super::Serializer::serialize_tuple).
+    pub trait SerializeTuple {
+        /// Value produced on success.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Serializes one tuple element.
+        ///
+        /// # Errors
+        ///
+        /// Backend-defined.
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+
+        /// Finishes the tuple.
+        ///
+        /// # Errors
+        ///
+        /// Backend-defined.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// A type that can be reconstructed from a [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the deserializer's error type.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A deserialization backend (none exists in this workspace).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Drives `visitor` with a tuple of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn deserialize_tuple<V: de::Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Drives `visitor` with an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn deserialize_f64<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Drives `visitor` with a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn deserialize_u64<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Drives `visitor` with a `bool`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-defined.
+    fn deserialize_bool<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Deserialization-side support traits.
+pub mod de {
+    use super::{fmt, Deserialize};
+
+    /// Error constraint for deserializers.
+    pub trait Error: Sized + fmt::Display {
+        /// Builds an error from a message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+
+        /// An input had the wrong number of elements.
+        fn invalid_length(len: usize, expected: &dyn Expected) -> Self {
+            struct Exp<'a>(&'a dyn Expected);
+            impl fmt::Display for Exp<'_> {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                    self.0.fmt(f)
+                }
+            }
+            Self::custom(format_args!("invalid length {len}, expected {}", Exp(expected)))
+        }
+    }
+
+    /// Describes what a visitor expected, for error messages.
+    pub trait Expected {
+        /// Writes the expectation.
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+    }
+
+    impl<'de, T: Visitor<'de>> Expected for T {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.expecting(f)
+        }
+    }
+
+    /// Walks the data a deserializer produces.
+    pub trait Visitor<'de>: Sized {
+        /// The value built by this visitor.
+        type Value;
+
+        /// Writes a description of what this visitor expects.
+        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Visits a sequence / tuple.
+        ///
+        /// # Errors
+        ///
+        /// Defaults to an "unexpected" error.
+        fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+            Err(A::Error::custom("unexpected sequence"))
+        }
+
+        /// Visits an `f64`.
+        ///
+        /// # Errors
+        ///
+        /// Defaults to an "unexpected" error.
+        fn visit_f64<E: Error>(self, _v: f64) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected f64"))
+        }
+
+        /// Visits a `u64`.
+        ///
+        /// # Errors
+        ///
+        /// Defaults to an "unexpected" error.
+        fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected u64"))
+        }
+
+        /// Visits a `bool`.
+        ///
+        /// # Errors
+        ///
+        /// Defaults to an "unexpected" error.
+        fn visit_bool<E: Error>(self, _v: bool) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected bool"))
+        }
+    }
+
+    /// Access to the elements of a sequence or tuple.
+    pub trait SeqAccess<'de> {
+        /// Error type.
+        type Error: Error;
+
+        /// The next element, or `None` at the end.
+        ///
+        /// # Errors
+        ///
+        /// Backend-defined.
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for u64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = f64;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an f64")
+            }
+            fn visit_f64<E: de::Error>(self, v: f64) -> Result<f64, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_f64(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = u64;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a u64")
+            }
+            fn visit_u64<E: de::Error>(self, v: u64) -> Result<u64, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_u64(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> de::Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a bool")
+            }
+            fn visit_bool<E: de::Error>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bool(V)
+    }
+}

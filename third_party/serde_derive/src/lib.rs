@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types but never
+//! drives a real serializer (there is no serde_json here; the wire formats
+//! are hand-rolled). The derives therefore only need to *parse*: each
+//! macro accepts the input and expands to nothing. Types that genuinely
+//! need the traits (e.g. `Coord`) implement them by hand against the stub
+//! data model in the `serde` stub crate.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

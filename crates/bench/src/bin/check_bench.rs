@@ -45,6 +45,16 @@ fn required_keys(file: &str) -> &'static [&'static str] {
             "\"migration\"",
             "\"identical_result\"",
         ],
+        "BENCH_serve.json" => &[
+            "\"serve\"",
+            "\"fleet\"",
+            "\"online\"",
+            "\"sustained_ops_per_sec\"",
+            "\"latency\"",
+            "\"p50_enqueue_to_absorb_ms\"",
+            "\"p99_enqueue_to_absorb_ms\"",
+            "\"identical_result\"",
+        ],
         "BENCH_robustness.json" => &[
             "\"scenarios\"",
             "\"identical_result\"",
@@ -70,6 +80,24 @@ fn required_keys(file: &str) -> &'static [&'static str] {
     }
 }
 
+/// Sustained-throughput floor the serve record must clear (ops/sec).
+const SERVE_MIN_OPS_PER_SEC: f64 = 3_300_000.0;
+/// Enqueue-to-absorb p99 ceiling the serve record must stay under (ms).
+const SERVE_MAX_P99_MS: f64 = 1_000.0;
+
+/// Pulls the numeric value following `"key":` out of the
+/// whitespace-squashed record. `None` when the key is absent or the value
+/// does not parse as a finite number.
+fn extract_number(squashed: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = squashed.find(&needle)? + needle.len();
+    let rest = &squashed[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok().filter(|v: &f64| v.is_finite())
+}
+
 /// Validates one record's content against the rules for `file`.
 fn check_content(file: &str, content: &str) -> Result<(), String> {
     for key in required_keys(file) {
@@ -92,6 +120,22 @@ fn check_content(file: &str, content: &str) -> Result<(), String> {
     }
     if squashed.contains("\"speedup\":-") {
         return Err(format!("{file}: reports a negative speedup"));
+    }
+    if file == "BENCH_serve.json" {
+        let sustained = extract_number(&squashed, "sustained_ops_per_sec")
+            .ok_or_else(|| format!("{file}: sustained_ops_per_sec is not a number"))?;
+        if sustained < SERVE_MIN_OPS_PER_SEC {
+            return Err(format!(
+                "{file}: sustained {sustained:.0} ops/s below the {SERVE_MIN_OPS_PER_SEC:.0} floor"
+            ));
+        }
+        let p99 = extract_number(&squashed, "p99_enqueue_to_absorb_ms")
+            .ok_or_else(|| format!("{file}: p99_enqueue_to_absorb_ms is not a number"))?;
+        if p99 > SERVE_MAX_P99_MS {
+            return Err(format!(
+                "{file}: p99 enqueue-to-absorb {p99:.1} ms above the {SERVE_MAX_P99_MS:.0} ms bound"
+            ));
+        }
     }
     if squashed.contains("\"recorder_overhead_pct\":")
         && !squashed.contains("\"recorder_overhead_ok\":true")
@@ -150,6 +194,7 @@ mod tests {
             "BENCH_robustness.json",
             "BENCH_scale.json",
             "BENCH_fleet.json",
+            "BENCH_serve.json",
         ] {
             check(root, file).unwrap_or_else(|e| panic!("{e}"));
         }
@@ -216,6 +261,42 @@ mod tests {
         let report = RunReport::from_recorder("bench_robustness", &rec);
         let err = check_content("RUNREPORT_robustness.json", &report.to_json()).unwrap_err();
         assert!(err.contains("required key"), "{err}");
+    }
+
+    /// A serve record template with substitutable throughput and p99.
+    fn serve_record(sustained: &str, p99: &str) -> String {
+        format!(
+            r#"{{"serve": {{}}, "fleet": {{}},
+                "online": {{"sustained_ops_per_sec": {sustained}}},
+                "latency": {{"p50_enqueue_to_absorb_ms": 12.0,
+                             "p99_enqueue_to_absorb_ms": {p99}}},
+                "identical_result": true}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_serve_record_inside_the_envelope() {
+        check_content("BENCH_serve.json", &serve_record("5440000", "120.5"))
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn rejects_a_serve_record_below_the_throughput_floor() {
+        let err = check_content("BENCH_serve.json", &serve_record("2440000", "120.5")).unwrap_err();
+        assert!(err.contains("below the 3300000"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_serve_record_with_an_unbounded_p99() {
+        let err =
+            check_content("BENCH_serve.json", &serve_record("5440000", "1152.8")).unwrap_err();
+        assert!(err.contains("above the 1000 ms bound"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_serve_record_with_a_non_numeric_gate_value() {
+        let err = check_content("BENCH_serve.json", &serve_record("\"fast\"", "1.0")).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
     }
 
     #[test]

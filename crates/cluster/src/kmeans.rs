@@ -386,8 +386,15 @@ pub(crate) fn run_restarts_stats<const D: usize>(
 }
 
 /// The number of worker threads restarts spread over by default.
+///
+/// Cached in a `OnceLock`: `std::thread::available_parallelism` re-reads
+/// cgroup quota files on every call (≈ 12 µs on Linux), which dominated the
+/// whole solve for the small point sets the replica managers cluster. The
+/// thread count only affects wall-clock time, never the result, so a
+/// process-lifetime snapshot is safe.
 pub(crate) fn default_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |p| p.get())
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
 }
 
 /// Shared Lloyd implementation over weighted points (used by both entry

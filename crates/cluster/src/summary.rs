@@ -188,11 +188,17 @@ impl AccessSummary {
 
     /// Exact size of [`AccessSummary::encode`]'s output, in bytes.
     pub fn encoded_len(&self) -> usize {
+        Self::encoded_len_for(self.dims as usize, self.clusters.len())
+    }
+
+    /// [`AccessSummary::encoded_len`] as a pure function of shape: the wire
+    /// size of a summary carrying `clusters` micro-clusters in `dims`
+    /// dimensions. Lets byte accounting skip materializing the summary.
+    pub fn encoded_len_for(dims: usize, clusters: usize) -> usize {
         // header: magic + version + dims + replica + cluster count
         let header = 2 + 1 + 1 + 4 + 4;
-        let d = self.dims as usize;
-        let per_cluster = 8 + 8 + (d + 1) * 8 + d * 8;
-        header + self.clusters.len() * per_cluster
+        let per_cluster = 8 + 8 + (dims + 1) * 8 + dims * 8;
+        header + clusters * per_cluster
     }
 
     /// Encodes to the compact little-endian wire format.

@@ -452,10 +452,7 @@ impl Experiment {
         let _span = crate::span!("experiment.run");
         let results: Mutex<Vec<Result<SeedOutcome, ExperimentError>>> =
             Mutex::new(Vec::with_capacity(self.seeds.len()));
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-            .min(self.seeds.len());
+        let threads = crate::threads::available_parallelism().min(self.seeds.len());
 
         crossbeam::thread::scope(|scope| {
             for chunk in self.seeds.chunks(self.seeds.len().div_ceil(threads)) {
@@ -665,10 +662,7 @@ fn summarize_batch<const D: usize>(
             .position(|&r| r == replica)
             .expect("closest_replica returns a member")
     };
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(accesses.len().max(1));
+    let threads = crate::threads::available_parallelism().min(accesses.len().max(1));
     if threads == 1 || accesses.len() < SUMMARIZE_PARALLEL_THRESHOLD {
         for &(client, weight) in accesses {
             clusterers[slot_of(client)].observe(coords[client], weight);

@@ -277,9 +277,7 @@ impl<const D: usize> FleetManager<D> {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            crate::threads::available_parallelism()
         }
     }
 

@@ -171,6 +171,69 @@ mod tests {
     }
 
     #[test]
+    fn zero_budget_defers_every_costed_move_but_commits_resizes() {
+        // Under a $0 budget nothing optional may move, however good the
+        // deal — but demand-driven capacity changes still apply.
+        let bargain = migration(vec![0], vec![1], 0.9, 0.01);
+        let resize = migration(vec![2], vec![2, 4], 0.05, 12.0);
+        let costly = migration(vec![3], vec![5], 0.4, 30.0);
+        let (actions, spent) = schedule(&[&bargain, &resize, &costly], 0.0);
+        assert_eq!(actions, vec![Action::Defer, Action::Commit, Action::Defer]);
+        assert!((spent - 12.0).abs() < 1e-12, "only the resize spends");
+    }
+
+    #[test]
+    fn exactly_exhausted_budget_commits_the_boundary_move() {
+        // cost == remaining is still affordable (`<=`, not `<`): the
+        // budget ends the round at exactly zero, and only moves after the
+        // boundary defer. Free moves still ride along at zero remaining.
+        let first = migration(vec![0], vec![1], 0.6, 6.0);
+        let boundary = migration(vec![2], vec![3], 0.2, 4.0);
+        let starved = migration(vec![4], vec![5], 0.001, 0.5);
+        let free = migration(vec![6], vec![7], 0.05, 0.0);
+        let (actions, spent) = schedule(&[&first, &boundary, &starved, &free], 10.0);
+        assert_eq!(
+            actions,
+            vec![
+                Action::Commit,
+                Action::Commit,
+                Action::Defer,
+                Action::Commit
+            ]
+        );
+        assert!((spent - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_gain_per_dollar_ties_break_by_owner_id_not_magnitude() {
+        // Same 0.02 gain-per-dollar score from different (gain, cost)
+        // pairs: the lower owner id wins the remaining budget, so a
+        // re-run of the same round can never flip the outcome.
+        let small = migration(vec![0], vec![1], 0.2, 10.0);
+        let large = migration(vec![2], vec![3], 0.4, 20.0);
+        let (actions, spent) = schedule(&[&small, &large], 10.0);
+        assert_eq!(actions, vec![Action::Commit, Action::Defer]);
+        assert!((spent - 10.0).abs() < 1e-12);
+        // Same proposals, reversed owner ids: the decision follows the
+        // index, not the proposal contents.
+        let (actions, _) = schedule(&[&large, &small], 20.0);
+        assert_eq!(actions, vec![Action::Commit, Action::Defer]);
+    }
+
+    #[test]
+    fn resize_overdraft_clamps_at_zero_instead_of_going_negative() {
+        // A resize bigger than the whole budget still applies; the
+        // remaining budget clamps at zero (not negative), so a later
+        // free move is unaffected while any costed move defers.
+        let resize = migration(vec![0], vec![0, 4], 0.1, 50.0);
+        let costed = migration(vec![1], vec![2], 0.8, 0.01);
+        let free = migration(vec![3], vec![5], 0.2, 0.0);
+        let (actions, spent) = schedule(&[&resize, &costed, &free], 3.0);
+        assert_eq!(actions, vec![Action::Commit, Action::Defer, Action::Commit]);
+        assert!((spent - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn unapplied_decisions_pass_through_untouched() {
         let (actions, spent) = schedule(&[&hold(), &hold()], 0.0);
         assert_eq!(actions, vec![Action::Commit; 2]);

@@ -72,6 +72,7 @@ pub mod readwrite;
 pub mod scenario;
 pub mod strategy;
 pub mod telemetry;
+pub mod threads;
 
 pub use experiment::{Experiment, RunSummary, StrategyKind};
 pub use fleet::{FleetConfig, FleetError, FleetManager, FleetRound, FleetStats};

@@ -382,10 +382,7 @@ impl<const D: usize> ReplicaManager<D> {
     /// [`ReplicaManager::ingest_period_with_threads`] for why the thread
     /// count can never change the outcome.
     pub fn ingest_period(&mut self, accesses: &[(Coord<D>, f64)]) -> Vec<u64> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        self.ingest_period_with_threads(accesses, threads)
+        self.ingest_period_with_threads(accesses, crate::threads::available_parallelism())
     }
 
     /// [`ReplicaManager::ingest_period`] with an explicit worker count.
@@ -636,11 +633,14 @@ impl<const D: usize> ReplicaManager<D> {
         self.stats.rounds += 1;
 
         // "The micro-clusters are sent to a central server": account for
-        // the wire bytes (Table II's bandwidth).
-        let summaries = self.summaries();
-        self.stats.summary_bytes += summaries
+        // the wire bytes (Table II's bandwidth). The size is a pure
+        // function of each summarizer's cluster count, so no summary is
+        // materialized here — [`ReplicaManager::summaries`] stays available
+        // for callers that want the payloads themselves.
+        self.stats.summary_bytes += self
+            .clusterers
             .iter()
-            .map(|s| s.encoded_len() as u64)
+            .map(|c| AccessSummary::encoded_len_for(D, c.clusters().len()) as u64)
             .sum::<u64>();
 
         let pseudo: Vec<WeightedPoint<D>> = self

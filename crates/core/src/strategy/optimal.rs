@@ -251,10 +251,7 @@ impl<const D: usize> Placer<D> for Optimal {
             }
         };
 
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(n_groups);
+        let threads = crate::threads::available_parallelism().min(n_groups);
         // Parallelism only pays once the space amortizes thread start-up.
         let groups = if threads <= 1 || space <= 2048 {
             run_worker()

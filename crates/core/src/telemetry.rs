@@ -221,7 +221,44 @@ impl Recorder for NullRecorder {
     fn event(&self, _name: &'static str, _fields: &[(&'static str, FieldValue)]) {}
 }
 
-/// Count / sum / min / max summary of an observed distribution.
+/// Number of finite exponential histogram buckets. Bucket `i` has the
+/// upper bound `2^(i - 20)` — from ~9.5e-7 up to 2^19 = 524288 — and one
+/// extra overflow bucket catches everything above the last bound.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Power-of-two offset of the first bucket bound (`2^-HISTOGRAM_MIN_EXP`).
+const HISTOGRAM_MIN_EXP: i64 = 20;
+
+/// Upper bound of finite bucket `i` (see [`HISTOGRAM_BUCKETS`]).
+///
+/// # Panics
+///
+/// Panics when `i >= HISTOGRAM_BUCKETS`.
+pub fn bucket_bound(i: usize) -> f64 {
+    assert!(i < HISTOGRAM_BUCKETS, "bucket {i} out of range");
+    f64::powi(2.0, i as i32 - HISTOGRAM_MIN_EXP as i32)
+}
+
+/// Index of the smallest bucket bound ≥ `value`, or `HISTOGRAM_BUCKETS`
+/// for the overflow bucket. Exact: the bound exponent is read from the
+/// float's bit pattern, so boundary samples (`value == 2^e`) always land
+/// in *their own* bucket, with no `log2` rounding involved. Non-positive
+/// samples land in bucket 0.
+fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 {
+        return 0;
+    }
+    let bits = value.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    // For value in (2^e, 2^(e+1)) the smallest covering bound is 2^(e+1);
+    // an exact power of two (zero mantissa, normal range) is its own bound.
+    let exact_pow2 = bits & 0x000f_ffff_ffff_ffff == 0 && exp > -1023;
+    let bound_exp = if exact_pow2 { exp } else { exp + 1 };
+    (bound_exp + HISTOGRAM_MIN_EXP).clamp(0, HISTOGRAM_BUCKETS as i64) as usize
+}
+
+/// Count / sum / min / max summary of an observed distribution, plus
+/// exponential bucket counts for percentile extraction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistogramSummary {
     /// Number of samples.
@@ -232,14 +269,31 @@ pub struct HistogramSummary {
     pub min: f64,
     /// Largest sample.
     pub max: f64,
+    /// Per-bucket sample counts: `buckets[i]` counts samples in
+    /// `(bucket_bound(i-1), bucket_bound(i)]` (bucket 0 additionally
+    /// absorbs non-positive samples); the final slot is the overflow
+    /// bucket above the last finite bound.
+    pub buckets: [u64; HISTOGRAM_BUCKETS + 1],
 }
 
 impl HistogramSummary {
+    /// A summary with no samples yet.
+    pub fn empty() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; HISTOGRAM_BUCKETS + 1],
+        }
+    }
+
     fn absorb(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
+        self.buckets[bucket_index(value)] += 1;
     }
 
     /// Arithmetic mean of the samples.
@@ -249,6 +303,34 @@ impl HistogramSummary {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) read exactly off the bucket
+    /// boundaries: the upper bound of the first bucket whose cumulative
+    /// count reaches `⌈q · count⌉` samples.
+    ///
+    /// **Bias**: buckets are powers of two, so the result overestimates
+    /// the true quantile by at most one bucket factor (< 2×); it is
+    /// clamped to the exact observed `max` (and the overflow bucket
+    /// reports `max`), so it never exceeds any real sample. Returns 0 when
+    /// nothing was observed.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return if i < HISTOGRAM_BUCKETS {
+                    bucket_bound(i).min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
     }
 }
 
@@ -333,12 +415,7 @@ impl Recorder for InMemoryRecorder {
         self.histograms
             .lock()
             .entry(name)
-            .or_insert(HistogramSummary {
-                count: 0,
-                sum: 0.0,
-                min: f64::INFINITY,
-                max: f64::NEG_INFINITY,
-            })
+            .or_insert_with(HistogramSummary::empty)
             .absorb(value);
     }
 
@@ -510,12 +587,15 @@ impl RunReport {
             }
             let _ = write!(
                 out,
-                "\n    \"{name}\": {{\"count\": {}, \"sum\": {:.6}, \"min\": {:.6}, \"max\": {:.6}, \"mean\": {:.6}}}",
+                "\n    \"{name}\": {{\"count\": {}, \"sum\": {:.6}, \"min\": {:.6}, \"max\": {:.6}, \
+                 \"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}}",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
-                h.mean()
+                h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.99)
             );
         }
         if !self.histograms.is_empty() {
@@ -740,6 +820,67 @@ mod tests {
         assert!(json.contains("\"tick.delay_ms\": {\"count\": 2"));
         assert!(json.contains("\"mean\": 100.000000"));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn bucket_index_is_exact_at_power_of_two_boundaries() {
+        // 1.0 = 2^0 is bucket bound HISTOGRAM_MIN_EXP's own bucket.
+        assert_eq!(bucket_index(1.0), 20);
+        assert_eq!(bucket_bound(20), 1.0);
+        // Just above a bound spills into the next bucket; just below stays.
+        assert_eq!(bucket_index(1.0 + f64::EPSILON), 21);
+        assert_eq!(bucket_index(0.75), 20);
+        assert_eq!(bucket_index(0.5), 19);
+        // Non-positive and tiny samples collapse into bucket 0.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(1e-300), 0);
+        // Huge samples land in the overflow bucket.
+        assert_eq!(bucket_index(1e30), HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn percentiles_come_from_bucket_bounds_clamped_to_max() {
+        let r = InMemoryRecorder::new();
+        // 99 samples at ~0.7 (bucket bound 1.0), one at ~300 (bound 512).
+        for _ in 0..99 {
+            r.observe("lat", 0.7);
+        }
+        r.observe("lat", 300.0);
+        let h = r.histogram("lat").unwrap();
+        // p50 rank 50 falls in the 0.7 bucket, whose upper bound is 1.0.
+        assert_eq!(h.percentile(0.50), 1.0);
+        // p99 rank 99 still falls in the first bucket.
+        assert_eq!(h.percentile(0.99), 1.0);
+        // p100 reaches the outlier; its bucket bound 512 exceeds the
+        // observed max, so the exact max is reported instead.
+        assert_eq!(h.percentile(1.0), 300.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        // Bucket counts partition the samples.
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn percentile_of_empty_histogram_is_zero() {
+        assert_eq!(HistogramSummary::empty().percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_the_exact_max() {
+        let r = InMemoryRecorder::new();
+        r.observe("big", 1e30);
+        let h = r.histogram("big").unwrap();
+        assert_eq!(h.percentile(0.99), 1e30);
+    }
+
+    #[test]
+    fn run_report_carries_percentiles() {
+        let r = InMemoryRecorder::new();
+        r.observe("lat", 0.7);
+        let report = RunReport::from_recorder("unit_test", &r);
+        let json = report.to_json();
+        assert!(json.contains("\"p50\": "), "{json}");
+        assert!(json.contains("\"p99\": "), "{json}");
     }
 
     #[test]

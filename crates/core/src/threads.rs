@@ -1,0 +1,29 @@
+//! Process-lifetime snapshot of the machine's available parallelism.
+//!
+//! `std::thread::available_parallelism` re-reads cgroup quota files on
+//! every call on Linux — ≈ 12 µs per call, which dominated the per-owner
+//! rebalance cost when the fleet asked once per `ReplicaManager` per
+//! period. Every hot path in the workspace is thread-count-*invariant* by
+//! construction (the equivalence suites pin this), so the count only
+//! steers wall-clock time and a one-shot snapshot is always safe.
+
+use std::sync::OnceLock;
+
+/// Cached `std::thread::available_parallelism()`, defaulting to 1 when the
+/// query fails. First call pays the OS lookup; the rest are a load.
+pub fn available_parallelism() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_positive_and_stable() {
+        let first = available_parallelism();
+        assert!(first >= 1);
+        assert_eq!(first, available_parallelism());
+    }
+}

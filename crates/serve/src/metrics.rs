@@ -1,0 +1,275 @@
+//! Prometheus text-format rendering of recorder state, plus a minimal
+//! `std::net` HTTP endpoint serving it.
+//!
+//! The renderer turns an [`InMemoryRecorder`] snapshot into the
+//! Prometheus exposition format: counters become `_total` series and
+//! histograms become cumulative `_bucket{le="..."}` series straight off
+//! the recorder's exponential buckets (nearcore's `near_peer_rtt_bucket`
+//! style), with the usual `_sum` / `_count` companions. The HTTP side is
+//! deliberately tiny — blocking `TcpListener`, one request per
+//! connection, `GET /metrics` for scrapes and `POST /ingest` for
+//! line-oriented access submission — because the primary benchmark path
+//! is in-process rings; the endpoint exists for observability and ad-hoc
+//! driving, not peak throughput.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use georep_core::telemetry::{bucket_bound, InMemoryRecorder, HISTOGRAM_BUCKETS};
+
+use crate::service::ShardProducer;
+
+/// Renders a recorder snapshot in the Prometheus text exposition format.
+///
+/// Metric names are the recorder names with `.` mapped to `_` and a
+/// `georep_` prefix; counters additionally get the conventional `_total`
+/// suffix.
+pub fn render_prometheus(recorder: &InMemoryRecorder) -> String {
+    let mut out = String::new();
+    for (name, value) in recorder.counters() {
+        let metric = format!("georep_{}_total", name.replace('.', "_"));
+        out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+    }
+    for (name, hist) in recorder.histograms() {
+        let metric = format!("georep_{}", name.replace('.', "_"));
+        out.push_str(&format!("# TYPE {metric} histogram\n"));
+        let mut cumulative = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            cumulative += hist.buckets[i];
+            out.push_str(&format!(
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bucket_bound(i)
+            ));
+        }
+        out.push_str(&format!(
+            "{metric}_bucket{{le=\"+Inf\"}} {}\n{metric}_sum {}\n{metric}_count {}\n",
+            hist.count, hist.sum, hist.count
+        ));
+    }
+    out
+}
+
+/// A minimal blocking HTTP server exposing `GET /metrics` (Prometheus
+/// text) and `POST /ingest` (one `object region weight` triple per body
+/// line, submitted through a [`ShardProducer`]).
+#[derive(Debug)]
+pub struct MetricsExporter {
+    listener: TcpListener,
+    recorder: Arc<InMemoryRecorder>,
+    producer: Option<Mutex<ShardProducer>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl MetricsExporter {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// `producer` backs `POST /ingest`; without one the endpoint answers
+    /// 404.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        addr: &str,
+        recorder: Arc<InMemoryRecorder>,
+        producer: Option<ShardProducer>,
+    ) -> std::io::Result<Self> {
+        Ok(MetricsExporter {
+            listener: TcpListener::bind(addr)?,
+            recorder,
+            producer: producer.map(Mutex::new),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A flag that makes [`MetricsExporter::serve`] return after the
+    /// in-flight connection: set it, then poke the port once to unblock
+    /// `accept`.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serves connections until the stop flag is raised. One request per
+    /// connection, blocking — spawn this on its own thread.
+    pub fn serve(&self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            let Ok((stream, _)) = self.listener.accept() else {
+                continue;
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let _ = self.handle(stream);
+        }
+    }
+
+    fn handle(&self, stream: TcpStream) -> std::io::Result<()> {
+        let mut reader = BufReader::new(stream);
+        let mut request_line = String::new();
+        reader.read_line(&mut request_line)?;
+        let mut parts = request_line.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        // Headers: only Content-Length matters for the ingest body.
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse().unwrap_or(0);
+            }
+        }
+        match (method, path) {
+            ("GET", "/metrics") => {
+                let body = render_prometheus(&self.recorder);
+                respond(
+                    reader.into_inner(),
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    &body,
+                )
+            }
+            ("POST", "/ingest") => {
+                let mut body = vec![0u8; content_length];
+                reader.read_exact(&mut body)?;
+                let body = String::from_utf8_lossy(&body);
+                match self.ingest(&body) {
+                    Ok(accepted) => respond(
+                        reader.into_inner(),
+                        "200 OK",
+                        "text/plain",
+                        &format!("accepted {accepted}\n"),
+                    ),
+                    Err(e) => respond(
+                        reader.into_inner(),
+                        "400 Bad Request",
+                        "text/plain",
+                        &format!("{e}\n"),
+                    ),
+                }
+            }
+            _ => respond(reader.into_inner(), "404 Not Found", "text/plain", "\n"),
+        }
+    }
+
+    /// Parses `object region weight` lines and submits them. All-or-
+    /// nothing per request: the first malformed line rejects the batch.
+    fn ingest(&self, body: &str) -> Result<usize, String> {
+        let Some(producer) = &self.producer else {
+            return Err("ingest endpoint not wired to a producer".into());
+        };
+        let mut parsed = Vec::new();
+        for line in body.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let triple =
+                parse_access(line).ok_or_else(|| format!("malformed access line: {line:?}"))?;
+            parsed.push(triple);
+        }
+        let mut producer = producer.lock().map_err(|_| "producer poisoned")?;
+        let n = parsed.len();
+        for (object, region, weight) in parsed {
+            producer.submit(object, region, weight);
+        }
+        Ok(n)
+    }
+}
+
+/// Parses one `object region weight` triple; rejects trailing fields.
+fn parse_access(line: &str) -> Option<(u64, u32, f64)> {
+    let mut f = line.split_whitespace();
+    let object = f.next()?.parse().ok()?;
+    let region = f.next()?.parse().ok()?;
+    let weight = f.next()?.parse().ok()?;
+    if f.next().is_some() {
+        return None;
+    }
+    Some((object, region, weight))
+}
+
+fn respond(
+    mut stream: TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use georep_core::telemetry::Recorder;
+
+    #[test]
+    fn counters_render_as_prometheus_totals() {
+        let rec = InMemoryRecorder::new();
+        rec.counter("serve.ingested", 42);
+        let text = render_prometheus(&rec);
+        assert!(text.contains("# TYPE georep_serve_ingested_total counter"));
+        assert!(text.contains("georep_serve_ingested_total 42"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let rec = InMemoryRecorder::new();
+        rec.observe("serve.enqueue_to_absorb_ms", 0.75);
+        rec.observe("serve.enqueue_to_absorb_ms", 3.0);
+        let text = render_prometheus(&rec);
+        assert!(text.contains("# TYPE georep_serve_enqueue_to_absorb_ms histogram"));
+        // 0.75 lands in the le="1" bucket; by le="4" both samples count.
+        assert!(text.contains("georep_serve_enqueue_to_absorb_ms_bucket{le=\"1\"} 1"));
+        assert!(text.contains("georep_serve_enqueue_to_absorb_ms_bucket{le=\"4\"} 2"));
+        assert!(text.contains("georep_serve_enqueue_to_absorb_ms_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("georep_serve_enqueue_to_absorb_ms_sum 3.75"));
+        assert!(text.contains("georep_serve_enqueue_to_absorb_ms_count 2"));
+    }
+
+    #[test]
+    fn http_endpoint_serves_metrics_and_rejects_unknown_paths() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        rec.counter("serve.ticks", 7);
+        let exporter = MetricsExporter::bind("127.0.0.1:0", Arc::clone(&rec), None).expect("bind");
+        let addr = exporter.local_addr().expect("addr");
+        let stop = exporter.stop_flag();
+        let server = std::thread::spawn(move || exporter.serve());
+
+        let get = |path: &str| -> String {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("write");
+            let mut out = String::new();
+            s.read_to_string(&mut out).expect("read");
+            out
+        };
+        let metrics = get("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("georep_serve_ticks_total 7"));
+        assert!(get("/nope").starts_with("HTTP/1.1 404"));
+
+        stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr);
+        server.join().expect("server thread");
+    }
+}

@@ -11,11 +11,20 @@
 //!   assertion also proves instrumentation does not perturb results;
 //! * prints the degraded-delay story per scenario (pre-fault, peak,
 //!   post-recovery mean client delay, re-placements, drops, retries);
-//! * writes `BENCH_robustness.json` with the per-tick timelines, plus the
-//!   telemetry [`RunReport`] (`RUNREPORT_robustness.json`) and the raw
-//!   trace (`TRACE_robustness.jsonl`, path overridable via
-//!   `GEOREP_TRACE`), which the `bench-sanity` CI job validates for
-//!   required keys and `identical_result: true`.
+//! * sweeps the (mean delay, survival under correlated failure, migration
+//!   cost USD) front per generated topology family (BA / WS / grid / line /
+//!   lollipop, DESIGN.md §14): the delay-greedy baseline vs. the
+//!   availability-aware `strategy::spread` placement, scored against
+//!   hierarchical-failure-domain outages compiled onto `FaultPlan`
+//!   windows, asserting the shortest-path matrices bit-identical across
+//!   thread counts and spread's survival ≥ the baseline's on every
+//!   correlated scenario;
+//! * writes `BENCH_robustness.json` with the per-tick timelines and the
+//!   per-family front records, plus the telemetry [`RunReport`]
+//!   (`RUNREPORT_robustness.json`) and the raw trace
+//!   (`TRACE_robustness.jsonl`, path overridable via `GEOREP_TRACE`),
+//!   which the `bench-sanity` CI job validates for required keys and
+//!   `identical_result: true`.
 //!
 //! Run with `cargo run -p georep-bench --release --bin bench_robustness`
 //! (`--quick` shortens the phases, `--nodes N` and `--out DIR` as usual).
@@ -23,17 +32,118 @@
 use std::fmt::Write as _;
 
 use georep_bench::{HarnessOptions, ResultTable};
+use georep_core::domains::{DomainConfig, DomainTree};
+use georep_core::migration::{moved_replicas, MigrationCostModel};
+use georep_core::problem::PlacementProblem;
 use georep_core::scenario::{
-    run_scenario, run_scenario_with_recorder, ScenarioConfig, ScenarioReport, ALL_SCENARIOS,
+    fault_aware_delay, run_scenario, run_scenario_with_recorder, ScenarioConfig, ScenarioReport,
+    ALL_SCENARIOS,
 };
+use georep_core::strategy::spread::{place_spread, SpreadConfig};
 use georep_core::telemetry::{InMemoryRecorder, RunReport, Tee, TraceWriter};
-use georep_net::sim::SimDuration;
+use georep_net::sim::{SimDuration, SimTime};
+use georep_net::topology::graph::{Graph, GraphConfig, GraphFamily};
 use georep_net::topology::{Topology, TopologyConfig};
 
 const THREADS: [usize; 3] = [1, 2, 8];
 /// Post-recovery delay must return within this fraction of the pre-fault
 /// optimum (same ε as `tests/robustness_scenarios.rs`).
 const EPSILON: f64 = 0.15;
+/// Replication degree of the per-family front.
+const FRONT_K: usize = 3;
+/// Seed of the per-family graph wiring and edge weights.
+const GRAPH_SEED: u64 = 17;
+/// Seed of the correlated outage draws.
+const OUTAGE_SEED: u64 = 23;
+
+/// One per-topology-family point of the delay/survival/migration front.
+struct FamilyRecord {
+    family: &'static str,
+    nodes: usize,
+    mean_delay_baseline_ms: f64,
+    mean_delay_spread_ms: f64,
+    survival_baseline: f64,
+    survival_spread: f64,
+    migration_cost_usd: f64,
+    scenarios: usize,
+    baseline_survived: usize,
+    spread_survived: usize,
+    spread_survival_ge_baseline: bool,
+    identical_result: bool,
+}
+
+/// Scores one topology family: generate the graph, check the parallel
+/// shortest-path matrix bit-identical across [`THREADS`], place the
+/// delay-greedy baseline and the spread placement, and replay seeded
+/// correlated outages (compiled onto `FaultPlan` windows) against both.
+fn family_front(family: GraphFamily, nodes: usize, scenarios: usize) -> FamilyRecord {
+    let graph = Graph::generate(GraphConfig {
+        family,
+        nodes,
+        seed: GRAPH_SEED,
+        ..Default::default()
+    })
+    .unwrap_or_else(|e| panic!("{} graph at {nodes} nodes: {e}", family.name()));
+    let matrix = graph
+        .rtt_matrix_with_threads(THREADS[0])
+        .unwrap_or_else(|e| panic!("{} matrix: {e}", family.name()));
+    let identical_result = THREADS[1..].iter().all(|&t| {
+        graph
+            .rtt_matrix_with_threads(t)
+            .map(|m| m == matrix)
+            .unwrap_or(false)
+    });
+
+    let candidates: Vec<usize> = (0..nodes).step_by(3).collect();
+    let clients: Vec<usize> = (0..nodes).collect();
+    let problem =
+        PlacementProblem::new(&matrix, candidates, clients).expect("front problem is well-formed");
+    let tree = DomainTree::new(nodes, DomainConfig::default()).expect("nodes ≥ rack count");
+    let outcome = place_spread(&problem, &tree, FRONT_K, SpreadConfig::default())
+        .unwrap_or_else(|e| panic!("{} spread placement: {e}", family.name()));
+    let migration_cost_usd = MigrationCostModel::default()
+        .cost_usd(moved_replicas(&outcome.baseline, &outcome.placement));
+
+    // Replay seeded correlated outages against both placements, scoring
+    // through the scenario driver's own fault-aware delay accounting.
+    let (from, until) = (SimTime::from_ms(100.0), SimTime::from_ms(200.0));
+    let mid = SimTime::from_ms(150.0);
+    let mut baseline_survived = 0usize;
+    let mut spread_survived = 0usize;
+    let mut every_scenario_ok = true;
+    for s in 0..scenarios {
+        let outage = tree.sample_outage(OUTAGE_SEED, s as u64);
+        let plan = tree.compile(&outage, OUTAGE_SEED ^ s as u64, from, until);
+        let alive = |placement: &[usize]| {
+            placement.iter().any(|r| !plan.node_down(*r, mid))
+                && fault_aware_delay(&matrix, placement, &plan, mid)
+                    .0
+                    .is_some()
+        };
+        let b = alive(&outcome.baseline);
+        let p = alive(&outcome.placement);
+        baseline_survived += b as usize;
+        spread_survived += p as usize;
+        // Spread may never die where the delay-optimal baseline lives.
+        every_scenario_ok &= p || !b;
+    }
+
+    FamilyRecord {
+        family: family.name(),
+        nodes,
+        mean_delay_baseline_ms: outcome.baseline_delay_ms,
+        mean_delay_spread_ms: outcome.delay_ms,
+        survival_baseline: outcome.baseline_survival,
+        survival_spread: outcome.survival,
+        migration_cost_usd,
+        scenarios,
+        baseline_survived,
+        spread_survived,
+        spread_survival_ge_baseline: every_scenario_ok
+            && outcome.survival >= outcome.baseline_survival,
+        identical_result,
+    }
+}
 
 fn main() {
     let opts = HarnessOptions::from_args();
@@ -129,6 +239,51 @@ fn main() {
         "a scenario did not recover within ε = {EPSILON}"
     );
 
+    // ---- The per-topology-family delay/survival/migration front. ----
+    let (front_nodes, front_scenarios) = if quick { (48, 24) } else { (96, 64) };
+    println!(
+        "\ntopology-family front: greedy baseline vs spread, {front_nodes} nodes, \
+         k = {FRONT_K}, {front_scenarios} correlated outages per family\n"
+    );
+    let mut front_table = ResultTable::new([
+        "family",
+        "base ms",
+        "spread ms",
+        "base surv",
+        "spread surv",
+        "usd",
+        "base alive",
+        "spread alive",
+        "identical",
+    ]);
+    let families: Vec<FamilyRecord> = GraphFamily::standard()
+        .into_iter()
+        .map(|family| family_front(family, front_nodes, front_scenarios))
+        .collect();
+    for f in &families {
+        front_table.push_row([
+            f.family.to_string(),
+            format!("{:.2}", f.mean_delay_baseline_ms),
+            format!("{:.2}", f.mean_delay_spread_ms),
+            format!("{:.4}", f.survival_baseline),
+            format!("{:.4}", f.survival_spread),
+            format!("{:.2}", f.migration_cost_usd),
+            format!("{}/{}", f.baseline_survived, f.scenarios),
+            format!("{}/{}", f.spread_survived, f.scenarios),
+            f.identical_result.to_string(),
+        ]);
+    }
+    println!("{}", front_table.render());
+    assert!(
+        families.iter().all(|f| f.identical_result),
+        "a family's shortest-path matrix diverged across thread counts {THREADS:?}"
+    );
+    assert!(
+        families.iter().all(|f| f.spread_survival_ge_baseline),
+        "spread survival fell below the delay-greedy baseline on a correlated scenario"
+    );
+    all_identical &= families.iter().all(|f| f.identical_result);
+
     // ---- JSON record. ----
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"nodes\": {nodes},");
@@ -180,6 +335,32 @@ fn main() {
         }
         json.push_str("]}");
         json.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"topology_families\": [\n");
+    for (i, f) in families.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"family\": \"{}\", \"nodes\": {}, \"k\": {FRONT_K}, \
+             \"mean_delay_baseline_ms\": {:.3}, \"mean_delay_spread_ms\": {:.3}, \
+             \"survival_baseline\": {:.6}, \"survival_spread\": {:.6}, \
+             \"migration_cost_usd\": {:.2}, \"scenarios\": {}, \
+             \"baseline_survived\": {}, \"spread_survived\": {}, \
+             \"spread_survival_ge_baseline\": {}, \"identical_result\": {}}}",
+            f.family,
+            f.nodes,
+            f.mean_delay_baseline_ms,
+            f.mean_delay_spread_ms,
+            f.survival_baseline,
+            f.survival_spread,
+            f.migration_cost_usd,
+            f.scenarios,
+            f.baseline_survived,
+            f.spread_survived,
+            f.spread_survival_ge_baseline,
+            f.identical_result,
+        );
+        json.push_str(if i + 1 < families.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
 

@@ -64,6 +64,11 @@ fn required_keys(file: &str) -> &'static [&'static str] {
             "\"messages_dropped\"",
             "\"retries\"",
             "\"recovered_within_epsilon\"",
+            "\"topology_families\"",
+            "\"survival_baseline\"",
+            "\"survival_spread\"",
+            "\"migration_cost_usd\"",
+            "\"spread_survival_ge_baseline\"",
         ],
         // The telemetry aggregate bench_robustness emits: the RunReport
         // frame plus the counters no base run can avoid touching.
@@ -85,17 +90,37 @@ const SERVE_MIN_OPS_PER_SEC: f64 = 3_300_000.0;
 /// Enqueue-to-absorb p99 ceiling the serve record must stay under (ms).
 const SERVE_MAX_P99_MS: f64 = 1_000.0;
 
+/// The topology families every robustness front must report.
+const FRONT_FAMILIES: [&str; 5] = ["ba", "ws", "grid", "line", "lollipop"];
+
 /// Pulls the numeric value following `"key":` out of the
 /// whitespace-squashed record. `None` when the key is absent or the value
 /// does not parse as a finite number.
 fn extract_number(squashed: &str, key: &str) -> Option<f64> {
+    extract_numbers(squashed, key).first().copied()
+}
+
+/// Every numeric value following an occurrence of `"key":` in the
+/// whitespace-squashed record, in document order. Occurrences whose value
+/// is not a finite number are skipped.
+fn extract_numbers(squashed: &str, key: &str) -> Vec<f64> {
     let needle = format!("\"{key}\":");
-    let start = squashed.find(&needle)? + needle.len();
-    let rest = &squashed[start..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok().filter(|v: &f64| v.is_finite())
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(hit) = squashed[from..].find(&needle) {
+        let start = from + hit + needle.len();
+        let rest = &squashed[start..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse::<f64>() {
+            if v.is_finite() {
+                out.push(v);
+            }
+        }
+        from = start;
+    }
+    out
 }
 
 /// Validates one record's content against the rules for `file`.
@@ -135,6 +160,39 @@ fn check_content(file: &str, content: &str) -> Result<(), String> {
             return Err(format!(
                 "{file}: p99 enqueue-to-absorb {p99:.1} ms above the {SERVE_MAX_P99_MS:.0} ms bound"
             ));
+        }
+    }
+    if file == "BENCH_robustness.json" {
+        // The per-family front: every family present, and the spread
+        // strategy's survival ≥ the delay-greedy baseline's everywhere —
+        // both per correlated scenario (the emitter-asserted flag) and on
+        // the analytic probabilities themselves.
+        for family in FRONT_FAMILIES {
+            if !squashed.contains(&format!("\"family\":\"{family}\"")) {
+                return Err(format!("{file}: topology family \"{family}\" missing"));
+            }
+        }
+        if squashed.contains("\"spread_survival_ge_baseline\":false") {
+            return Err(format!(
+                "{file}: spread survival fell below the baseline on a correlated scenario"
+            ));
+        }
+        let baseline = extract_numbers(&squashed, "survival_baseline");
+        let spread = extract_numbers(&squashed, "survival_spread");
+        if baseline.len() != spread.len() || baseline.len() < FRONT_FAMILIES.len() {
+            return Err(format!(
+                "{file}: expected ≥ {} paired survival records, got {} baseline / {} spread",
+                FRONT_FAMILIES.len(),
+                baseline.len(),
+                spread.len()
+            ));
+        }
+        for (i, (b, s)) in baseline.iter().zip(&spread).enumerate() {
+            if s + 1e-12 < *b {
+                return Err(format!(
+                    "{file}: record {i} spread survival {s:.6} below baseline {b:.6}"
+                ));
+            }
         }
     }
     if squashed.contains("\"recorder_overhead_pct\":")
@@ -297,6 +355,85 @@ mod tests {
     fn rejects_a_serve_record_with_a_non_numeric_gate_value() {
         let err = check_content("BENCH_serve.json", &serve_record("\"fast\"", "1.0")).unwrap_err();
         assert!(err.contains("not a number"), "{err}");
+    }
+
+    /// A minimal robustness record template with one family row per entry
+    /// of `survivals` (`(baseline, spread)` pairs, cycled over the five
+    /// family names).
+    fn robustness_record(survivals: &[(f64, f64)], ge_flag: bool) -> String {
+        let families: String = survivals
+            .iter()
+            .enumerate()
+            .map(|(i, (b, s))| {
+                format!(
+                    r#"{{"family": "{}", "survival_baseline": {b}, "survival_spread": {s},
+                        "migration_cost_usd": 0.1, "spread_survival_ge_baseline": {ge_flag},
+                        "identical_result": true}}"#,
+                    FRONT_FAMILIES[i % FRONT_FAMILIES.len()]
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            r#"{{"scenarios": [], "identical_result": true, "timeline_ms": [],
+                "unreachable": [], "replacements": 0, "messages_dropped": 0,
+                "retries": 0, "recovered_within_epsilon": true,
+                "topology_families": [{families}]}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_robustness_front_with_spread_at_or_above_baseline() {
+        let record = robustness_record(
+            &[
+                (0.97, 0.99),
+                (0.99, 0.99),
+                (0.98, 0.99),
+                (0.99, 0.99),
+                (0.99, 0.99),
+            ],
+            true,
+        );
+        check_content("BENCH_robustness.json", &record).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn rejects_a_robustness_front_missing_a_family() {
+        // Only four rows: "lollipop" never appears.
+        let record = robustness_record(&[(0.9, 0.9); 4], true);
+        let err = check_content("BENCH_robustness.json", &record).unwrap_err();
+        assert!(err.contains("lollipop"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_robustness_front_with_spread_below_baseline() {
+        let record = robustness_record(
+            &[
+                (0.99, 0.99),
+                (0.99, 0.95),
+                (0.99, 0.99),
+                (0.99, 0.99),
+                (0.99, 0.99),
+            ],
+            true,
+        );
+        let err = check_content("BENCH_robustness.json", &record).unwrap_err();
+        assert!(err.contains("below baseline"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_robustness_front_with_a_failed_per_scenario_gate() {
+        let record = robustness_record(&[(0.9, 0.99); 5], false);
+        let err = check_content("BENCH_robustness.json", &record).unwrap_err();
+        assert!(err.contains("correlated scenario"), "{err}");
+    }
+
+    #[test]
+    fn extract_numbers_finds_every_occurrence_in_order() {
+        let squashed = r#"{"s":1.5,"x":{"s":-2},"s":"nope","s":3e1}"#;
+        assert_eq!(extract_numbers(squashed, "s"), vec![1.5, -2.0, 30.0]);
+        assert_eq!(extract_number(squashed, "s"), Some(1.5));
+        assert!(extract_numbers(squashed, "absent").is_empty());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`quorum`], [`failure`], [`readwrite`] — the paper's stated future
 //!   work (consistency quorums, availability under replica failures,
 //!   update propagation), implemented;
+//! * [`domains`] — hierarchical failure domains (rack → DC → region) with
+//!   correlated outage sampling, compilation onto seeded fault plans, and
+//!   exact analytic survival probabilities;
 //! * [`group`] — many objects sharing a global replica budget (the paper's
 //!   "group of data objects" reduction, made adaptive);
 //! * [`gossip`], [`deployment`] — the paper's methodology end to end on the
@@ -57,6 +60,7 @@
 
 pub mod combin;
 pub mod deployment;
+pub mod domains;
 pub mod experiment;
 pub mod failure;
 pub mod fleet;
@@ -74,6 +78,7 @@ pub mod strategy;
 pub mod telemetry;
 pub mod threads;
 
+pub use domains::{DomainConfig, DomainError, DomainTree, Outage};
 pub use experiment::{Experiment, RunSummary, StrategyKind};
 pub use fleet::{FleetConfig, FleetError, FleetManager, FleetRound, FleetStats};
 pub use manager::{ManagerConfig, ReplicaManager};

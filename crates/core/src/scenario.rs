@@ -334,7 +334,13 @@ impl Faults {
 /// nearest placed replica that is alive and connected to it, with surge
 /// factors applied; clients with no such replica (or themselves down) count
 /// as unreachable.
-fn fault_aware_delay(
+///
+/// Returns `(mean_delay_ms, unreachable_clients)`; the mean is `None` when
+/// no client could be served at all. Public so correlated-failure scoring
+/// (compiled [`crate::domains`] outages in `bench_robustness` and the
+/// domain-scenario suite) goes through the exact same delay accounting as
+/// the scenario driver itself.
+pub fn fault_aware_delay(
     matrix: &RttMatrix,
     placement: &[usize],
     plan: &FaultPlan,

@@ -17,6 +17,7 @@
 //! | [`swap::SwapLocalSearch`] | related work (facility location) | true latencies, greedy + swaps |
 //! | [`capacity::CapacityGreedy`] | extension (paper future work) | true latencies + per-DC capacity |
 //! | [`slo::place_for_slo`] | extension (latency budgets from the paper's intro) | true latencies, greedy set cover |
+//! | [`spread::place_spread`] | extension (correlated-failure availability) | true latencies + failure-domain tree |
 
 pub mod capacity;
 pub mod greedy;
@@ -27,6 +28,7 @@ pub mod online_greedy;
 pub mod optimal;
 pub mod random;
 pub mod slo;
+pub mod spread;
 pub mod swap;
 
 use std::error::Error;

@@ -16,6 +16,8 @@
 //!   of pairs takes an extra detour, so the matrix is *not* perfectly
 //!   embeddable, exactly like real latency data.
 
+pub mod graph;
+
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -34,7 +36,8 @@ pub struct Region {
     pub center: GeoPoint,
     /// Scatter of node locations around the center, in degrees.
     pub spread_deg: f64,
-    /// Relative share of nodes assigned to this region.
+    /// Relative share of nodes assigned to this region. Must be positive
+    /// and finite; [`Topology::generate`] rejects anything else.
     pub weight: f64,
     /// Range of per-node last-mile penalties `(min, max)`, in ms (one-way).
     pub access_ms: (f64, f64),
@@ -141,7 +144,7 @@ pub fn default_regions() -> Vec<Region> {
 pub enum TopologyError {
     /// Fewer than two nodes requested.
     TooFewNodes,
-    /// The region list was empty or all weights were non-positive.
+    /// The region list was empty.
     NoUsableRegions,
     /// A numeric parameter was out of range.
     BadParameter(&'static str),
@@ -152,7 +155,7 @@ impl fmt::Display for TopologyError {
         match self {
             TopologyError::TooFewNodes => write!(f, "topology needs at least two nodes"),
             TopologyError::NoUsableRegions => {
-                write!(f, "no region with a positive weight was supplied")
+                write!(f, "no regions were supplied")
             }
             TopologyError::BadParameter(p) => write!(f, "parameter {p} is out of range"),
         }
@@ -202,10 +205,20 @@ impl Topology {
         if config.nodes < 2 {
             return Err(TopologyError::TooFewNodes);
         }
-        let total_weight: f64 = config.regions.iter().map(|r| r.weight.max(0.0)).sum();
-        if config.regions.is_empty() || total_weight <= 0.0 {
+        if config.regions.is_empty() {
             return Err(TopologyError::NoUsableRegions);
         }
+        // A non-positive or non-finite weight used to be clamped to zero,
+        // silently yielding an empty region (or a NaN share polluting every
+        // largest-remainder count) — reject it up front instead.
+        if config
+            .regions
+            .iter()
+            .any(|r| !(r.weight.is_finite() && r.weight > 0.0))
+        {
+            return Err(TopologyError::BadParameter("region weight"));
+        }
+        let total_weight: f64 = config.regions.iter().map(|r| r.weight).sum();
         if !(config.routing_inflation >= 1.0 && config.routing_inflation.is_finite()) {
             return Err(TopologyError::BadParameter("routing_inflation"));
         }
@@ -226,7 +239,7 @@ impl Topology {
         let mut counts: Vec<usize> = config
             .regions
             .iter()
-            .map(|r| ((r.weight.max(0.0) / total_weight) * config.nodes as f64).floor() as usize)
+            .map(|r| ((r.weight / total_weight) * config.nodes as f64).floor() as usize)
             .collect();
         let assigned: usize = counts.iter().sum();
         let mut remainders: Vec<(usize, f64)> = config
@@ -234,7 +247,7 @@ impl Topology {
             .iter()
             .enumerate()
             .map(|(i, r)| {
-                let exact = (r.weight.max(0.0) / total_weight) * config.nodes as f64;
+                let exact = (r.weight / total_weight) * config.nodes as f64;
                 (i, exact - exact.floor())
             })
             .collect();
@@ -472,6 +485,23 @@ mod tests {
             }),
             Err(TopologyError::BadParameter("routing_inflation"))
         );
+        // Regression: these used to be clamped to zero and pass, leaving
+        // the region empty (or, for NaN, poisoning every node count).
+        for bad in [0.0, -0.3, f64::NAN, f64::INFINITY] {
+            let regions = vec![
+                Region::new("ok", 0.0, 0.0, 1.0, 0.75),
+                Region::new("bad", 50.0, 50.0, 1.0, bad),
+            ];
+            assert_eq!(
+                Topology::generate(TopologyConfig {
+                    nodes: 16,
+                    regions,
+                    ..Default::default()
+                }),
+                Err(TopologyError::BadParameter("region weight")),
+                "weight {bad} must be rejected"
+            );
+        }
         assert_eq!(
             Topology::generate(TopologyConfig {
                 tiv_rate: 1.5,

@@ -112,13 +112,13 @@ fn main() {
         .expect("active clients")
     };
     let drift_events =
-        PhasedWorkload::drift(&by_lon(-130.0, -30.0), &by_lon(60.0, 180.0), 8, PERIOD_MS).generate(
-            &StreamConfig {
+        PhasedWorkload::drift(&by_lon(-130.0, -30.0), &by_lon(60.0, 180.0), 8, PERIOD_MS)
+            .expect("valid drift workload")
+            .generate(&StreamConfig {
                 rate_per_ms: 0.05,
                 seed: 0xD1,
                 ..Default::default()
-            },
-        );
+            });
     let drifting = Scenario {
         matrix: &matrix,
         coords: &coords,

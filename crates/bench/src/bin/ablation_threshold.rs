@@ -75,7 +75,7 @@ fn main() {
             .collect(),
     )
     .expect("east population");
-    let workload = PhasedWorkload::drift(&west, &east, 8, 4_000.0);
+    let workload = PhasedWorkload::drift(&west, &east, 8, 4_000.0).expect("valid drift workload");
     let events = workload.generate(&StreamConfig {
         rate_per_ms: 0.05,
         seed: 0xD81F7,

@@ -517,6 +517,7 @@ fn main() {
         PHASES,
         PERIOD_MS,
     )
+    .expect("valid drift workload")
     .generate(&StreamConfig {
         rate_per_ms: 0.25,
         seed: 0xD1,

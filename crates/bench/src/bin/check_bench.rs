@@ -55,6 +55,20 @@ fn required_keys(file: &str) -> &'static [&'static str] {
             "\"p99_enqueue_to_absorb_ms\"",
             "\"identical_result\"",
         ],
+        "BENCH_predict.json" => &[
+            "\"predict\"",
+            "\"diurnal\"",
+            "\"drift\"",
+            "\"oracle\"",
+            "\"predictive\"",
+            "\"reactive\"",
+            "\"wasted_usd\"",
+            "\"diurnal_regret_reactive_ms\"",
+            "\"diurnal_regret_predictive_ms\"",
+            "\"drift_regret_reactive_ms\"",
+            "\"drift_regret_predictive_ms\"",
+            "\"identical_result\"",
+        ],
         "BENCH_robustness.json" => &[
             "\"scenarios\"",
             "\"identical_result\"",
@@ -162,6 +176,31 @@ fn check_content(file: &str, content: &str) -> Result<(), String> {
             ));
         }
     }
+    if file == "BENCH_predict.json" {
+        // Forecast-driven pre-positioning must strictly beat the reactive
+        // baseline (in delay regret vs the oracle) on both workloads, and
+        // the oracle must hold the floor (regrets non-negative).
+        for workload in ["diurnal", "drift"] {
+            let reactive = extract_number(&squashed, &format!("{workload}_regret_reactive_ms"))
+                .ok_or_else(|| format!("{file}: {workload}_regret_reactive_ms is not a number"))?;
+            let predictive = extract_number(&squashed, &format!("{workload}_regret_predictive_ms"))
+                .ok_or_else(|| {
+                    format!("{file}: {workload}_regret_predictive_ms is not a number")
+                })?;
+            if predictive < -1e-9 || reactive < -1e-9 {
+                return Err(format!(
+                    "{file}: negative {workload} regret (oracle was not the floor): \
+                     predictive {predictive:.4}, reactive {reactive:.4}"
+                ));
+            }
+            if predictive >= reactive {
+                return Err(format!(
+                    "{file}: {workload} predictive regret {predictive:.4} ms is not \
+                     below reactive {reactive:.4} ms"
+                ));
+            }
+        }
+    }
     if file == "BENCH_robustness.json" {
         // The per-family front: every family present, and the spread
         // strategy's survival ≥ the delay-greedy baseline's everywhere —
@@ -253,6 +292,7 @@ mod tests {
             "BENCH_scale.json",
             "BENCH_fleet.json",
             "BENCH_serve.json",
+            "BENCH_predict.json",
         ] {
             check(root, file).unwrap_or_else(|e| panic!("{e}"));
         }
@@ -380,6 +420,69 @@ mod tests {
                 "retries": 0, "recovered_within_epsilon": true,
                 "topology_families": [{families}]}}"#
         )
+    }
+
+    /// A predict record template with substitutable regrets per workload:
+    /// `(diurnal_predictive, diurnal_reactive, drift_predictive,
+    /// drift_reactive)`.
+    fn predict_record(dp: &str, dr: &str, fp: &str, fr: &str) -> String {
+        format!(
+            r#"{{"predict": {{}},
+                "diurnal": {{"oracle": {{}}, "predictive": {{"wasted_usd": 0.0}},
+                             "reactive": {{}}}},
+                "drift": {{"oracle": {{}}, "predictive": {{}}, "reactive": {{}}}},
+                "diurnal_regret_reactive_ms": {dr},
+                "diurnal_regret_predictive_ms": {dp},
+                "drift_regret_reactive_ms": {fr},
+                "drift_regret_predictive_ms": {fp},
+                "identical_result": true}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_predict_record_with_predictive_below_reactive() {
+        check_content(
+            "BENCH_predict.json",
+            &predict_record("1.74", "5.07", "0.84", "2.17"),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn rejects_a_predict_record_where_predictive_does_not_beat_reactive() {
+        let err = check_content(
+            "BENCH_predict.json",
+            &predict_record("5.07", "5.07", "0.84", "2.17"),
+        )
+        .unwrap_err();
+        assert!(err.contains("not below reactive"), "{err}");
+        // A drift-side regression is caught too, not just diurnal.
+        let err = check_content(
+            "BENCH_predict.json",
+            &predict_record("1.74", "5.07", "2.17", "0.84"),
+        )
+        .unwrap_err();
+        assert!(err.contains("drift"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_predict_record_with_a_negative_regret() {
+        let err = check_content(
+            "BENCH_predict.json",
+            &predict_record("-3.0", "5.07", "0.84", "2.17"),
+        )
+        .unwrap_err();
+        assert!(err.contains("oracle was not the floor"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_predict_record_missing_its_regret_numbers() {
+        let err = check_content(
+            "BENCH_predict.json",
+            &predict_record("1.74", "\"fast\"", "0.84", "2.17"),
+        )
+        .unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! * [`scenario`] — named fault scenarios (crash, flapping link, partition,
 //!   latency surge, rolling recovery) driving detection, failover and
 //!   cost-gated re-placement on one deterministic clock;
+//! * [`forecast`] — per-region seasonal + trend demand forecasting with a
+//!   confidence gate, feeding [`strategy::predictive`] pre-positioning;
 //! * [`experiment`] — the paper's evaluation methodology (Section IV),
 //!   ready to regenerate every figure;
 //! * [`telemetry`] — zero-cost-when-disabled run instrumentation: the
@@ -64,6 +66,7 @@ pub mod domains;
 pub mod experiment;
 pub mod failure;
 pub mod fleet;
+pub mod forecast;
 pub mod gossip;
 pub mod group;
 pub mod manager;
@@ -80,7 +83,8 @@ pub mod threads;
 
 pub use domains::{DomainConfig, DomainError, DomainTree, Outage};
 pub use experiment::{Experiment, RunSummary, StrategyKind};
-pub use fleet::{FleetConfig, FleetError, FleetManager, FleetRound, FleetStats};
+pub use fleet::{FleetConfig, FleetError, FleetManager, FleetPredictor, FleetRound, FleetStats};
+pub use forecast::{DemandHistory, ForecastConfig, ForecastError, GateDecision};
 pub use manager::{ManagerConfig, ReplicaManager};
 pub use objective::{CostTable, DelayOracle, IncrementalEval};
 pub use problem::{PlacementProblem, ProblemError};

@@ -721,6 +721,131 @@ impl<const D: usize> ReplicaManager<D> {
         })
     }
 
+    /// A full rebalance round driven by an *external* demand estimate —
+    /// [`ReplicaManager::propose_rebalance_on`] followed by
+    /// [`ReplicaManager::commit_rebalance`]. The predictive placement path
+    /// ([`crate::strategy::predictive`]) feeds it forecast next-period
+    /// demand so migrations land before the shift does; an oracle feeds it
+    /// the actual next period.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::Cluster`] if the weighted K-means fails.
+    pub fn rebalance_on(
+        &mut self,
+        demand: &[(Coord<D>, f64)],
+    ) -> Result<MigrationDecision, ManagerError> {
+        let pending = self.propose_rebalance_on(demand)?;
+        Ok(self.commit_rebalance(pending))
+    }
+
+    /// [`ReplicaManager::propose_rebalance`] with the solver input swapped:
+    /// instead of this period's recorded micro-cluster pseudo points, the
+    /// macro-clustering runs over the supplied `demand` (zero- and
+    /// negative-weight points are dropped). Everything else is identical —
+    /// the same round / summary-byte accounting (summaries are still
+    /// collected and shipped; the forecast only replaces what the solver
+    /// *optimizes for*), the same [`ReplicaManager::adapt_k`] driven by
+    /// observed load, the same k-means seed, candidate snapping, and
+    /// gain-vs-cost migration gate — so a round fed the recorded pseudo
+    /// points themselves decides bit-identically to
+    /// [`ReplicaManager::propose_rebalance`]. Commit the result via
+    /// [`ReplicaManager::commit_rebalance`] or
+    /// [`ReplicaManager::defer_rebalance`] exactly as a reactive proposal.
+    ///
+    /// An empty (or all-weightless) `demand` is the no-op round, matching
+    /// the reactive empty-period behavior.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::Cluster`] if the weighted K-means fails.
+    pub fn propose_rebalance_on(
+        &mut self,
+        demand: &[(Coord<D>, f64)],
+    ) -> Result<PendingRebalance, ManagerError> {
+        self.stats.rounds += 1;
+        self.stats.summary_bytes += self
+            .clusterers
+            .iter()
+            .map(|c| AccessSummary::encoded_len_for(D, c.clusters().len()) as u64)
+            .sum::<u64>();
+
+        let pseudo: Vec<WeightedPoint<D>> = demand
+            .iter()
+            .filter(|&&(_, w)| w > 0.0)
+            .map(|&(coord, w)| WeightedPoint::new(coord, w))
+            .collect();
+
+        if pseudo.is_empty() {
+            return Ok(PendingRebalance {
+                decision: MigrationDecision {
+                    old: self.placement.clone(),
+                    proposed: self.placement.clone(),
+                    old_est_ms: 0.0,
+                    new_est_ms: 0.0,
+                    moved: 0,
+                    cost_usd: 0.0,
+                    applied: false,
+                },
+                empty: true,
+            });
+        }
+
+        let k = self.adapt_k();
+        let kcfg = KMeansConfig::new(k.min(pseudo.len())).with_seed(self.config.seed);
+        let (clustering, kstats) = if self.config.restart_threads > 0 {
+            georep_cluster::kmeans::lloyd_with_threads_stats(
+                &pseudo,
+                kcfg,
+                self.config.restart_threads,
+            )?
+        } else {
+            weighted_kmeans_with_stats(&pseudo, kcfg)?
+        };
+        self.kmeans.restarts += kstats.restarts;
+        self.kmeans.iterations += kstats.iterations;
+        self.kmeans.pruned_upper += kstats.pruned_upper;
+        self.kmeans.pruned_tightened += kstats.pruned_tightened;
+        self.kmeans.full_scans += kstats.full_scans;
+        self.kmeans.winner_restart = kstats.winner_restart;
+        let proposed =
+            nearest_distinct_candidates(&clustering.centroids, &self.candidates, &self.coords, k);
+
+        // Gains are estimated against the demand the round optimizes for:
+        // the forecast. A wrong forecast can therefore buy a migration the
+        // realized demand never pays back — that regret is exactly what
+        // `bench_predict` measures and the confidence gate bounds.
+        let old_est = self.estimate_mean_delay(&self.placement, &pseudo);
+        let new_est = self.estimate_mean_delay(&proposed, &pseudo);
+        let moved = moved_replicas(&self.placement, &proposed);
+        let cost_usd = self.config.cost.cost_usd(moved);
+
+        let relative_gain = if old_est > 0.0 {
+            (old_est - new_est) / old_est
+        } else {
+            0.0
+        };
+        let resized = proposed.len() != self.placement.len();
+        let applied = if resized {
+            true
+        } else {
+            moved > 0 && relative_gain >= self.config.gain_per_dollar * cost_usd
+        };
+
+        Ok(PendingRebalance {
+            decision: MigrationDecision {
+                old: self.placement.clone(),
+                proposed,
+                old_est_ms: old_est,
+                new_est_ms: new_est,
+                moved,
+                cost_usd,
+                applied,
+            },
+            empty: false,
+        })
+    }
+
     /// The second half of a rebalance round: honour the pending decision
     /// (apply the proposed placement if `applied`) and end the
     /// summarization period. Returns the decision unchanged.

@@ -39,13 +39,17 @@ use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
+use georep_coord::Coord;
 use georep_net::rtt::RttMatrix;
 use georep_net::sim::{FaultPlan, SimDuration, SimTime};
 
 use crate::failure::degraded_mean_delay;
+use crate::forecast::ForecastConfig;
 use crate::gossip::{detected_failures, embed_via_simulation, embed_with_faults, GossipConfig};
 use crate::manager::{ManagerConfig, ManagerError, ReplicaManager};
+use crate::migration::MigrationDecision;
 use crate::problem::{PlacementProblem, ProblemError};
+use crate::strategy::predictive::{PlacementMode, Predictor};
 use crate::telemetry::{NullRecorder, Recorder};
 
 /// The five named robustness scenarios.
@@ -106,6 +110,14 @@ pub struct ScenarioConfig {
     pub embed_duration: SimDuration,
     /// Simulated duration of each failure-detection gossip run.
     pub detect_duration: SimDuration,
+    /// What drives re-placement: the recorded summaries
+    /// ([`PlacementMode::Reactive`], the default and the historical
+    /// behavior), the forecast next tick when the confidence gate engages
+    /// ([`PlacementMode::Predictive`] — the scenario's per-fault-state
+    /// demand is stationary, so the gate declines and the report stays
+    /// bit-identical to reactive), or the actual next tick
+    /// ([`PlacementMode::Oracle`]).
+    pub mode: PlacementMode,
 }
 
 impl Default for ScenarioConfig {
@@ -119,6 +131,7 @@ impl Default for ScenarioConfig {
             threads: 0,
             embed_duration: SimDuration::from_secs(30.0),
             detect_duration: SimDuration::from_secs(30.0),
+            mode: PlacementMode::Reactive,
         }
     }
 }
@@ -469,6 +482,18 @@ pub fn run_scenario_with_recorder<R: Recorder>(
     let mut mgr = ReplicaManager::new(embed.coords.clone(), candidates.clone(), initial, mgr_cfg)?;
     let problem = PlacementProblem::new(matrix, candidates.clone(), clients.clone())?;
 
+    // The forecaster summarizes each tick's demand onto the candidate
+    // coordinates; one seasonal cycle = one rebalance cadence. On this
+    // harness's stationary per-fault-state demand the gate declines, so
+    // predictive mode reproduces the reactive report bit for bit — the
+    // predictive machinery is wired in, never worse, and a future
+    // non-stationary demand model engages it for free.
+    let regions: Vec<Coord<_>> = candidates.iter().map(|&c| embed.coords[c]).collect();
+    let forecast_cfg =
+        ForecastConfig::new(cfg.rebalance_every.max(1) as usize).expect("positive season");
+    let mut predictor =
+        Predictor::new(regions, forecast_cfg).map_err(|_| ScenarioError::Setup("predictor"))?;
+
     let mut trace: Vec<TraceEvent> = Vec::new();
     let mut timeline: Vec<TimelinePoint> = Vec::new();
     let mut replacements = 0u64;
@@ -616,28 +641,32 @@ pub fn run_scenario_with_recorder<R: Recorder>(
                 }
                 // The degradation loop responds immediately: re-placement,
                 // still gated by migration cost.
-                rebalance(
-                    &mut mgr,
+                let oracle_next = oracle_demand(
+                    &clients,
+                    &scoring_plan,
+                    coordinator,
+                    &embed.coords,
+                    &cfg,
                     tick,
-                    &mut trace,
-                    &mut replacements,
-                    tick >= p,
-                    rec,
-                )?;
+                );
+                let d = mode_rebalance(&mut mgr, cfg.mode, &predictor, oracle_next.as_deref())?;
+                record_rebalance(d, tick, &mut trace, &mut replacements, tick >= p, rec);
             }
         }
 
         // Demand: every client the coordinator can currently hear from,
         // ingested as one batch. `ingest_period` is bit-identical to the
         // serial `record_access` loop, so the determinism contract holds.
-        let demand: Vec<_> = clients
-            .iter()
-            .filter(|&&c| {
-                !scoring_plan.node_down(c, now) && !scoring_plan.partitioned(c, coordinator, now)
-            })
-            .map(|&c| (embed.coords[c], 1.0))
-            .collect();
+        let demand = demand_at(
+            &clients,
+            &scoring_plan,
+            coordinator,
+            &embed.coords,
+            &cfg,
+            tick,
+        );
         mgr.ingest_period(&demand);
+        predictor.observe(&demand);
 
         // Truth-score this tick.
         let (mean, unreachable) = fault_aware_delay(matrix, mgr.placement(), &scoring_plan, now);
@@ -654,14 +683,16 @@ pub fn run_scenario_with_recorder<R: Recorder>(
         }
 
         if (tick + 1) % cfg.rebalance_every == 0 {
-            rebalance(
-                &mut mgr,
+            let oracle_next = oracle_demand(
+                &clients,
+                &scoring_plan,
+                coordinator,
+                &embed.coords,
+                &cfg,
                 tick,
-                &mut trace,
-                &mut replacements,
-                tick >= p,
-                rec,
-            )?;
+            );
+            let d = mode_rebalance(&mut mgr, cfg.mode, &predictor, oracle_next.as_deref())?;
+            record_rebalance(d, tick, &mut trace, &mut replacements, tick >= p, rec);
         }
     }
 
@@ -721,15 +752,79 @@ pub fn run_scenario_with_recorder<R: Recorder>(
     })
 }
 
-fn rebalance<const D: usize, R: Recorder>(
+/// The reachable-client demand of one tick, as both the ingest path and
+/// the oracle's foresight compute it — one function so they cannot drift.
+fn demand_at<const D: usize>(
+    clients: &[usize],
+    plan: &FaultPlan,
+    coordinator: usize,
+    coords: &[Coord<D>],
+    cfg: &ScenarioConfig,
+    tick: u32,
+) -> Vec<(Coord<D>, f64)> {
+    let now = SimTime::ZERO + cfg.tick.mul(tick as u64);
+    clients
+        .iter()
+        .filter(|&&c| !plan.node_down(c, now) && !plan.partitioned(c, coordinator, now))
+        .map(|&c| (coords[c], 1.0))
+        .collect()
+}
+
+/// What the oracle will be asked to pre-position for: the *next* tick's
+/// demand under the scoring plan as currently built (the fault plan itself
+/// is only constructed at fault onset — foresight does not extend to
+/// faults that have not been planned yet). `None` past the last tick or in
+/// non-oracle modes.
+fn oracle_demand<const D: usize>(
+    clients: &[usize],
+    plan: &FaultPlan,
+    coordinator: usize,
+    coords: &[Coord<D>],
+    cfg: &ScenarioConfig,
+    tick: u32,
+) -> Option<Vec<(Coord<D>, f64)>> {
+    if cfg.mode != PlacementMode::Oracle || tick + 1 >= 3 * cfg.phase_ticks {
+        return None;
+    }
+    Some(demand_at(clients, plan, coordinator, coords, cfg, tick + 1))
+}
+
+/// One re-placement decision under the configured mode: reactive on the
+/// recorded summaries, predictive on the forecast when the gate engages
+/// (reactive fallback otherwise), oracle on the supplied next-tick demand.
+fn mode_rebalance<const D: usize>(
     mgr: &mut ReplicaManager<D>,
+    mode: PlacementMode,
+    predictor: &Predictor<D>,
+    oracle_next: Option<&[(Coord<D>, f64)]>,
+) -> Result<MigrationDecision, ScenarioError> {
+    Ok(match mode {
+        PlacementMode::Reactive => mgr.rebalance()?,
+        PlacementMode::Predictive => {
+            if predictor.gate().engaged() {
+                let predicted = predictor
+                    .predict_next()
+                    .map_err(|_| ScenarioError::Setup("forecast on empty history"))?;
+                mgr.rebalance_on(&predicted)?
+            } else {
+                mgr.rebalance()?
+            }
+        }
+        PlacementMode::Oracle => match oracle_next {
+            Some(next) => mgr.rebalance_on(&predictor.aggregate(next))?,
+            None => mgr.rebalance()?,
+        },
+    })
+}
+
+fn record_rebalance<R: Recorder>(
+    d: MigrationDecision,
     tick: u32,
     trace: &mut Vec<TraceEvent>,
     replacements: &mut u64,
     after_fault_onset: bool,
     rec: &R,
-) -> Result<(), ScenarioError> {
-    let d = mgr.rebalance()?;
+) {
     if d.applied && d.moved > 0 && after_fault_onset {
         *replacements += 1;
     }
@@ -756,7 +851,6 @@ fn rebalance<const D: usize, R: Recorder>(
             ],
         );
     }
-    Ok(())
 }
 
 /// Chooses fault targets from the pre-fault placement. The coordinator is

@@ -26,6 +26,7 @@ pub mod offline;
 pub mod online;
 pub mod online_greedy;
 pub mod optimal;
+pub mod predictive;
 pub mod random;
 pub mod slo;
 pub mod spread;

@@ -32,6 +32,8 @@ pub mod trace;
 pub mod zipf;
 
 pub use population::Population;
-pub use stream::{generate, shard_seed, AccessEvent, PhasedWorkload, ShardedStream, StreamConfig};
+pub use stream::{
+    generate, shard_seed, AccessEvent, PhasedWorkload, ShardedStream, StreamConfig, WorkloadError,
+};
 pub use trace::Trace;
 pub use zipf::{AliasTable, Zipf};

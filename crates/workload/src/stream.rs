@@ -370,6 +370,27 @@ impl Iterator for Chunks<'_> {
     }
 }
 
+/// Error produced by the [`PhasedWorkload`] constructors. Follows the
+/// `TopologyError` idiom: one `BadParameter` variant naming the offending
+/// input, so callers can surface a precise message without matching on
+/// shape-specific variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A constructor input was empty, non-positive, non-finite, or
+    /// inconsistent with its siblings.
+    BadParameter(&'static str),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::BadParameter(p) => write!(f, "parameter {p} is out of range"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// A workload whose population changes across consecutive phases.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhasedWorkload {
@@ -379,27 +400,43 @@ pub struct PhasedWorkload {
 impl PhasedWorkload {
     /// Creates a workload from `(population, duration_ms)` phases.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no phases are given or any duration is non-positive.
-    pub fn new(phases: Vec<(Population, f64)>) -> Self {
-        assert!(!phases.is_empty(), "at least one phase is required");
-        assert!(
-            phases.iter().all(|(_, d)| d.is_finite() && *d > 0.0),
-            "phase durations must be positive"
-        );
-        PhasedWorkload { phases }
+    /// [`WorkloadError::BadParameter`] if no phases are given or any
+    /// duration is non-positive or non-finite.
+    pub fn new(phases: Vec<(Population, f64)>) -> Result<Self, WorkloadError> {
+        if phases.is_empty() {
+            return Err(WorkloadError::BadParameter("phases (need at least one)"));
+        }
+        if !phases.iter().all(|(_, d)| d.is_finite() && *d > 0.0) {
+            return Err(WorkloadError::BadParameter(
+                "phase duration (must be positive and finite)",
+            ));
+        }
+        Ok(PhasedWorkload { phases })
     }
 
     /// A two-phase drift: `steps` intermediate phases blending from `from`
     /// to `to`, each lasting `phase_ms`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `steps` is zero or the populations cover different client
-    /// counts.
-    pub fn drift(from: &Population, to: &Population, steps: usize, phase_ms: f64) -> Self {
-        assert!(steps > 0, "drift needs at least one step");
+    /// [`WorkloadError::BadParameter`] if `steps` is zero, `phase_ms` is
+    /// non-positive, or the populations cover different client counts.
+    pub fn drift(
+        from: &Population,
+        to: &Population,
+        steps: usize,
+        phase_ms: f64,
+    ) -> Result<Self, WorkloadError> {
+        if steps == 0 {
+            return Err(WorkloadError::BadParameter("steps (need at least one)"));
+        }
+        if from.len() != to.len() {
+            return Err(WorkloadError::BadParameter(
+                "drift populations (client counts differ)",
+            ));
+        }
         let phases = (0..steps)
             .map(|i| {
                 let t = if steps == 1 {
@@ -418,16 +455,30 @@ impl PhasedWorkload {
     /// into `hours` phases of `phase_ms` each. This is the "demand follows
     /// the sun" pattern that makes gradual replica migration worthwhile.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `regions` is empty, `hours` is zero, or the populations
-    /// cover different client counts.
-    pub fn diurnal(regions: &[(Population, f64)], hours: usize, phase_ms: f64) -> Self {
-        assert!(
-            !regions.is_empty(),
-            "diurnal workload needs at least one region"
-        );
-        assert!(hours > 0, "diurnal workload needs at least one hour");
+    /// [`WorkloadError::BadParameter`] when `regions` is empty, `hours` is
+    /// zero, `phase_ms` is non-positive, or the populations cover
+    /// different client counts.
+    pub fn diurnal(
+        regions: &[(Population, f64)],
+        hours: usize,
+        phase_ms: f64,
+    ) -> Result<Self, WorkloadError> {
+        if regions.is_empty() {
+            return Err(WorkloadError::BadParameter("regions (need at least one)"));
+        }
+        if hours == 0 {
+            return Err(WorkloadError::BadParameter("hours (need at least one)"));
+        }
+        if regions
+            .iter()
+            .any(|(pop, _)| pop.len() != regions[0].0.len())
+        {
+            return Err(WorkloadError::BadParameter(
+                "region populations (client counts differ)",
+            ));
+        }
         let phases = (0..hours)
             .map(|h| {
                 let parts: Vec<(&Population, f64)> = regions
@@ -557,7 +608,7 @@ mod tests {
     fn phased_workload_shifts_population() {
         let west = Population::from_weights(vec![1.0, 0.0]).unwrap();
         let east = Population::from_weights(vec![0.0, 1.0]).unwrap();
-        let wl = PhasedWorkload::new(vec![(west, 1_000.0), (east, 1_000.0)]);
+        let wl = PhasedWorkload::new(vec![(west, 1_000.0), (east, 1_000.0)]).unwrap();
         let events = wl.generate(&StreamConfig {
             rate_per_ms: 0.2,
             ..Default::default()
@@ -576,7 +627,7 @@ mod tests {
     fn drift_blends_gradually() {
         let a = Population::from_weights(vec![1.0, 0.0]).unwrap();
         let b = Population::from_weights(vec![0.0, 1.0]).unwrap();
-        let wl = PhasedWorkload::drift(&a, &b, 5, 2_000.0);
+        let wl = PhasedWorkload::drift(&a, &b, 5, 2_000.0).unwrap();
         assert_eq!(wl.phases().len(), 5);
         let events = wl.generate(&StreamConfig {
             rate_per_ms: 0.3,
@@ -600,7 +651,7 @@ mod tests {
         // Two "regions": clients 0-1 peak at hour 0, clients 2-3 at hour 12.
         let west = Population::from_weights(vec![1.0, 1.0, 0.0, 0.0]).unwrap();
         let east = Population::from_weights(vec![0.0, 0.0, 1.0, 1.0]).unwrap();
-        let wl = PhasedWorkload::diurnal(&[(west, 0.0), (east, 12.0)], 24, 500.0);
+        let wl = PhasedWorkload::diurnal(&[(west, 0.0), (east, 12.0)], 24, 500.0).unwrap();
         assert_eq!(wl.phases().len(), 24);
         let events = wl.generate(&StreamConfig {
             rate_per_ms: 0.3,
@@ -661,9 +712,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one phase")]
-    fn empty_phases_rejected() {
-        let _ = PhasedWorkload::new(vec![]);
+    fn bad_phased_workload_inputs_are_typed_errors() {
+        // The constructors used to assert; they now follow the
+        // `TopologyError::BadParameter` idiom (typed, non-panicking).
+        let a = Population::from_weights(vec![1.0, 0.0]).unwrap();
+        let b = Population::from_weights(vec![0.0, 1.0]).unwrap();
+        let three = Population::uniform(3);
+
+        // new: empty phase list, and non-positive / non-finite durations.
+        assert_eq!(
+            PhasedWorkload::new(vec![]).unwrap_err(),
+            WorkloadError::BadParameter("phases (need at least one)")
+        );
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(
+                PhasedWorkload::new(vec![(a.clone(), bad)]).unwrap_err(),
+                WorkloadError::BadParameter("phase duration (must be positive and finite)")
+            );
+        }
+
+        // drift: zero steps, mismatched client counts, bad duration.
+        assert_eq!(
+            PhasedWorkload::drift(&a, &b, 0, 100.0).unwrap_err(),
+            WorkloadError::BadParameter("steps (need at least one)")
+        );
+        assert_eq!(
+            PhasedWorkload::drift(&a, &three, 3, 100.0).unwrap_err(),
+            WorkloadError::BadParameter("drift populations (client counts differ)")
+        );
+        assert!(PhasedWorkload::drift(&a, &b, 3, -5.0).is_err());
+
+        // diurnal: no regions, zero hours, mismatched client counts, bad
+        // duration.
+        assert_eq!(
+            PhasedWorkload::diurnal(&[], 24, 100.0).unwrap_err(),
+            WorkloadError::BadParameter("regions (need at least one)")
+        );
+        assert_eq!(
+            PhasedWorkload::diurnal(&[(a.clone(), 0.0)], 0, 100.0).unwrap_err(),
+            WorkloadError::BadParameter("hours (need at least one)")
+        );
+        assert_eq!(
+            PhasedWorkload::diurnal(&[(a.clone(), 0.0), (three, 12.0)], 24, 100.0).unwrap_err(),
+            WorkloadError::BadParameter("region populations (client counts differ)")
+        );
+        assert!(PhasedWorkload::diurnal(&[(a, 0.0)], 24, 0.0).is_err());
+
+        // The error formats like its topology sibling.
+        assert_eq!(
+            WorkloadError::BadParameter("steps (need at least one)").to_string(),
+            "parameter steps (need at least one) is out of range"
+        );
     }
 
     #[test]

@@ -87,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             phases.push((window.clone(), HOUR_MS));
         }
     }
-    let workload = PhasedWorkload::new(phases);
+    let workload = PhasedWorkload::new(phases).expect("valid phased workload");
     let events = workload.generate(&StreamConfig {
         rate_per_ms: 0.08,
         seed: 0x5017,

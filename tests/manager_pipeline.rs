@@ -93,7 +93,7 @@ fn manager_on_des_follows_drifting_demand() {
     let matrix = fx.topo.matrix().clone();
     let west = lon_population(fx, -130.0, -30.0);
     let east = lon_population(fx, 60.0, 180.0);
-    let workload = PhasedWorkload::drift(&west, &east, 6, 2_000.0);
+    let workload = PhasedWorkload::drift(&west, &east, 6, 2_000.0).expect("valid drift workload");
     let events = workload.generate(&StreamConfig {
         rate_per_ms: 0.05,
         seed: 3,

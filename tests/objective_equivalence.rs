@@ -10,12 +10,20 @@
 //! scans and all) and asserts the refactored strategy returns the identical
 //! placement and the identical `f64` total on a spread of fixed fixtures.
 
+use std::collections::BTreeMap;
+
+use georep_cluster::kmeans::KMeansConfig;
+use georep_cluster::point::WeightedPoint;
+use georep_cluster::weighted::weighted_kmeans;
+use georep_coord::Coord;
 use georep_core::problem::PlacementProblem;
 use georep_core::quorum::quorum_total_delay;
 use georep_core::strategy::greedy::Greedy;
+use georep_core::strategy::hotzone::HotZone;
+use georep_core::strategy::offline::OfflineKMeans;
 use georep_core::strategy::optimal::Optimal;
 use georep_core::strategy::swap::SwapLocalSearch;
-use georep_core::strategy::{PlacementContext, Placer};
+use georep_core::strategy::{CentroidMapping, PlacementContext, Placer};
 use georep_net::rtt::RttMatrix;
 
 /// The original objective: `Σ_u w_u · min_{r ∈ placement} l(u, r)`,
@@ -236,6 +244,299 @@ fn optimal_returns_the_seed_placement() {
             let got = Optimal::default().place(&ctx(&p, k)).unwrap();
             let want = reference_optimal(&p, k);
             assert_eq!(got, want, "seed {seed}, k {k}");
+        }
+    }
+}
+
+// ---- Coordinate-bearing strategies: HotZone and OfflineKMeans. ---------
+//
+// These two place from client *coordinates* (plus an access log) rather
+// than the RTT matrix, so they get their own fixture and their own
+// reference re-implementations: the original cell-ranking / cluster-
+// mapping code, written against a BTreeMap and plain member-list folds so
+// the reference itself is hash-order-free.
+
+/// Deterministic 2-D coordinates in `[0, 300)²` (same hash family as
+/// [`fixture_matrix`]).
+fn fixture_coords(seed: u64, n: usize) -> Vec<Coord<2>> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64 + 1)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed.wrapping_mul(0x94D0_49BB_1331_11EB));
+            let h = (h ^ (h >> 31)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            Coord::new([
+                ((h >> 40) % 3000) as f64 / 10.0,
+                ((h >> 8) % 3000) as f64 / 10.0,
+            ])
+        })
+        .collect()
+}
+
+/// An access log whose weights are pairwise distinct (and whose per-cell
+/// sums are therefore distinct in practice), so every demand ranking below
+/// has a unique order and the HashMap-backed production code is forced
+/// onto the same one as the BTreeMap-backed reference.
+fn fixture_accesses(clients: &[usize]) -> Vec<(usize, f64)> {
+    (0..48)
+        .map(|i| {
+            (
+                clients[(i * 7 + 3) % clients.len()],
+                1.0 + (i % 11) as f64 * 0.317 + i as f64 * 1e-3,
+            )
+        })
+        .collect()
+}
+
+/// Verbatim re-implementation of the strategy layer's
+/// `nearest_distinct_candidates` (first strict minimum per target,
+/// distance-to-any-target top-up).
+fn reference_nearest_distinct(
+    targets: &[Coord<2>],
+    candidates: &[usize],
+    coords: &[Coord<2>],
+    k: usize,
+) -> Vec<usize> {
+    let mut used = vec![false; candidates.len()];
+    let mut chosen = Vec::with_capacity(k);
+    for target in targets.iter().take(k) {
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, &cand) in candidates.iter().enumerate() {
+            if used[ci] {
+                continue;
+            }
+            let d = coords[cand].distance(target);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((ci, d));
+            }
+        }
+        if let Some((ci, _)) = best {
+            used[ci] = true;
+            chosen.push(candidates[ci]);
+        }
+    }
+    while chosen.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, &cand) in candidates.iter().enumerate() {
+            if used[ci] {
+                continue;
+            }
+            let d = targets
+                .iter()
+                .map(|t| coords[cand].distance(t))
+                .fold(f64::INFINITY, f64::min);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((ci, d));
+            }
+        }
+        let (ci, _) = best.expect("k ≤ candidates");
+        used[ci] = true;
+        chosen.push(candidates[ci]);
+    }
+    chosen
+}
+
+/// The original HotZone: bin accesses into lattice cells, rank cells by
+/// weight, map the top-k centroids to distinct candidates. Accumulation
+/// follows access order (so the per-cell coordinate sums are bitwise the
+/// production ones); a BTreeMap stands in for the HashMap, which changes
+/// nothing once cell weights are distinct.
+fn reference_hotzone(
+    coords: &[Coord<2>],
+    candidates: &[usize],
+    accesses: &[(usize, f64)],
+    cell_ms: f64,
+    k: usize,
+) -> Vec<usize> {
+    let mut cells: BTreeMap<[i64; 2], (f64, Coord<2>, f64)> = BTreeMap::new();
+    for &(client, weight) in accesses {
+        let c = coords[client];
+        let key = [
+            (c.pos()[0] / cell_ms).floor() as i64,
+            (c.pos()[1] / cell_ms).floor() as i64,
+        ];
+        let cell = cells.entry(key).or_insert((0.0, Coord::origin(), 0.0));
+        cell.0 += weight;
+        cell.1 = cell.1.add(&c);
+        cell.2 += 1.0;
+    }
+    let mut ranked: Vec<(f64, Coord<2>)> = cells
+        .values()
+        .map(|&(w, sum, count)| (w, sum.scale(1.0 / count)))
+        .collect();
+    ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let targets: Vec<Coord<2>> = ranked.into_iter().take(k).map(|(_, c)| c).collect();
+    reference_nearest_distinct(&targets, candidates, coords, k)
+}
+
+/// The original `best_serving_candidates`: clusters pick candidates in
+/// decreasing demand order, each taking the free candidate minimizing the
+/// weighted member-fold delay, topping up against all demand.
+fn reference_best_serving(
+    members: &[Vec<(Coord<2>, f64)>],
+    candidates: &[usize],
+    coords: &[Coord<2>],
+    k: usize,
+) -> Vec<usize> {
+    let est = |cand: usize, m: &[(Coord<2>, f64)]| -> f64 {
+        m.iter().map(|&(c, w)| w * coords[cand].distance(&c)).sum()
+    };
+    let demand: Vec<f64> = members
+        .iter()
+        .map(|m| m.iter().map(|&(_, w)| w).sum())
+        .collect();
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    order.sort_by(|&a, &b| demand[b].total_cmp(&demand[a]));
+
+    let mut used = vec![false; candidates.len()];
+    let mut chosen = Vec::with_capacity(k);
+    for &ci in order.iter().take(k) {
+        let mut best: Option<(usize, f64)> = None;
+        for (slot, &is_used) in used.iter().enumerate() {
+            if is_used {
+                continue;
+            }
+            let e = est(candidates[slot], &members[ci]);
+            if best.is_none_or(|(_, be)| e < be) {
+                best = Some((slot, e));
+            }
+        }
+        if let Some((slot, _)) = best {
+            used[slot] = true;
+            chosen.push(candidates[slot]);
+        }
+    }
+    let all: Vec<(Coord<2>, f64)> = members.iter().flatten().copied().collect();
+    while chosen.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for (slot, &is_used) in used.iter().enumerate() {
+            if is_used {
+                continue;
+            }
+            let e = est(candidates[slot], &all);
+            if best.is_none_or(|(_, be)| e < be) {
+                best = Some((slot, e));
+            }
+        }
+        let (slot, _) = best.expect("k ≤ candidates");
+        used[slot] = true;
+        chosen.push(candidates[slot]);
+    }
+    chosen
+}
+
+/// The original offline baseline: every access becomes one weighted point,
+/// one central k-means (the shared clustering crate — pinned by its own
+/// equivalence suite), then the configured centroid mapping.
+fn reference_offline(
+    coords: &[Coord<2>],
+    candidates: &[usize],
+    accesses: &[(usize, f64)],
+    k: usize,
+    seed: u64,
+    mapping: CentroidMapping,
+) -> Vec<usize> {
+    let points: Vec<WeightedPoint<2>> = accesses
+        .iter()
+        .map(|&(client, weight)| WeightedPoint::new(coords[client], weight))
+        .collect();
+    let clustering = weighted_kmeans(
+        &points,
+        KMeansConfig::new(k.min(points.len())).with_seed(seed),
+    )
+    .expect("clustering succeeds");
+    match mapping {
+        CentroidMapping::NearestCentroid => {
+            reference_nearest_distinct(&clustering.centroids, candidates, coords, k)
+        }
+        CentroidMapping::BestServing => {
+            let mut members = vec![Vec::new(); clustering.centroids.len()];
+            for (p, &a) in points.iter().zip(&clustering.assignments) {
+                members[a].push((p.coord, p.weight));
+            }
+            reference_best_serving(&members, candidates, coords, k)
+        }
+    }
+}
+
+struct CoordFixture {
+    matrix: RttMatrix,
+    coords: Vec<Coord<2>>,
+    candidates: Vec<usize>,
+    accesses: Vec<(usize, f64)>,
+}
+
+fn coord_fixture(seed: u64) -> CoordFixture {
+    let n = 36;
+    let coords = fixture_coords(seed, n);
+    let cs = coords.clone();
+    let matrix = RttMatrix::from_fn(n, move |i, j| cs[i].distance(&cs[j]).max(1.0))
+        .expect("positive finite matrix");
+    let candidates: Vec<usize> = (0..n).step_by(4).collect();
+    let clients: Vec<usize> = (0..n).filter(|u| u % 4 != 0).collect();
+    let accesses = fixture_accesses(&clients);
+    CoordFixture {
+        matrix,
+        coords,
+        candidates,
+        accesses,
+    }
+}
+
+#[test]
+fn hotzone_returns_the_reference_cell_ranking() {
+    for seed in 0..6u64 {
+        let fx = coord_fixture(seed);
+        let clients: Vec<usize> = (0..fx.matrix.len()).filter(|u| u % 4 != 0).collect();
+        let p = PlacementProblem::new(&fx.matrix, fx.candidates.clone(), clients).unwrap();
+        for k in 1..=4 {
+            for cell_ms in [25.0, 60.0] {
+                let ctx = PlacementContext {
+                    problem: &p,
+                    coords: &fx.coords,
+                    accesses: &fx.accesses,
+                    summaries: &[],
+                    k,
+                    seed: 0,
+                };
+                let got = HotZone::new(cell_ms).place(&ctx).unwrap();
+                let want = reference_hotzone(&fx.coords, &fx.candidates, &fx.accesses, cell_ms, k);
+                assert_eq!(got, want, "seed {seed}, k {k}, cell {cell_ms}");
+            }
+        }
+    }
+}
+
+#[test]
+fn offline_kmeans_returns_the_reference_for_both_mappings() {
+    for seed in 0..6u64 {
+        let fx = coord_fixture(seed);
+        let clients: Vec<usize> = (0..fx.matrix.len()).filter(|u| u % 4 != 0).collect();
+        let p = PlacementProblem::new(&fx.matrix, fx.candidates.clone(), clients).unwrap();
+        for k in 1..=3 {
+            for mapping in [
+                CentroidMapping::NearestCentroid,
+                CentroidMapping::BestServing,
+            ] {
+                let ctx = PlacementContext {
+                    problem: &p,
+                    coords: &fx.coords,
+                    accesses: &fx.accesses,
+                    summaries: &[],
+                    k,
+                    seed: 0x0FF + seed,
+                };
+                let got = OfflineKMeans { mapping }.place(&ctx).unwrap();
+                let want = reference_offline(
+                    &fx.coords,
+                    &fx.candidates,
+                    &fx.accesses,
+                    k,
+                    0x0FF + seed,
+                    mapping,
+                );
+                assert_eq!(got, want, "seed {seed}, k {k}, {mapping:?}");
+            }
         }
     }
 }

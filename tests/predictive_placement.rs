@@ -1,0 +1,313 @@
+//! Differential suite for forecast-driven pre-positioning
+//! (`georep::core::strategy::predictive`) against the reactive manager.
+//!
+//! The contract under test (DESIGN.md §15):
+//!
+//! * on a **stationary** workload the confidence gate declines every
+//!   round, so the predictive run IS the reactive run, bit for bit;
+//! * on the shifting workloads (`PhasedWorkload::diurnal` / `drift`) the
+//!   engaged forecast serves demand at or below the reactive delay, and
+//!   the regret ordering `oracle ≤ predictive ≤ reactive` holds;
+//! * every mode's full report is bit-identical across 1 / 2 / 8 worker
+//!   threads.
+//!
+//! The fixture is the bench_predict recipe in its `--quick` shape, so a
+//! regression here reproduces under
+//! `cargo run -p georep-bench --bin bench_predict -- --quick`.
+
+use std::sync::OnceLock;
+
+use georep::coord::rnp::Rnp;
+use georep::coord::{Coord, EmbeddingRunner};
+use georep::core::experiment::DIMS;
+use georep::core::strategy::predictive::{
+    run_mode, ModeConfig, ModeReport, PlacementMode, ALL_MODES,
+};
+use georep::net::topology::{Topology, TopologyConfig};
+use georep::workload::population::Population;
+use georep::workload::stream::{generate, AccessEvent, PhasedWorkload, StreamConfig};
+
+/// One simulated hour (compressed), the diurnal phase / drift step length.
+const HOUR_MS: f64 = 1_000.0;
+/// Hours per re-placement period on the diurnal workload.
+const PERIOD_HOURS: usize = 3;
+/// Diurnal forecast season: periods per simulated day.
+const SEASON: usize = 24 / PERIOD_HOURS;
+/// Replicas maintained — fewer than the regional peaks, so the placement
+/// has to chase the demand.
+const K: usize = 2;
+
+struct Fixture {
+    coords: Vec<Coord<DIMS>>,
+    candidates: Vec<usize>,
+    clients: Vec<usize>,
+    regions: Vec<Coord<DIMS>>,
+    diurnal: Vec<Vec<(Coord<DIMS>, f64)>>,
+    drift: Vec<Vec<(Coord<DIMS>, f64)>>,
+    stationary: Vec<Vec<(Coord<DIMS>, f64)>>,
+}
+
+fn bucket(
+    events: &[AccessEvent],
+    clients: &[usize],
+    coords: &[Coord<DIMS>],
+    period_ms: f64,
+    n_periods: usize,
+) -> Vec<Vec<(Coord<DIMS>, f64)>> {
+    let mut weights = vec![vec![0.0f64; clients.len()]; n_periods];
+    for e in events {
+        let p = ((e.at_ms / period_ms) as usize).min(n_periods - 1);
+        weights[p][e.client] += 1.0;
+    }
+    weights
+        .into_iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .filter(|&(_, &w)| w > 0.0)
+                .map(|(i, &w)| (coords[clients[i]], w))
+                .collect()
+        })
+        .collect()
+}
+
+fn fixture() -> &'static Fixture {
+    static FX: OnceLock<Fixture> = OnceLock::new();
+    FX.get_or_init(|| {
+        let topo = Topology::generate(TopologyConfig {
+            nodes: 128,
+            seed: georep::net::planetlab::PLANETLAB_SEED,
+            ..Default::default()
+        })
+        .expect("valid topology");
+        let matrix = topo.matrix();
+        let n = matrix.len();
+        let runner = EmbeddingRunner {
+            rounds: 60,
+            samples_per_round: 4,
+            seed: 0xDECA,
+        };
+        let (coords, _) = runner.run(n, |i, j| matrix.get(i, j), |_| Rnp::<DIMS>::new());
+        let candidates: Vec<usize> = (0..n).step_by(5).collect();
+        let clients: Vec<usize> = (0..n).filter(|i| i % 5 != 0).collect();
+        let regions: Vec<Coord<DIMS>> = candidates.iter().map(|&c| coords[c]).collect();
+
+        let by_lon = |lo: f64, hi: f64| -> Population {
+            Population::from_weights(
+                clients
+                    .iter()
+                    .map(|&c| {
+                        let lon = topo.nodes()[c].location.lon_deg();
+                        if lon >= lo && lon < hi {
+                            1.0
+                        } else {
+                            0.02
+                        }
+                    })
+                    .collect(),
+            )
+            .expect("active clients exist")
+        };
+        let americas = by_lon(-130.0, -30.0);
+        let europe = by_lon(-30.0, 60.0);
+        let asia = by_lon(60.0, 180.0);
+        let cfg = StreamConfig {
+            rate_per_ms: 2.0,
+            seed: 0xF0CA,
+            ..Default::default()
+        };
+
+        // Four simulated days of the sun-following mix, in 3-hour periods.
+        let diurnal_hours = 4 * 24;
+        let diurnal_events = PhasedWorkload::diurnal(
+            &[
+                (americas.clone(), 4.0),
+                (europe, 12.0),
+                (asia.clone(), 20.0),
+            ],
+            diurnal_hours,
+            HOUR_MS,
+        )
+        .expect("valid diurnal workload")
+        .generate(&cfg);
+        let diurnal = bucket(
+            &diurnal_events,
+            &clients,
+            &coords,
+            PERIOD_HOURS as f64 * HOUR_MS,
+            diurnal_hours / PERIOD_HOURS,
+        );
+
+        // One west → east migration, one step per period.
+        let drift_events = PhasedWorkload::drift(&americas, &asia, 12, HOUR_MS)
+            .expect("valid drift workload")
+            .generate(&cfg);
+        let drift = bucket(&drift_events, &clients, &coords, HOUR_MS, 12);
+
+        // Stationary: one generated period of uniform demand, repeated.
+        // The repeated series is bitwise constant, so the forecaster
+        // predicts it exactly and the gate declines as `Stationary`.
+        let stationary_events = generate(
+            &Population::uniform(clients.len()),
+            &StreamConfig {
+                rate_per_ms: 0.5,
+                seed: 0x57A7,
+                ..Default::default()
+            },
+            PERIOD_HOURS as f64 * HOUR_MS,
+        );
+        let one_period = bucket(
+            &stationary_events,
+            &clients,
+            &coords,
+            PERIOD_HOURS as f64 * HOUR_MS,
+            1,
+        );
+        let stationary: Vec<_> = (0..3 * SEASON).map(|_| one_period[0].clone()).collect();
+
+        Fixture {
+            coords,
+            candidates,
+            clients,
+            regions,
+            diurnal,
+            drift,
+            stationary,
+        }
+    })
+}
+
+fn run(
+    fx: &Fixture,
+    periods: &[Vec<(Coord<DIMS>, f64)>],
+    mode: PlacementMode,
+    season: usize,
+    threads: usize,
+) -> ModeReport {
+    let mut cfg = ModeConfig::new(K, season).expect("valid season");
+    cfg.threads = threads;
+    run_mode(
+        &fx.coords,
+        &fx.candidates,
+        &fx.candidates[..K],
+        &fx.regions,
+        periods,
+        mode,
+        &cfg,
+    )
+    .expect("mode run succeeds")
+}
+
+#[test]
+fn stationary_workload_runs_predictive_bit_identical_to_reactive() {
+    let fx = fixture();
+    let reactive = run(fx, &fx.stationary, PlacementMode::Reactive, SEASON, 1);
+    let predictive = run(fx, &fx.stationary, PlacementMode::Predictive, SEASON, 1);
+    // The gate never engages, so the two runs are the same run: every
+    // per-period placement (the fingerprint), every counter, every delay.
+    assert_eq!(predictive.gate_engaged, 0, "{predictive:?}");
+    assert_eq!(
+        predictive.gate_declined,
+        fx.stationary.len(),
+        "every round must fall back to the reactive loop"
+    );
+    assert_eq!(
+        predictive.placement_fingerprint,
+        reactive.placement_fingerprint
+    );
+    assert_eq!(predictive.final_placement, reactive.final_placement);
+    assert_eq!(
+        predictive.mean_delay_ms.to_bits(),
+        reactive.mean_delay_ms.to_bits()
+    );
+    assert_eq!(predictive.stats, reactive.stats);
+}
+
+#[test]
+fn predictive_serves_the_diurnal_swing_at_or_below_reactive_delay() {
+    let fx = fixture();
+    let reactive = run(fx, &fx.diurnal, PlacementMode::Reactive, SEASON, 0);
+    let predictive = run(fx, &fx.diurnal, PlacementMode::Predictive, SEASON, 0);
+    assert!(
+        predictive.gate_engaged > 0,
+        "the forecast gate must engage after the warm-up days: {predictive:?}"
+    );
+    assert!(
+        predictive.mean_delay_ms < reactive.mean_delay_ms,
+        "predictive {:.4} ms vs reactive {:.4} ms",
+        predictive.mean_delay_ms,
+        reactive.mean_delay_ms
+    );
+}
+
+#[test]
+fn predictive_serves_the_drift_at_or_below_reactive_delay() {
+    let fx = fixture();
+    // Season 1: the trend component alone carries the forecast.
+    let reactive = run(fx, &fx.drift, PlacementMode::Reactive, 1, 0);
+    let predictive = run(fx, &fx.drift, PlacementMode::Predictive, 1, 0);
+    assert!(predictive.gate_engaged > 0, "{predictive:?}");
+    assert!(
+        predictive.mean_delay_ms <= reactive.mean_delay_ms,
+        "predictive {:.4} ms vs reactive {:.4} ms",
+        predictive.mean_delay_ms,
+        reactive.mean_delay_ms
+    );
+}
+
+#[test]
+fn regret_ordering_is_oracle_then_predictive_then_reactive() {
+    let fx = fixture();
+    for (periods, season) in [(&fx.diurnal, SEASON), (&fx.drift, 1)] {
+        let oracle = run(fx, periods, PlacementMode::Oracle, season, 0);
+        let predictive = run(fx, periods, PlacementMode::Predictive, season, 0);
+        let reactive = run(fx, periods, PlacementMode::Reactive, season, 0);
+        assert!(
+            oracle.mean_delay_ms <= predictive.mean_delay_ms + 1e-9,
+            "oracle {:.4} ms above predictive {:.4} ms",
+            oracle.mean_delay_ms,
+            predictive.mean_delay_ms
+        );
+        assert!(
+            predictive.mean_delay_ms <= reactive.mean_delay_ms + 1e-9,
+            "predictive {:.4} ms above reactive {:.4} ms",
+            predictive.mean_delay_ms,
+            reactive.mean_delay_ms
+        );
+        // Regret against the oracle floor agrees with the raw delays.
+        assert!(predictive.regret_vs(oracle.mean_delay_ms) >= -1e-9);
+        assert!(
+            predictive.regret_vs(oracle.mean_delay_ms)
+                <= reactive.regret_vs(oracle.mean_delay_ms) + 1e-9
+        );
+    }
+}
+
+#[test]
+fn every_mode_reports_bit_identically_across_thread_counts() {
+    let fx = fixture();
+    for mode in ALL_MODES {
+        let runs: Vec<ModeReport> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| run(fx, &fx.diurnal, mode, SEASON, threads))
+            .collect();
+        assert_eq!(runs[0], runs[1], "{mode:?}: 1 vs 2 threads");
+        assert_eq!(runs[0], runs[2], "{mode:?}: 1 vs 8 threads");
+    }
+}
+
+#[test]
+fn fixture_demand_is_nontrivial() {
+    // Guard against the workload degenerating into something the suite
+    // would vacuously pass on.
+    let fx = fixture();
+    assert_eq!(fx.clients.len() + fx.candidates.len(), fx.coords.len());
+    assert!(fx.diurnal.iter().all(|p| !p.is_empty()));
+    assert!(fx.drift.iter().all(|p| !p.is_empty()));
+    let weight: f64 = fx
+        .diurnal
+        .iter()
+        .flat_map(|p| p.iter().map(|&(_, w)| w))
+        .sum();
+    assert!(weight > 1_000.0, "diurnal weight {weight}");
+}

@@ -69,6 +69,17 @@ fn required_keys(file: &str) -> &'static [&'static str] {
             "\"drift_regret_predictive_ms\"",
             "\"identical_result\"",
         ],
+        "BENCH_decentral.json" => &[
+            "\"decentral\"",
+            "\"families\"",
+            "\"family\"",
+            "\"rounds\"",
+            "\"bytes_gossiped\"",
+            "\"gap\"",
+            "\"max_gap\"",
+            "\"round_budget\"",
+            "\"identical_result\"",
+        ],
         "BENCH_robustness.json" => &[
             "\"scenarios\"",
             "\"identical_result\"",
@@ -106,6 +117,9 @@ const SERVE_MAX_P99_MS: f64 = 1_000.0;
 
 /// The topology families every robustness front must report.
 const FRONT_FAMILIES: [&str; 5] = ["ba", "ws", "grid", "line", "lollipop"];
+
+/// Optimality-gap envelope the decentralized record must stay inside.
+const DECENTRAL_MAX_GAP: f64 = 0.10;
 
 /// Pulls the numeric value following `"key":` out of the
 /// whitespace-squashed record. `None` when the key is absent or the value
@@ -201,6 +215,55 @@ fn check_content(file: &str, content: &str) -> Result<(), String> {
             }
         }
     }
+    if file == "BENCH_decentral.json" {
+        // The per-family envelope: every standard family present and
+        // converged inside its round budget, every gap (per family and
+        // the flat maximum) inside the 10 % envelope.
+        for family in FRONT_FAMILIES {
+            if !squashed.contains(&format!("\"family\":\"{family}\"")) {
+                return Err(format!("{file}: topology family \"{family}\" missing"));
+            }
+        }
+        if squashed.contains("\"converged\":false") {
+            return Err(format!(
+                "{file}: a family did not converge within its round budget"
+            ));
+        }
+        if squashed.contains("\"agreement\":false") {
+            return Err(format!("{file}: a family's nodes did not agree"));
+        }
+        let budget = extract_number(&squashed, "round_budget")
+            .ok_or_else(|| format!("{file}: round_budget is not a number"))?;
+        let rounds = extract_numbers(&squashed, "rounds");
+        if rounds.len() < FRONT_FAMILIES.len() {
+            return Err(format!(
+                "{file}: expected ≥ {} per-family rounds values, got {}",
+                FRONT_FAMILIES.len(),
+                rounds.len()
+            ));
+        }
+        for (i, r) in rounds.iter().enumerate() {
+            if *r > budget {
+                return Err(format!(
+                    "{file}: record {i} took {r:.0} rounds, above the {budget:.0} budget"
+                ));
+            }
+        }
+        for (i, gap) in extract_numbers(&squashed, "gap").iter().enumerate() {
+            if *gap > DECENTRAL_MAX_GAP {
+                return Err(format!(
+                    "{file}: record {i} gap {gap:.4} outside the {DECENTRAL_MAX_GAP} envelope"
+                ));
+            }
+        }
+        let max_gap = extract_number(&squashed, "max_gap")
+            .ok_or_else(|| format!("{file}: max_gap is not a number"))?;
+        if max_gap > DECENTRAL_MAX_GAP {
+            return Err(format!(
+                "{file}: max_gap {max_gap:.4} outside the {DECENTRAL_MAX_GAP} envelope"
+            ));
+        }
+    }
     if file == "BENCH_robustness.json" {
         // The per-family front: every family present, and the spread
         // strategy's survival ≥ the delay-greedy baseline's everywhere —
@@ -293,6 +356,7 @@ mod tests {
             "BENCH_fleet.json",
             "BENCH_serve.json",
             "BENCH_predict.json",
+            "BENCH_decentral.json",
         ] {
             check(root, file).unwrap_or_else(|e| panic!("{e}"));
         }
@@ -483,6 +547,84 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("not a number"), "{err}");
+    }
+
+    /// A minimal decentralized record template: one row per entry of
+    /// `rows` (`(rounds, gap, converged)`, cycled over the five family
+    /// names), with the flat gate copies derived from the rows.
+    fn decentral_record(rows: &[(u32, f64, bool)], budget: u32) -> String {
+        let families: String = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (rounds, gap, converged))| {
+                format!(
+                    r#"{{"family": "{}", "rounds": {rounds}, "bytes_gossiped": 19392,
+                        "gap": {gap}, "converged": {converged}, "agreement": true}}"#,
+                    FRONT_FAMILIES[i % FRONT_FAMILIES.len()]
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let max_gap = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        format!(
+            r#"{{"decentral": {{"round_budget": {budget}}},
+                "families": [{families}],
+                "max_gap": {max_gap},
+                "identical_result": true}}"#
+        )
+    }
+
+    #[test]
+    fn accepts_a_decentral_record_inside_the_envelope() {
+        let record = decentral_record(
+            &[
+                (7, 0.0, true),
+                (7, 0.01, true),
+                (8, 0.0, true),
+                (9, 0.05, true),
+                (8, 0.0, true),
+            ],
+            48,
+        );
+        check_content("BENCH_decentral.json", &record).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[test]
+    fn rejects_a_decentral_record_missing_a_family() {
+        // Only four rows: "lollipop" never appears.
+        let record = decentral_record(&[(7, 0.0, true); 4], 48);
+        let err = check_content("BENCH_decentral.json", &record).unwrap_err();
+        assert!(err.contains("lollipop"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_decentral_record_outside_the_gap_envelope() {
+        let record = decentral_record(&[(7, 0.2, true); 5], 48);
+        let err = check_content("BENCH_decentral.json", &record).unwrap_err();
+        assert!(err.contains("envelope"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_decentral_record_that_did_not_converge() {
+        let record = decentral_record(
+            &[
+                (7, 0.0, true),
+                (48, 0.0, false),
+                (8, 0.0, true),
+                (9, 0.0, true),
+                (8, 0.0, true),
+            ],
+            48,
+        );
+        let err = check_content("BENCH_decentral.json", &record).unwrap_err();
+        assert!(err.contains("did not converge"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_decentral_record_over_the_round_budget() {
+        let record = decentral_record(&[(64, 0.0, true); 5], 48);
+        let err = check_content("BENCH_decentral.json", &record).unwrap_err();
+        assert!(err.contains("above the 48"), "{err}");
     }
 
     #[test]

@@ -23,6 +23,10 @@ use crate::micro::MicroCluster;
 const MAGIC: u16 = 0x4753; // "GS"
 const VERSION: u8 = 1;
 
+/// Replica id carried by the output of [`AccessSummary::merge_partial`] —
+/// a merged summary no longer belongs to any single data center.
+pub const MERGED_REPLICA: u32 = u32::MAX;
+
 /// Error produced when decoding or converting an [`AccessSummary`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SummaryError {
@@ -184,6 +188,54 @@ impl AccessSummary {
                 ))
             })
             .collect()
+    }
+
+    /// Merges replica summaries collected from a *partial view* — whatever
+    /// subset of the fleet answered before the harvest deadline — into one
+    /// summary a solver can consume as if a single replica had produced it.
+    ///
+    /// Rules:
+    ///
+    /// * every input must carry the same dimensionality;
+    /// * when the same replica appears more than once (a late period-`n`
+    ///   summary arriving next to period `n+1`'s), only its **last**
+    ///   occurrence contributes — later is fresher on an in-order transport;
+    /// * cluster order is preserved in input order, so the merge of a fully
+    ///   present view is exactly the concatenation callers historically did
+    ///   by hand;
+    /// * the merged summary carries the [`MERGED_REPLICA`] sentinel id.
+    ///
+    /// # Errors
+    ///
+    /// [`SummaryError::InvalidField`] on an empty input,
+    /// [`SummaryError::DimensionMismatch`] on mixed dimensionalities.
+    pub fn merge_partial(views: &[AccessSummary]) -> Result<AccessSummary, SummaryError> {
+        let first = views
+            .first()
+            .ok_or(SummaryError::InvalidField("no summaries in the view"))?;
+        let dims = first.dims;
+        if let Some(bad) = views.iter().find(|s| s.dims != dims) {
+            return Err(SummaryError::DimensionMismatch {
+                expected: dims as usize,
+                got: bad.dims as usize,
+            });
+        }
+        let clusters = views
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| {
+                // Keep only each replica's last occurrence.
+                !views[i + 1..]
+                    .iter()
+                    .any(|later| later.replica == s.replica)
+            })
+            .flat_map(|(_, s)| s.clusters.iter().cloned())
+            .collect();
+        Ok(AccessSummary {
+            dims,
+            replica: MERGED_REPLICA,
+            clusters,
+        })
     }
 
     /// Exact size of [`AccessSummary::encode`]'s output, in bytes.
@@ -382,6 +434,77 @@ mod tests {
         let back = AccessSummary::decode(&s.encode()).unwrap();
         assert_eq!(back, s);
         assert!(back.to_micro_clusters::<3>().unwrap().is_empty());
+    }
+
+    fn tagged(replica: u32, xs: &[f64]) -> AccessSummary {
+        let mut oc: OnlineClusterer<2> = OnlineClusterer::new(4);
+        for &x in xs {
+            oc.observe(Coord::new([x, 0.0]), 1.0);
+        }
+        AccessSummary::from_clusterer(replica, &oc)
+    }
+
+    #[test]
+    fn merge_partial_concatenates_in_view_order() {
+        let a = tagged(0, &[1.0, 2.0]);
+        let b = tagged(1, &[100.0]);
+        let merged = AccessSummary::merge_partial(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(merged.replica, MERGED_REPLICA);
+        assert_eq!(merged.dims, 2);
+        let expected: Vec<ClusterSnapshot> =
+            a.clusters.iter().chain(&b.clusters).cloned().collect();
+        assert_eq!(merged.clusters, expected);
+        // A partial view is a prefix of the work, not an error.
+        let partial = AccessSummary::merge_partial(std::slice::from_ref(&b)).unwrap();
+        assert_eq!(partial.clusters, b.clusters);
+    }
+
+    #[test]
+    fn merge_partial_keeps_only_the_latest_duplicate() {
+        let stale = tagged(3, &[1.0]);
+        let fresh = tagged(3, &[500.0, 600.0]);
+        let other = tagged(4, &[-7.0]);
+        let merged = AccessSummary::merge_partial(&[stale, other.clone(), fresh.clone()]).unwrap();
+        let expected: Vec<ClusterSnapshot> = other
+            .clusters
+            .iter()
+            .chain(&fresh.clusters)
+            .cloned()
+            .collect();
+        assert_eq!(merged.clusters, expected);
+    }
+
+    #[test]
+    fn merge_partial_rejects_bad_views() {
+        assert_eq!(
+            AccessSummary::merge_partial(&[]),
+            Err(SummaryError::InvalidField("no summaries in the view"))
+        );
+        let flat = tagged(0, &[1.0]);
+        let deep = sample_summary(); // D = 3
+        assert_eq!(
+            AccessSummary::merge_partial(&[flat, deep]),
+            Err(SummaryError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+    }
+
+    #[test]
+    fn merged_summary_still_reconstructs_micro_clusters() {
+        let a = tagged(0, &[1.0, 2.0, 3.0]);
+        let b = tagged(1, &[50.0]);
+        let merged = AccessSummary::merge_partial(&[a.clone(), b.clone()]).unwrap();
+        let total: f64 = merged
+            .to_micro_clusters::<2>()
+            .unwrap()
+            .iter()
+            .map(|mc| mc.weight())
+            .sum();
+        assert_eq!(total, 4.0);
+        let wire = AccessSummary::decode(&merged.encode()).unwrap();
+        assert_eq!(wire, merged);
     }
 
     #[test]

@@ -163,16 +163,21 @@ impl DeployNode {
     /// Coordinator: recompute the placement from collected summaries and
     /// candidate adverts (greedy facility location on estimates).
     fn recompute_placement(&mut self) -> Option<Vec<(NodeId, Coord<DIMS>)>> {
-        let pseudo: Vec<WeightedPoint<DIMS>> = self
-            .collected
-            .drain(..)
-            .flat_map(|s| {
+        // Partial views are the norm here: whichever replicas the period's
+        // gossip reached contributed, possibly more than once. Merge first
+        // (keep-latest per replica, order-preserving concatenation), so a
+        // replica that reported twice does not double its demand.
+        let merged = AccessSummary::merge_partial(&self.collected).ok();
+        self.collected.clear();
+        let pseudo: Vec<WeightedPoint<DIMS>> = merged
+            .map(|s| {
                 s.to_micro_clusters::<DIMS>()
                     .unwrap_or_default()
                     .into_iter()
                     .map(|mc| WeightedPoint::new(mc.centroid(), mc.weight()))
+                    .collect()
             })
-            .collect();
+            .unwrap_or_default();
         if pseudo.is_empty() {
             return None;
         }

@@ -89,5 +89,8 @@ pub use manager::{ManagerConfig, ReplicaManager};
 pub use objective::{CostTable, DelayOracle, IncrementalEval};
 pub use problem::{PlacementProblem, ProblemError};
 pub use scenario::{run_scenario, run_scenario_with_recorder, ScenarioKind, ScenarioReport};
+pub use strategy::decentralized::{
+    central_placement, run_decentralized, run_decentralized_with, DecentralConfig, DecentralReport,
+};
 pub use strategy::{PlaceError, PlacementContext, Placer};
 pub use telemetry::{InMemoryRecorder, NullRecorder, Recorder, RunReport, TraceWriter};

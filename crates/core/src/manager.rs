@@ -846,6 +846,116 @@ impl<const D: usize> ReplicaManager<D> {
         })
     }
 
+    /// A full rebalance round toward an *externally computed* placement —
+    /// [`ReplicaManager::propose_placement`] followed by
+    /// [`ReplicaManager::commit_rebalance`]. The decentralized strategy
+    /// ([`crate::strategy::decentralized`]) feeds it the gossip-converged
+    /// consensus so the manager's migration gate, cost accounting and
+    /// period bookkeeping stay authoritative even when the *solver* moved
+    /// out of the coordinator.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::InvalidSetup`] when `target` is unusable (see
+    /// [`ReplicaManager::propose_placement`]).
+    pub fn rebalance_to(&mut self, target: &[usize]) -> Result<MigrationDecision, ManagerError> {
+        let pending = self.propose_placement(target)?;
+        Ok(self.commit_rebalance(pending))
+    }
+
+    /// [`ReplicaManager::propose_rebalance`] with the solver replaced by a
+    /// caller-supplied placement: no macro-clustering runs, `target` *is*
+    /// the proposal. Everything around it is identical — the same round and
+    /// summary-byte accounting (summaries were still collected and shipped
+    /// this period; an external solver only replaces the central k-means),
+    /// the same gain estimate over this period's recorded pseudo points,
+    /// and the same gain-vs-cost migration gate, so a caller handing back
+    /// the manager's own placement decides a no-op bit-identically to a
+    /// quiet reactive round. An empty summarization period is the usual
+    /// no-op round.
+    ///
+    /// # Errors
+    ///
+    /// [`ManagerError::InvalidSetup`] when `target` is empty, repeats a
+    /// node, or strays outside the current candidate set.
+    pub fn propose_placement(
+        &mut self,
+        target: &[usize],
+    ) -> Result<PendingRebalance, ManagerError> {
+        if target.is_empty() {
+            return Err(ManagerError::InvalidSetup("target placement is empty"));
+        }
+        if (1..target.len()).any(|i| target[..i].contains(&target[i])) {
+            return Err(ManagerError::InvalidSetup(
+                "target placement repeats a node",
+            ));
+        }
+        if target.iter().any(|r| !self.candidates.contains(r)) {
+            return Err(ManagerError::InvalidSetup(
+                "target placement must be a subset of candidates",
+            ));
+        }
+
+        self.stats.rounds += 1;
+        self.stats.summary_bytes += self
+            .clusterers
+            .iter()
+            .map(|c| AccessSummary::encoded_len_for(D, c.clusters().len()) as u64)
+            .sum::<u64>();
+
+        let pseudo: Vec<WeightedPoint<D>> = self
+            .clusterers
+            .iter()
+            .flat_map(|c| c.pseudo_points())
+            .collect();
+
+        if pseudo.is_empty() {
+            return Ok(PendingRebalance {
+                decision: MigrationDecision {
+                    old: self.placement.clone(),
+                    proposed: self.placement.clone(),
+                    old_est_ms: 0.0,
+                    new_est_ms: 0.0,
+                    moved: 0,
+                    cost_usd: 0.0,
+                    applied: false,
+                },
+                empty: true,
+            });
+        }
+
+        let proposed = target.to_vec();
+        let old_est = self.estimate_mean_delay(&self.placement, &pseudo);
+        let new_est = self.estimate_mean_delay(&proposed, &pseudo);
+        let moved = moved_replicas(&self.placement, &proposed);
+        let cost_usd = self.config.cost.cost_usd(moved);
+
+        let relative_gain = if old_est > 0.0 {
+            (old_est - new_est) / old_est
+        } else {
+            0.0
+        };
+        let resized = proposed.len() != self.placement.len();
+        let applied = if resized {
+            true
+        } else {
+            moved > 0 && relative_gain >= self.config.gain_per_dollar * cost_usd
+        };
+
+        Ok(PendingRebalance {
+            decision: MigrationDecision {
+                old: self.placement.clone(),
+                proposed,
+                old_est_ms: old_est,
+                new_est_ms: new_est,
+                moved,
+                cost_usd,
+                applied,
+            },
+            empty: false,
+        })
+    }
+
     /// The second half of a rebalance round: honour the pending decision
     /// (apply the proposed placement if `applied`) and end the
     /// summarization period. Returns the decision unchanged.
@@ -999,6 +1109,59 @@ mod tests {
         assert!(!d.applied);
         assert_eq!(d.moved, 0);
         assert_eq!(d.proposed, vec![0, 3]);
+    }
+
+    #[test]
+    fn external_placement_passes_through_the_migration_gate() {
+        // Demand sits at 50; an external solver hands the manager node 5.
+        let mut mgr = manager(1);
+        for _ in 0..100 {
+            mgr.record_access(Coord::new([50.0]), 1.0);
+        }
+        let d = mgr.rebalance_to(&[5]).unwrap();
+        assert!(d.applied, "{d:?}");
+        assert_eq!(d.moved, 1);
+        assert!(d.new_est_ms < d.old_est_ms);
+        assert_eq!(mgr.placement(), &[5]);
+        assert_eq!(mgr.stats().rounds, 1);
+        assert!(mgr.stats().summary_bytes > 0);
+    }
+
+    #[test]
+    fn external_placement_echoing_the_current_one_is_a_quiet_round() {
+        let mut mgr = manager(2);
+        for _ in 0..50 {
+            mgr.record_access(Coord::new([0.0]), 1.0);
+        }
+        let d = mgr.rebalance_to(&[0, 3]).unwrap();
+        assert!(!d.applied, "no move proposed means nothing to pay for");
+        assert_eq!(d.moved, 0);
+        assert_eq!(mgr.placement(), &[0, 3]);
+    }
+
+    #[test]
+    fn external_placement_on_an_empty_period_is_noop() {
+        let mut mgr = manager(2);
+        let d = mgr.rebalance_to(&[3, 5]).unwrap();
+        assert!(!d.applied);
+        assert_eq!(d.moved, 0);
+        assert_eq!(mgr.placement(), &[0, 3], "empty evidence moves nothing");
+    }
+
+    #[test]
+    fn external_placement_is_validated() {
+        let mut mgr = manager(2);
+        for bad in [vec![], vec![3, 3], vec![0, 4], vec![0, 99]] {
+            assert!(
+                matches!(
+                    mgr.propose_placement(&bad),
+                    Err(ManagerError::InvalidSetup(_))
+                ),
+                "target {bad:?} must be rejected"
+            );
+        }
+        // A rejected proposal must not have consumed the period.
+        assert_eq!(mgr.stats().rounds, 0);
     }
 
     #[test]

@@ -49,6 +49,7 @@ use crate::gossip::{detected_failures, embed_via_simulation, embed_with_faults, 
 use crate::manager::{ManagerConfig, ManagerError, ReplicaManager};
 use crate::migration::MigrationDecision;
 use crate::problem::{PlacementProblem, ProblemError};
+use crate::strategy::decentralized::{run_decentralized_with, DecentralConfig};
 use crate::strategy::predictive::{PlacementMode, Predictor};
 use crate::telemetry::{NullRecorder, Recorder};
 
@@ -115,8 +116,11 @@ pub struct ScenarioConfig {
     /// behavior), the forecast next tick when the confidence gate engages
     /// ([`PlacementMode::Predictive`] — the scenario's per-fault-state
     /// demand is stationary, so the gate declines and the report stays
-    /// bit-identical to reactive), or the actual next tick
-    /// ([`PlacementMode::Oracle`]).
+    /// bit-identical to reactive), the actual next tick
+    /// ([`PlacementMode::Oracle`]), or a peer-to-peer gossip solve over the
+    /// live candidates with no central solver in the loop
+    /// ([`PlacementMode::Decentralized`] — the consensus placement still
+    /// passes the manager's migration gate).
     pub mode: PlacementMode,
 }
 
@@ -649,7 +653,22 @@ pub fn run_scenario_with_recorder<R: Recorder>(
                     &cfg,
                     tick,
                 );
-                let d = mode_rebalance(&mut mgr, cfg.mode, &predictor, oracle_next.as_deref())?;
+                let dctx = DecentralCtx {
+                    matrix,
+                    clients: &clients,
+                    plan: &scoring_plan,
+                    coordinator,
+                    cfg: &cfg,
+                    tick,
+                };
+                let d = mode_rebalance(
+                    &mut mgr,
+                    cfg.mode,
+                    &predictor,
+                    oracle_next.as_deref(),
+                    &dctx,
+                    rec,
+                )?;
                 record_rebalance(d, tick, &mut trace, &mut replacements, tick >= p, rec);
             }
         }
@@ -691,7 +710,22 @@ pub fn run_scenario_with_recorder<R: Recorder>(
                 &cfg,
                 tick,
             );
-            let d = mode_rebalance(&mut mgr, cfg.mode, &predictor, oracle_next.as_deref())?;
+            let dctx = DecentralCtx {
+                matrix,
+                clients: &clients,
+                plan: &scoring_plan,
+                coordinator,
+                cfg: &cfg,
+                tick,
+            };
+            let d = mode_rebalance(
+                &mut mgr,
+                cfg.mode,
+                &predictor,
+                oracle_next.as_deref(),
+                &dctx,
+                rec,
+            )?;
             record_rebalance(d, tick, &mut trace, &mut replacements, tick >= p, rec);
         }
     }
@@ -789,14 +823,32 @@ fn oracle_demand<const D: usize>(
     Some(demand_at(clients, plan, coordinator, coords, cfg, tick + 1))
 }
 
+/// What the decentralized arm of [`mode_rebalance`] solves over: the true
+/// matrix, the demand population and the fault state of the current tick.
+struct DecentralCtx<'a> {
+    matrix: &'a RttMatrix,
+    clients: &'a [usize],
+    plan: &'a FaultPlan,
+    coordinator: usize,
+    cfg: &'a ScenarioConfig,
+    tick: u32,
+}
+
 /// One re-placement decision under the configured mode: reactive on the
 /// recorded summaries, predictive on the forecast when the gate engages
-/// (reactive fallback otherwise), oracle on the supplied next-tick demand.
-fn mode_rebalance<const D: usize>(
+/// (reactive fallback otherwise), oracle on the supplied next-tick demand,
+/// decentralized on a gossip solve over the live candidates (reactive
+/// fallback when no solve is possible, e.g. every candidate quarantined
+/// away). The decentralized consensus is handed to
+/// [`ReplicaManager::rebalance_to`], so the migration cost gate applies to
+/// it exactly as to any centrally computed proposal.
+fn mode_rebalance<const D: usize, R: Recorder>(
     mgr: &mut ReplicaManager<D>,
     mode: PlacementMode,
     predictor: &Predictor<D>,
     oracle_next: Option<&[(Coord<D>, f64)]>,
+    dctx: &DecentralCtx<'_>,
+    rec: &R,
 ) -> Result<MigrationDecision, ScenarioError> {
     Ok(match mode {
         PlacementMode::Reactive => mgr.rebalance()?,
@@ -814,6 +866,52 @@ fn mode_rebalance<const D: usize>(
             Some(next) => mgr.rebalance_on(&predictor.aggregate(next))?,
             None => mgr.rebalance()?,
         },
+        PlacementMode::Decentralized => {
+            let live = mgr.candidates().to_vec();
+            let k = mgr.placement().len().min(live.len());
+            if k == 0 {
+                return Ok(mgr.rebalance()?);
+            }
+            // Demand the protocol shards: the same reachability predicate
+            // the ingest path uses, as weights over the full client list so
+            // the cost-table rows stay stable across fault states.
+            let now = SimTime::ZERO + dctx.cfg.tick.mul(dctx.tick as u64);
+            let weights: Vec<f64> = dctx
+                .clients
+                .iter()
+                .map(|&c| {
+                    let reachable = !dctx.plan.node_down(c, now)
+                        && !dctx.plan.partitioned(c, dctx.coordinator, now);
+                    if reachable {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            let dcfg = DecentralConfig {
+                quiet_rounds: 2,
+                refine_round: 1,
+                max_rounds: 24,
+                jitter_sigma: 0.0,
+                seed: dctx.cfg.seed ^ 0xDECE_0000 ^ dctx.tick as u64,
+                threads: dctx.cfg.threads,
+                ..DecentralConfig::new(k)
+            };
+            let solve = run_decentralized_with(
+                dctx.matrix,
+                &live,
+                dctx.clients,
+                &weights,
+                &dcfg,
+                FaultPlan::new(dcfg.seed),
+                rec,
+            );
+            match solve {
+                Ok(report) => mgr.rebalance_to(&report.placement)?,
+                Err(_) => mgr.rebalance()?,
+            }
+        }
     })
 }
 
@@ -988,6 +1086,39 @@ mod tests {
                 ..quick_cfg()
             };
             let run = run_scenario(&m, ScenarioKind::SingleDcCrash, cfg).unwrap();
+            assert_eq!(run, base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn decentralized_mode_survives_a_crash_and_stays_thread_invariant() {
+        let m = matrix(24);
+        let cfg = ScenarioConfig {
+            mode: PlacementMode::Decentralized,
+            ..quick_cfg()
+        };
+        let base = run_scenario(&m, ScenarioKind::SingleDcCrash, cfg).unwrap();
+        assert_eq!(base.timeline.len(), 12);
+        assert!(
+            base.trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::ReplicaFailed { .. })),
+            "the crashed replica must still be evicted: {:?}",
+            base.trace
+        );
+        assert!(
+            base.trace
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Rebalance { .. })),
+            "gossip-solved rebalances must appear in the trace"
+        );
+        for threads in [2, 8] {
+            let run = run_scenario(
+                &m,
+                ScenarioKind::SingleDcCrash,
+                ScenarioConfig { threads, ..cfg },
+            )
+            .unwrap();
             assert_eq!(run, base, "threads={threads}");
         }
     }

@@ -18,8 +18,10 @@
 //! | [`capacity::CapacityGreedy`] | extension (paper future work) | true latencies + per-DC capacity |
 //! | [`slo::place_for_slo`] | extension (latency budgets from the paper's intro) | true latencies, greedy set cover |
 //! | [`spread::place_spread`] | extension (correlated-failure availability) | true latencies + failure-domain tree |
+//! | [`decentralized::run_decentralized`] | extension (coordinator-free gossip placement) | gossiped shard summaries, local search |
 
 pub mod capacity;
+pub mod decentralized;
 pub mod greedy;
 pub mod hotzone;
 pub mod offline;
@@ -56,6 +58,15 @@ pub enum PlaceError {
     ZeroK,
     /// The context lacked an input this strategy requires.
     MissingData(&'static str),
+    /// A numeric budget (e.g. a delay-slack allowance) was negative, NaN
+    /// or infinite — a configuration bug the caller must hear about rather
+    /// than silently receiving the unbudgeted baseline.
+    InvalidBudget {
+        /// Which budget was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
     /// Macro-clustering failed.
     Cluster(ClusterError),
     /// A shipped summary could not be used.
@@ -76,6 +87,9 @@ impl fmt::Display for PlaceError {
                     f,
                     "strategy requires {what}, which the context did not provide"
                 )
+            }
+            PlaceError::InvalidBudget { what, value } => {
+                write!(f, "{what} must be finite and non-negative, got {value}")
             }
             PlaceError::Cluster(e) => write!(f, "clustering failed: {e}"),
             PlaceError::Summary(e) => write!(f, "summary error: {e}"),

@@ -51,6 +51,12 @@ pub enum PlacementMode {
     /// Re-place on the *actual* next period — perfect foresight, the
     /// regret floor.
     Oracle,
+    /// Re-place on the consensus a peer-to-peer gossip solve converges to
+    /// ([`crate::strategy::decentralized`]) — no central solver in the
+    /// loop. Driven by the scenario runner, which owns the RTT matrix the
+    /// protocol gossips over; the coordinate-space [`run_mode`] driver
+    /// rejects it.
+    Decentralized,
 }
 
 impl PlacementMode {
@@ -60,11 +66,14 @@ impl PlacementMode {
             PlacementMode::Reactive => "reactive",
             PlacementMode::Predictive => "predictive",
             PlacementMode::Oracle => "oracle",
+            PlacementMode::Decentralized => "decentralized",
         }
     }
 }
 
-/// Every mode, in regret order (best foresight first).
+/// Every *centrally solved* mode, in regret order (best foresight first) —
+/// the set [`run_mode`] drives. [`PlacementMode::Decentralized`] lives in
+/// the scenario runner instead.
 pub const ALL_MODES: [PlacementMode; 3] = [
     PlacementMode::Oracle,
     PlacementMode::Predictive,
@@ -343,6 +352,11 @@ pub fn run_mode<const D: usize>(
                 Some(next) => mgr.rebalance_on(&predictor.aggregate(next))?,
                 None => mgr.rebalance()?,
             },
+            PlacementMode::Decentralized => {
+                return Err(ManagerError::InvalidSetup(
+                    "decentralized placement needs an RTT matrix; drive it via run_scenario",
+                ))
+            }
         };
         if decision.applied && decision.moved > 0 {
             migrations += 1;
@@ -549,5 +563,25 @@ mod tests {
         assert_eq!(PlacementMode::Reactive.name(), "reactive");
         assert_eq!(PlacementMode::Predictive.name(), "predictive");
         assert_eq!(PlacementMode::Oracle.name(), "oracle");
+        assert_eq!(PlacementMode::Decentralized.name(), "decentralized");
+    }
+
+    #[test]
+    fn coordinate_driver_rejects_the_decentralized_mode() {
+        let (coords, candidates, regions) = line();
+        let cfg = ModeConfig::new(1, 4).unwrap();
+        let periods = stationary_periods(4);
+        let err = run_mode(
+            &coords,
+            &candidates,
+            &[4],
+            &regions,
+            &periods,
+            PlacementMode::Decentralized,
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ManagerError::InvalidSetup(_)));
+        assert!(err.to_string().contains("run_scenario"));
     }
 }

@@ -72,8 +72,9 @@ pub struct SpreadOutcome {
 ///
 /// [`PlaceError::ZeroK`] / [`PlaceError::KTooLarge`] for a bad `k`;
 /// [`PlaceError::MissingData`] when `tree` does not cover the problem's
-/// matrix; [`PlaceError::MissingData`] for a non-finite or negative
-/// `delay_slack`.
+/// matrix; [`PlaceError::InvalidBudget`] for a non-finite or negative
+/// `delay_slack` — the swap hill-climb would otherwise degrade to the
+/// unbudgeted baseline without telling anyone.
 pub fn place_spread(
     problem: &PlacementProblem<'_>,
     tree: &DomainTree,
@@ -95,7 +96,10 @@ pub fn place_spread(
         ));
     }
     if !(config.delay_slack.is_finite() && config.delay_slack >= 0.0) {
-        return Err(PlaceError::MissingData("a finite non-negative delay_slack"));
+        return Err(PlaceError::InvalidBudget {
+            what: "delay_slack",
+            value: config.delay_slack,
+        });
     }
 
     let mut eval = problem.objective_eval();
@@ -285,17 +289,26 @@ mod tests {
             place_spread(&p, &small_tree, 3, SpreadConfig::default()),
             Err(PlaceError::MissingData(_))
         ));
-        assert!(matches!(
-            place_spread(
+        // A bad slack budget is a typed error, never a silent baseline.
+        for bad_slack in [f64::NAN, -1.0, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = place_spread(
                 &p,
                 &tree24(),
                 3,
                 SpreadConfig {
-                    delay_slack: f64::NAN,
+                    delay_slack: bad_slack,
                     ..Default::default()
+                },
+            )
+            .unwrap_err();
+            match err {
+                PlaceError::InvalidBudget { what, value } => {
+                    assert_eq!(what, "delay_slack");
+                    assert!(value.to_bits() == bad_slack.to_bits());
                 }
-            ),
-            Err(PlaceError::MissingData(_))
-        ));
+                other => panic!("expected InvalidBudget for {bad_slack}, got {other:?}"),
+            }
+            assert!(err.to_string().contains("delay_slack"));
+        }
     }
 }

@@ -15,7 +15,9 @@
 //!   [`crate::rtt::RttMatrix`], with optional per-message jitter;
 //! * [`fault`] — seeded, time-scheduled fault injection ([`FaultPlan`]):
 //!   packet loss, latency surges, partitions and DC crashes that the
-//!   network consults for every delivery.
+//!   network consults for every delivery;
+//! * [`view`] — staleness-versioned per-origin state with anti-entropy
+//!   digests, the payload store epidemic (gossip) protocols reconcile.
 //!
 //! # Example: ping-pong
 //!
@@ -43,9 +45,11 @@ pub mod network;
 pub mod process;
 pub mod reference;
 pub mod time;
+pub mod view;
 
 pub use engine::{Context, EventId, Simulation};
 pub use fault::{Delivery, DropCause, FaultPlan};
 pub use network::{DeliveryStats, Network};
 pub use process::{NetStats, NodeId, Process, ProcessCtx, ProcessNet};
 pub use time::{SimDuration, SimTime};
+pub use view::VersionedView;

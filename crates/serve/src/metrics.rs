@@ -223,6 +223,84 @@ mod tests {
     use super::*;
     use georep_core::telemetry::Recorder;
 
+    /// Golden snapshot of a full `/metrics` page. Pins the exposition
+    /// format wholesale: the `georep_` prefix and `.`→`_` mapping, the
+    /// `_total` suffix on counters, every exponential bucket bound with
+    /// *cumulative* `le` counts, the `+Inf` bucket, and the `_sum` /
+    /// `_count` companions — in BTreeMap name order. A diff here means
+    /// dashboards scraping the endpoint will see different series.
+    #[test]
+    fn metrics_page_matches_the_golden_snapshot() {
+        let rec = InMemoryRecorder::new();
+        rec.counter("serve.ingested", 3);
+        rec.counter("serve.ticks", 7);
+        // One sample per regime: le="1", le="4", le="128".
+        rec.observe("serve.lag_ms", 0.75);
+        rec.observe("serve.lag_ms", 3.0);
+        rec.observe("serve.lag_ms", 100.0);
+        let golden = "\
+# TYPE georep_serve_ingested_total counter\n\
+georep_serve_ingested_total 3\n\
+# TYPE georep_serve_ticks_total counter\n\
+georep_serve_ticks_total 7\n\
+# TYPE georep_serve_lag_ms histogram\n\
+georep_serve_lag_ms_bucket{le=\"0.00000095367431640625\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.0000019073486328125\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.000003814697265625\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.00000762939453125\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.0000152587890625\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.000030517578125\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.00006103515625\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.0001220703125\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.000244140625\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.00048828125\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.0009765625\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.001953125\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.00390625\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.0078125\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.015625\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.03125\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.0625\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.125\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.25\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"0.5\"} 0\n\
+georep_serve_lag_ms_bucket{le=\"1\"} 1\n\
+georep_serve_lag_ms_bucket{le=\"2\"} 1\n\
+georep_serve_lag_ms_bucket{le=\"4\"} 2\n\
+georep_serve_lag_ms_bucket{le=\"8\"} 2\n\
+georep_serve_lag_ms_bucket{le=\"16\"} 2\n\
+georep_serve_lag_ms_bucket{le=\"32\"} 2\n\
+georep_serve_lag_ms_bucket{le=\"64\"} 2\n\
+georep_serve_lag_ms_bucket{le=\"128\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"256\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"512\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"1024\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"2048\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"4096\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"8192\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"16384\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"32768\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"65536\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"131072\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"262144\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"524288\"} 3\n\
+georep_serve_lag_ms_bucket{le=\"+Inf\"} 3\n\
+georep_serve_lag_ms_sum 103.75\n\
+georep_serve_lag_ms_count 3\n";
+        let rendered = render_prometheus(&rec);
+        if rendered != golden {
+            let mismatch = rendered
+                .lines()
+                .zip(golden.lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b);
+            panic!(
+                "rendering drifted from the golden snapshot; first diff: {mismatch:?}\n\
+                 full render:\n{rendered}"
+            );
+        }
+    }
+
     #[test]
     fn counters_render_as_prometheus_totals() {
         let rec = InMemoryRecorder::new();

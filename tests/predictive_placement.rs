@@ -20,9 +20,11 @@ use std::sync::OnceLock;
 use georep::coord::rnp::Rnp;
 use georep::coord::{Coord, EmbeddingRunner};
 use georep::core::experiment::DIMS;
+use georep::core::forecast::gate;
 use georep::core::strategy::predictive::{
     run_mode, ModeConfig, ModeReport, PlacementMode, ALL_MODES,
 };
+use georep::core::{DemandHistory, ForecastConfig, GateDecision};
 use georep::net::topology::{Topology, TopologyConfig};
 use georep::workload::population::Population;
 use georep::workload::stream::{generate, AccessEvent, PhasedWorkload, StreamConfig};
@@ -294,6 +296,172 @@ fn every_mode_reports_bit_identically_across_thread_counts() {
         assert_eq!(runs[0], runs[1], "{mode:?}: 1 vs 2 threads");
         assert_eq!(runs[0], runs[2], "{mode:?}: 1 vs 8 threads");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Negative paths of the confidence gate: every typed decline reason is
+// constructible from a crafted history, and a declining workload falls back
+// bit-identically to the reactive loop.
+// ---------------------------------------------------------------------------
+
+/// A history on the fixture's region set whose period `t` is the fixed
+/// per-region profile scaled by `factors[t]` — constant factors make a
+/// stationary series, erratic factors an unforecastable one.
+fn scaled_history(fx: &Fixture, factors: &[f64]) -> DemandHistory<DIMS> {
+    let mut history = DemandHistory::new(fx.regions.clone()).expect("fixture regions");
+    for &f in factors {
+        let demand: Vec<(Coord<DIMS>, f64)> = fx
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, f * (1.0 + (i % 3) as f64)))
+            .collect();
+        history.push_period(&demand);
+    }
+    history
+}
+
+/// Exponentially blowing-up scale factors: the forecaster's
+/// linear-plus-seasonal model cannot track geometric growth, so the
+/// held-out backtest misses the error bound at every prefix length.
+fn erratic_factors(n: usize) -> Vec<f64> {
+    (0..n).map(|i| 3f64.powi(i as i32)).collect()
+}
+
+#[test]
+fn gate_declines_history_too_short_with_exact_counts() {
+    let fx = fixture();
+    let cfg = ForecastConfig::new(SEASON).expect("valid season");
+    let need = (2 * SEASON).max(4);
+    assert_eq!(cfg.min_history, need);
+    // Every prefix below the requirement declines with the exact counts —
+    // including the empty history.
+    for have in 0..need {
+        let history = scaled_history(fx, &vec![1.0; have]);
+        assert_eq!(
+            gate(&history, &cfg),
+            GateDecision::HistoryTooShort { have, need },
+            "prefix of {have} periods"
+        );
+        assert!(!gate(&history, &cfg).engaged());
+    }
+}
+
+#[test]
+fn gate_declines_history_too_short_when_the_forecast_itself_errors() {
+    // The fallback arm: enough periods for the gate's own length check,
+    // but the backtest cannot run (zero season) — the gate must decline as
+    // HistoryTooShort rather than panic or engage.
+    let fx = fixture();
+    let mut cfg = ForecastConfig::new(SEASON).expect("valid season");
+    cfg.season = 0;
+    let have = cfg.min_history;
+    let history = scaled_history(fx, &erratic_factors(have));
+    assert_eq!(
+        gate(&history, &cfg),
+        GateDecision::HistoryTooShort {
+            have,
+            need: cfg.min_history
+        }
+    );
+}
+
+#[test]
+fn gate_declines_error_too_high_on_an_erratic_history() {
+    let fx = fixture();
+    let cfg = ForecastConfig::new(SEASON).expect("valid season");
+    let history = scaled_history(fx, &erratic_factors(20));
+    assert!(history.periods() >= cfg.min_history);
+    match gate(&history, &cfg) {
+        GateDecision::ErrorTooHigh { error, bound } => {
+            assert_eq!(bound.to_bits(), cfg.max_backtest_error.to_bits());
+            assert!(error > bound, "error {error} must exceed the bound {bound}");
+            assert!(error.is_finite());
+        }
+        other => panic!("expected ErrorTooHigh, got {other:?}"),
+    }
+}
+
+#[test]
+fn gate_declines_stationary_on_a_constant_history() {
+    let fx = fixture();
+    let cfg = ForecastConfig::new(SEASON).expect("valid season");
+    let history = scaled_history(fx, &vec![3.0; cfg.min_history + 2]);
+    match gate(&history, &cfg) {
+        GateDecision::Stationary { shift, bound } => {
+            assert_eq!(bound.to_bits(), cfg.min_shift.to_bits());
+            assert!(
+                shift < bound,
+                "shift {shift} must sit below the bound {bound}"
+            );
+            assert!(shift >= 0.0);
+        }
+        other => panic!("expected Stationary, got {other:?}"),
+    }
+}
+
+#[test]
+fn short_history_workload_falls_back_bit_identical_to_reactive() {
+    // Fewer periods than the gate's warm-up requirement: every round
+    // declines HistoryTooShort, so the predictive run IS the reactive run.
+    let fx = fixture();
+    let short = &fx.diurnal[..4];
+    assert!(short.len() < ForecastConfig::new(SEASON).unwrap().min_history);
+    let reactive = run(fx, short, PlacementMode::Reactive, SEASON, 1);
+    let predictive = run(fx, short, PlacementMode::Predictive, SEASON, 1);
+    assert_eq!(predictive.gate_engaged, 0, "{predictive:?}");
+    assert_eq!(predictive.gate_declined, short.len());
+    assert_eq!(
+        predictive.placement_fingerprint,
+        reactive.placement_fingerprint
+    );
+    assert_eq!(predictive.final_placement, reactive.final_placement);
+    assert_eq!(
+        predictive.mean_delay_ms.to_bits(),
+        reactive.mean_delay_ms.to_bits()
+    );
+    assert_eq!(predictive.stats, reactive.stats);
+}
+
+#[test]
+fn erratic_workload_falls_back_bit_identical_to_reactive() {
+    // An unforecastable workload: once past the warm-up, every round's
+    // backtest misses the bound and the gate declines ErrorTooHigh — the
+    // run must still be bitwise the reactive run.
+    let fx = fixture();
+    let cfg = ForecastConfig::new(SEASON).expect("valid season");
+    let periods: Vec<Vec<(Coord<DIMS>, f64)>> = erratic_factors(20)
+        .iter()
+        .map(|&f| fx.stationary[0].iter().map(|&(c, w)| (c, w * f)).collect())
+        .collect();
+    // Pin the per-round reason: every prefix long enough to clear the
+    // warm-up declines as ErrorTooHigh on the history run_mode maintains.
+    let mut history = DemandHistory::new(fx.regions.clone()).expect("fixture regions");
+    for (t, period) in periods.iter().enumerate() {
+        history.push_period(period);
+        if t + 1 >= cfg.min_history {
+            assert!(
+                matches!(gate(&history, &cfg), GateDecision::ErrorTooHigh { .. }),
+                "prefix of {} periods: {:?}",
+                t + 1,
+                gate(&history, &cfg)
+            );
+        }
+    }
+    let reactive = run(fx, &periods, PlacementMode::Reactive, SEASON, 1);
+    let predictive = run(fx, &periods, PlacementMode::Predictive, SEASON, 1);
+    assert_eq!(predictive.gate_engaged, 0, "{predictive:?}");
+    assert_eq!(predictive.gate_declined, periods.len());
+    assert_eq!(
+        predictive.placement_fingerprint,
+        reactive.placement_fingerprint
+    );
+    assert_eq!(predictive.final_placement, reactive.final_placement);
+    assert_eq!(
+        predictive.mean_delay_ms.to_bits(),
+        reactive.mean_delay_ms.to_bits()
+    );
+    assert_eq!(predictive.stats, reactive.stats);
 }
 
 #[test]

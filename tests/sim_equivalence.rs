@@ -293,3 +293,127 @@ proptest! {
         prop_assert_eq!(merged.sends(), whole_a.sends());
     }
 }
+
+/// A world for the gossip-round tests: per-node seeded peer-selection RNGs
+/// plus a fault-injected network, with rumor and ack arrivals logged.
+struct GossipWorld {
+    net: Network,
+    rng: Vec<u64>,
+    log: Vec<(u64, u8, usize, usize)>,
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Periodic gossip rounds in either engine: every node fires a round event
+/// at the *same* instants (maximal same-timestamp ties), picks `fanout`
+/// peers from its own RNG, and pushes a rumor through the fault-injected
+/// network; each arrival chains an anti-entropy ack back to the sender.
+/// This is the event shape `strategy::decentralized` runs on the process
+/// layer, reproduced at the raw engine level.
+macro_rules! run_gossip_rounds {
+    ($Sim:ty, $nodes:expr, $plan:expr, $rounds:expr, $fanout:expr, $interval_ms:expr, $seed:expr) => {{
+        let net = Network::with_faults(grid_matrix($nodes), 0.15, 0xD15C ^ $seed, $plan);
+        let mut sim = <$Sim>::new(GossipWorld {
+            net,
+            rng: (0..$nodes as u64)
+                .map(|i| $seed ^ i.wrapping_mul(0x9E3779B97F4A7C15))
+                .collect(),
+            log: Vec::new(),
+        });
+        let (nodes, fanout) = ($nodes, $fanout);
+        for node in 0..nodes {
+            for round in 0..$rounds {
+                let at = SimTime::from_ms(($interval_ms * (round as u64 + 1)) as f64);
+                sim.schedule_at(at, move |w: &mut GossipWorld, ctx| {
+                    for _ in 0..fanout {
+                        let peer = (lcg(&mut w.rng[node]) as usize) % nodes;
+                        if peer == node {
+                            continue;
+                        }
+                        if let Delivery::Deliver(d) = w.net.deliver(node, peer, ctx.now()) {
+                            ctx.schedule_in(d, move |w: &mut GossipWorld, ctx| {
+                                w.log.push((ctx.now().as_micros(), 0, node, peer));
+                                if let Delivery::Deliver(back) =
+                                    w.net.deliver(peer, node, ctx.now())
+                                {
+                                    ctx.schedule_in(back, move |w: &mut GossipWorld, ctx| {
+                                        w.log.push((ctx.now().as_micros(), 1, peer, node));
+                                    });
+                                }
+                            });
+                        }
+                    }
+                });
+            }
+        }
+        sim.run_to_completion(None);
+        let w = sim.into_world();
+        (w.log, w.net.stats())
+    }};
+}
+
+#[test]
+fn gossip_rounds_execute_identically_across_engines() {
+    let plan = build_plan(6, 42, 0.1, 120, 150);
+    let (log_a, stats_a) = run_gossip_rounds!(
+        Simulation<GossipWorld>,
+        6,
+        plan.clone(),
+        5u32,
+        2usize,
+        40u64,
+        42u64
+    );
+    let (log_b, stats_b) = run_gossip_rounds!(
+        reference::Simulation<GossipWorld>,
+        6,
+        plan,
+        5u32,
+        2usize,
+        40u64,
+        42u64
+    );
+    assert_eq!(log_a, log_b);
+    assert_eq!(stats_a, stats_b);
+    assert!(!log_a.is_empty(), "rounds must deliver something");
+    assert!(
+        log_a.windows(2).all(|w| w[0].0 <= w[1].0),
+        "arrivals must log in timestamp order"
+    );
+    assert!(
+        log_a.iter().any(|&(_, kind, _, _)| kind == 1),
+        "acks must chain off arrivals"
+    );
+}
+
+proptest! {
+    /// Arbitrary gossip-round schedules — node count, round count, fanout,
+    /// cadence, loss and fault windows all free — execute identically in
+    /// the calendar-queue engine and the reference heap: same arrival log
+    /// (rumors and chained acks), same delivery accounting.
+    #[test]
+    fn prop_gossip_rounds_are_engine_invariant(
+        nodes in 3usize..8,
+        rounds in 1u32..8,
+        fanout in 1usize..4,
+        interval in 5u64..120,
+        seed in 0u64..1_000,
+        loss in 0.0f64..0.3,
+        w0 in 1u64..300,
+        w1 in 1u64..300,
+    ) {
+        let (log_a, stats_a) = run_gossip_rounds!(
+            Simulation<GossipWorld>,
+            nodes, build_plan(nodes, seed, loss, w0, w1), rounds, fanout, interval, seed);
+        let (log_b, stats_b) = run_gossip_rounds!(
+            reference::Simulation<GossipWorld>,
+            nodes, build_plan(nodes, seed, loss, w0, w1), rounds, fanout, interval, seed);
+        prop_assert_eq!(log_a, log_b);
+        prop_assert_eq!(stats_a, stats_b);
+    }
+}
